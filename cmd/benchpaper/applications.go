@@ -1,0 +1,211 @@
+package main
+
+// The application experiments of §5: Figure 8 (co-occurring patterns in
+// the seed-plant phylogenies), Figure 9 (consensus-method quality), and
+// Figure 10 (kernel-tree search time).
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treemine"
+	"treemine/internal/benchutil"
+	"treemine/internal/parsimony"
+	"treemine/internal/seqsim"
+	"treemine/internal/treebase"
+	"treemine/internal/treegen"
+)
+
+// runFig8 mines the reconstructed Doyle & Donoghue seed-plant study for
+// frequent cousin pairs, reproducing the two patterns §5.1 highlights:
+// (Gnetum, Welwitschia) at distance 0 in all four trees, and
+// (Ginkgoales, Ephedra) at distance 1.5 in two of them.
+func runFig8(cfg config) error {
+	study := treebase.SeedPlantStudy()
+	fp := treemine.MineForest(study.Trees, treemine.DefaultForestOptions())
+	tb := benchutil.NewTable("taxon 1", "taxon 2", "dist", "support")
+	for _, p := range fp {
+		tb.AddRow(p.Key.A, p.Key.B, p.Key.D.String(), p.Support)
+	}
+	if err := cfg.emit(tb); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out, "\n%d frequent pairs across the %d trees of study %s\n",
+		len(fp), len(study.Trees), study.ID)
+	return nil
+}
+
+// runStudies applies Multiple_Tree_Mining to every study of the
+// simulated corpus separately — the full §5.1 workflow Figure 8 samples
+// from ("we applied Multiple_Tree_Mining to the phylogenies associated
+// with each study in TreeBASE").
+func runStudies(cfg config) error {
+	corpusCfg := treebase.DefaultConfig()
+	if !cfg.full {
+		corpusCfg.NumTrees = 200
+	}
+	corpus := treebase.NewCorpus(cfg.seed, corpusCfg)
+	var patterns []treebase.StudyPatterns
+	d := benchutil.Time(func() {
+		patterns = treebase.MineStudies(corpus, treemine.DefaultForestOptions())
+	})
+	tb := benchutil.NewTable("study", "trees", "frequent pairs", "top pattern")
+	shown := 0
+	for _, sp := range patterns {
+		if shown == 12 {
+			break
+		}
+		shown++
+		var study treebase.Study
+		for _, s := range corpus.Studies {
+			if s.ID == sp.StudyID {
+				study = s
+				break
+			}
+		}
+		top := sp.Pairs[0]
+		tb.AddRow(sp.StudyID, len(study.Trees), len(sp.Pairs),
+			fmt.Sprintf("(%s, %s, %s) ×%d", top.Key.A, top.Key.B, top.Key.D, top.Support))
+	}
+	if err := cfg.emit(tb); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out, "\n%d of %d studies have frequent patterns; mined %d trees in %v\n",
+		len(patterns), len(corpus.Studies), corpus.NumTrees(), d)
+	return nil
+}
+
+// equallyParsimonious builds a set of up to maxTrees equally parsimonious
+// trees for a simulated alignment over the given taxa, PHYLIP-style:
+// parsimony search finds the optimum, then the optimal plateau is walked
+// to enumerate tied topologies.
+func equallyParsimonious(rng *rand.Rand, taxa []string, sites int, mutProb float64, maxTrees int) ([]*treemine.Tree, error) {
+	model := treegen.Yule(rng, taxa)
+	al, err := seqsim.Evolve(rng, model, sites, mutProb)
+	if err != nil {
+		return nil, err
+	}
+	seeds, _, err := parsimony.Search(rng, al, parsimony.SearchConfig{
+		Starts: 10, MaxTrees: maxTrees, MaxRounds: 200,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return parsimony.Plateau(seeds, al, maxTrees)
+}
+
+// runFig9 reproduces Figure 9: for growing sets of equally parsimonious
+// trees (5 to 35, as the paper's Mus workload), compute all five
+// consensus trees and their average cousin-pair similarity scores. The
+// paper's finding is that the majority consensus scores best.
+func runFig9(cfg config) error {
+	// 16 taxa mirror the paper's Mus dataset; the site count and mutation
+	// rate are tuned so each parsimony plateau reaches the 35 equally
+	// parsimonious trees the paper's sweep needs (see EXPERIMENTS.md).
+	// Scores are averaged over several replicate datasets so the method
+	// ranking is not hostage to one plateau's noise.
+	taxa := treebase.Names(16)
+	replicates := 3
+	if cfg.full {
+		replicates = 10
+	}
+	var plateaus [][]*treemine.Tree
+	for r := 0; len(plateaus) < replicates; r++ {
+		if r > 20*replicates {
+			return fmt.Errorf("could not grow %d full plateaus", replicates)
+		}
+		rng := rand.New(rand.NewSource(cfg.seed + int64(r)))
+		all, err := equallyParsimonious(rng, taxa, 200, 0.3, 35)
+		if err != nil {
+			return err
+		}
+		if len(all) >= 35 {
+			plateaus = append(plateaus, all)
+		}
+	}
+	opts := treemine.DefaultOptions()
+	methods := treemine.ConsensusMethods()
+	headers := []string{"trees"}
+	for _, m := range methods {
+		headers = append(headers, m.String())
+	}
+	tb := benchutil.NewTable(headers...)
+	wins := map[string]int{}
+	for _, n := range []int{5, 10, 15, 20, 25, 30, 35} {
+		row := []any{n}
+		scores := make([]float64, len(methods))
+		for _, all := range plateaus {
+			set := all[:n]
+			for mi, m := range methods {
+				c, err := treemine.Consensus(m, set)
+				if err != nil {
+					return fmt.Errorf("%v over %d trees: %w", m, n, err)
+				}
+				scores[mi] += treemine.AvgSim(c, set, opts)
+			}
+		}
+		best := -1.0
+		for mi := range methods {
+			scores[mi] /= float64(len(plateaus))
+			row = append(row, scores[mi])
+			if scores[mi] > best {
+				best = scores[mi]
+			}
+		}
+		for mi, m := range methods { // ties credit every method at the max
+			if scores[mi] >= best-1e-9 {
+				wins[m.String()]++
+			}
+		}
+		tb.AddRow(row...)
+	}
+	if err := cfg.emit(tb); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out, "\nbest method per row: %v (paper: majority wins)\n", wins)
+	return nil
+}
+
+// runFig10 reproduces Figure 10: the time to find kernel trees from s
+// groups of phylogenies, s = 2..5. Mirroring the paper's ascomycete
+// workload, each group holds equally parsimonious trees over a taxon
+// subset that overlaps — but does not coincide — with the other groups'.
+func runFig10(cfg config) error {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	all := treebase.Names(32) // the paper's 32 ascomycetes
+	perGroup := 8
+	if cfg.full {
+		perGroup = 12
+	}
+	// Pre-build five groups over sliding 24-taxon windows.
+	var groups [][]*treemine.Tree
+	for g := 0; g < 5; g++ {
+		window := all[g*2 : g*2+24]
+		set, err := equallyParsimonious(rng, window, 300, 0.2, perGroup)
+		if err != nil {
+			return err
+		}
+		if len(set) == 0 {
+			return fmt.Errorf("group %d: empty parsimonious set", g)
+		}
+		groups = append(groups, set)
+	}
+	kcfg := treemine.DefaultKernelConfig()
+	tb := benchutil.NewTable("groups", "time", "avg pairwise tdist", "exact")
+	for s := 2; s <= 5; s++ {
+		sub := groups[:s]
+		var res *treemine.KernelResult
+		var err error
+		d := benchutil.Time(func() {
+			res, err = treemine.KernelTrees(sub, kcfg)
+		})
+		if err != nil {
+			return err
+		}
+		tb.AddRow(s, d, res.AvgDist, res.Exact)
+	}
+	if err := cfg.emit(tb); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+// Command consensus computes consensus trees of a set of phylogenies
+// over the same taxa and, optionally, ranks all five classical methods
+// with the paper's cousin-pair similarity score (§5.2).
+//
+// Usage:
+//
+//	consensus [flags] [file.nwk ...]
+//
+// With no files, trees are read from standard input.
+//
+// Examples:
+//
+//	consensus -method majority trees.nwk      # print the majority tree
+//	consensus -score trees.nwk                # rank all five methods
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"treemine"
+	"treemine/internal/benchutil"
+	"treemine/internal/phyloio"
+	"treemine/internal/tree"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "consensus:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("consensus", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	method := fs.String("method", "majority", "consensus method: strict, semi-strict, majority, Nelson, or Adams")
+	score := fs.Bool("score", false, "rank all five methods by average cousin-pair similarity")
+	maxDist := fs.String("maxdist", "1.5", "maximum cousin distance for the similarity score")
+	draw := fs.Bool("draw", false, "render the consensus as ASCII art instead of Newick")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	trees, err := phyloio.ReadTrees(fs.Args(), stdin)
+	if err != nil {
+		return err
+	}
+	if len(trees) == 0 {
+		return fmt.Errorf("no input trees")
+	}
+
+	d, err := treemine.ParseDist(*maxDist)
+	if err != nil {
+		return err
+	}
+	opts := treemine.Options{MaxDist: d, MinOccur: 1}
+
+	if *score {
+		type row struct {
+			m     treemine.ConsensusMethod
+			score float64
+		}
+		var rows []row
+		for _, m := range treemine.ConsensusMethods() {
+			c, err := treemine.Consensus(m, trees)
+			if err != nil {
+				return fmt.Errorf("%v: %w", m, err)
+			}
+			rows = append(rows, row{m, treemine.AvgSim(c, trees, opts)})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].score > rows[j].score })
+		tb := benchutil.NewTable("method", "avg similarity")
+		for _, r := range rows {
+			tb.AddRow(r.m.String(), r.score)
+		}
+		tb.Fprint(stdout)
+		return nil
+	}
+
+	m, err := parseMethod(*method)
+	if err != nil {
+		return err
+	}
+	c, err := treemine.Consensus(m, trees)
+	if err != nil {
+		return err
+	}
+	if *draw {
+		fmt.Fprint(stdout, tree.Sketch(c))
+		return nil
+	}
+	fmt.Fprintln(stdout, treemine.WriteNewick(c))
+	return nil
+}
+
+func parseMethod(s string) (treemine.ConsensusMethod, error) {
+	for _, m := range treemine.ConsensusMethods() {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown method %q (want strict, semi-strict, majority, Nelson, or Adams)", s)
+}

@@ -1,0 +1,183 @@
+// Command cousindex maintains a persistent cousin-pair index over a
+// phylogeny database: mine once with `build`, then answer support and
+// frequent-pattern queries from the index file without re-mining.
+//
+// Usage:
+//
+//	cousindex build -o db.idx [flags] trees.nwk ...
+//	cousindex frequent -i db.idx [-minsup 2]
+//	cousindex query -i db.idx -pair "Gnetum,Welwitschia" [-dist 0|0.5|*]
+//	cousindex info -i db.idx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"treemine"
+	"treemine/internal/benchutil"
+	"treemine/internal/core"
+	"treemine/internal/phyloio"
+	"treemine/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cousindex:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: cousindex build|frequent|query|info [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "build":
+		return runBuild(rest, stdin, stdout)
+	case "frequent":
+		return runFrequent(rest, stdout)
+	case "query":
+		return runQuery(rest, stdout)
+	case "info":
+		return runInfo(rest, stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want build, frequent, query, or info)", cmd)
+	}
+}
+
+func runBuild(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cousindex build", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	out := fs.String("o", "", "output index file (required)")
+	maxDist := fs.String("maxdist", "1.5", "maximum cousin distance to index")
+	minOccur := fs.Int("minoccur", 1, "minimum within-tree occurrences to index")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("build: -o is required")
+	}
+	d, err := treemine.ParseDist(*maxDist)
+	if err != nil {
+		return err
+	}
+	if d.IsWild() {
+		return fmt.Errorf("build: -maxdist must be concrete")
+	}
+	trees, err := phyloio.ReadTrees(fs.Args(), stdin)
+	if err != nil {
+		return err
+	}
+	if len(trees) == 0 {
+		return fmt.Errorf("build: no input trees")
+	}
+	ix, err := store.Build(trees, nil, core.Options{MaxDist: d, MinOccur: *minOccur})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := ix.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "indexed %d trees into %s\n", ix.NumTrees(), *out)
+	return nil
+}
+
+func loadIndex(path string) (*store.Index, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-i index file is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return store.Load(f)
+}
+
+func runFrequent(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cousindex frequent", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	in := fs.String("i", "", "index file")
+	minSup := fs.Int("minsup", 2, "minimum support")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ix, err := loadIndex(*in)
+	if err != nil {
+		return err
+	}
+	tb := benchutil.NewTable("label1", "label2", "dist", "support")
+	for _, p := range ix.Frequent(*minSup) {
+		tb.AddRow(p.Key.A, p.Key.B, p.Key.D.String(), p.Support)
+	}
+	tb.Fprint(stdout)
+	return nil
+}
+
+func runQuery(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cousindex query", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	in := fs.String("i", "", "index file")
+	pair := fs.String("pair", "", `label pair, comma separated: "a,b"`)
+	distStr := fs.String("dist", "*", "cousin distance or * for any")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	parts := strings.SplitN(*pair, ",", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return fmt.Errorf(`query: -pair must look like "labelA,labelB"`)
+	}
+	d, err := treemine.ParseDist(*distStr)
+	if err != nil {
+		return err
+	}
+	ix, err := loadIndex(*in)
+	if err != nil {
+		return err
+	}
+	l1, l2 := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+	sup := ix.Support(l1, l2, d)
+	fmt.Fprintf(stdout, "support of (%s, %s) at distance %s: %d of %d trees\n",
+		l1, l2, d, sup, ix.NumTrees())
+	if !d.IsWild() {
+		for _, i := range ix.TreesWith(core.NewKey(l1, l2, d)) {
+			e := ix.Entries[i]
+			fmt.Fprintf(stdout, "  %s (%d nodes, %d occurrences)\n",
+				e.Name, e.Nodes, e.Items[core.NewKey(l1, l2, d)])
+		}
+	}
+	return nil
+}
+
+func runInfo(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cousindex info", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	in := fs.String("i", "", "index file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ix, err := loadIndex(*in)
+	if err != nil {
+		return err
+	}
+	items := 0
+	for _, e := range ix.Entries {
+		items += len(e.Items)
+	}
+	fmt.Fprintf(stdout, "trees: %d\nitems: %d\nmaxdist: %s\nminoccur: %d\n",
+		ix.NumTrees(), items, ix.Options.MaxDist, ix.Options.MinOccur)
+	return nil
+}

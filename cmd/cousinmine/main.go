@@ -1,0 +1,125 @@
+// Command cousinmine mines cousin pairs from phylogenies in Newick
+// format, implementing the paper's Single_Tree_Mining and
+// Multiple_Tree_Mining front to back.
+//
+// Usage:
+//
+//	cousinmine [flags] [file.nwk ...]
+//
+// With no files, trees are read from standard input. Each input may
+// contain any number of semicolon-terminated Newick trees.
+//
+// Modes:
+//
+//	-mode single   print the cousin pair items of every tree (default)
+//	-mode multi    print the cousin pairs frequent across all trees
+//
+// Flags mirror the paper's parameters: -maxdist (default 1.5), -minoccur
+// (default 1), -minsup (default 2, multi mode), -ignoredist (wildcard the
+// distance when counting support).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"treemine"
+	"treemine/internal/benchutil"
+	"treemine/internal/phyloio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cousinmine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cousinmine", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	mode := fs.String("mode", "single", "mining mode: single (per-tree items) or multi (frequent pairs)")
+	maxDist := fs.String("maxdist", "1.5", "maximum cousin distance (multiple of 0.5)")
+	minOccur := fs.Int("minoccur", 1, "minimum within-tree occurrences")
+	minSup := fs.Int("minsup", 2, "minimum cross-tree support (multi mode)")
+	ignoreDist := fs.Bool("ignoredist", false, "count support ignoring cousin distance (multi mode)")
+	format := fs.String("format", "table", "output format: table or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "table" && *format != "json" {
+		return fmt.Errorf("unknown format %q (want table or json)", *format)
+	}
+
+	d, err := treemine.ParseDist(*maxDist)
+	if err != nil {
+		return err
+	}
+	if d.IsWild() {
+		return fmt.Errorf("-maxdist must be a concrete distance, not %q", *maxDist)
+	}
+	opts := treemine.Options{MaxDist: d, MinOccur: *minOccur}
+
+	trees, err := phyloio.ReadTrees(fs.Args(), stdin)
+	if err != nil {
+		return err
+	}
+	if len(trees) == 0 {
+		return fmt.Errorf("no input trees")
+	}
+
+	switch *mode {
+	case "single":
+		type treeItems struct {
+			Tree  int             `json:"tree"`
+			Nodes int             `json:"nodes"`
+			Items []treemine.Item `json:"items"`
+		}
+		var all []treeItems
+		for i, t := range trees {
+			items := treemine.Mine(t, opts)
+			if *format == "json" {
+				all = append(all, treeItems{Tree: i + 1, Nodes: t.Size(), Items: items.Items()})
+				continue
+			}
+			fmt.Fprintf(stdout, "# tree %d (%d nodes)\n", i+1, t.Size())
+			tb := benchutil.NewTable("label1", "label2", "dist", "occur")
+			for _, it := range items.Items() {
+				tb.AddRow(it.Key.A, it.Key.B, it.Key.D.String(), it.Occur)
+			}
+			tb.Fprint(stdout)
+			fmt.Fprintln(stdout)
+		}
+		if *format == "json" {
+			return writeJSON(stdout, all)
+		}
+	case "multi":
+		fopts := treemine.ForestOptions{
+			Options:    opts,
+			MinSup:     *minSup,
+			IgnoreDist: *ignoreDist,
+		}
+		fp := treemine.MineForest(trees, fopts)
+		if *format == "json" {
+			return writeJSON(stdout, fp)
+		}
+		tb := benchutil.NewTable("label1", "label2", "dist", "support")
+		for _, p := range fp {
+			tb.AddRow(p.Key.A, p.Key.B, p.Key.D.String(), p.Support)
+		}
+		tb.Fprint(stdout)
+		fmt.Fprintf(stdout, "\n%d frequent pairs across %d trees\n", len(fp), len(trees))
+	default:
+		return fmt.Errorf("unknown mode %q (want single or multi)", *mode)
+	}
+	return nil
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,90 @@
+// Command supertree assembles a single phylogeny from source trees whose
+// taxon sets overlap but differ. In -kernel mode it runs the paper's
+// §5.3 pipeline end to end: each input file is a group of candidate
+// phylogenies, kernel trees minimizing the average pairwise cousin-based
+// distance are selected (one per group), and the supertree is assembled
+// from the kernels — "the found kernel trees could constitute a good
+// starting point in building a supertree for the phylogenies in the
+// groups".
+//
+// Usage:
+//
+//	supertree trees.nwk more.nex            # supertree of all inputs
+//	supertree -kernel g1.nwk g2.nwk g3.nwk  # kernels per file, then supertree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"treemine"
+	"treemine/internal/phyloio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "supertree:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("supertree", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	kernelMode := fs.Bool("kernel", false, "treat each input file as a group; build the supertree from the groups' kernel trees")
+	verbose := fs.Bool("v", false, "print kernel selections before the supertree")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sources []*treemine.Tree
+	if *kernelMode {
+		files := fs.Args()
+		if len(files) < 2 {
+			return fmt.Errorf("-kernel needs at least 2 group files")
+		}
+		var groups [][]*treemine.Tree
+		for _, f := range files {
+			trees, err := phyloio.ReadTrees([]string{f}, nil)
+			if err != nil {
+				return err
+			}
+			if len(trees) == 0 {
+				return fmt.Errorf("%s: no trees", f)
+			}
+			groups = append(groups, trees)
+		}
+		res, err := treemine.KernelTrees(groups, treemine.DefaultKernelConfig())
+		if err != nil {
+			return err
+		}
+		for g, idx := range res.Choice {
+			if *verbose {
+				fmt.Fprintf(stdout, "# group %s → tree %d (of %d)\n", files[g], idx+1, len(groups[g]))
+			}
+			sources = append(sources, groups[g][idx])
+		}
+		if *verbose {
+			fmt.Fprintf(stdout, "# average pairwise tdist among kernels: %.4f (exact=%v)\n",
+				res.AvgDist, res.Exact)
+		}
+	} else {
+		var err error
+		sources, err = phyloio.ReadTrees(fs.Args(), stdin)
+		if err != nil {
+			return err
+		}
+		if len(sources) == 0 {
+			return fmt.Errorf("no input trees")
+		}
+	}
+
+	st, err := treemine.Supertree(sources)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, treemine.WriteNewick(st))
+	return nil
+}

@@ -1,0 +1,112 @@
+// Command treegen generates random trees in Newick format: the paper's
+// synthetic fanout-shaped trees (Table 3), uniformly grown trees, binary
+// Yule phylogenies, and TreeBASE-style multifurcating phylogenies.
+//
+// Usage:
+//
+//	treegen [flags] > trees.nwk
+//
+// Examples:
+//
+//	treegen -kind fanout -n 1000 -size 200 -fanout 5 -alphabet 200
+//	treegen -kind yule -n 10 -taxa 16
+//	treegen -kind phylo -n 1500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"treemine"
+	"treemine/internal/tree"
+	"treemine/internal/treebase"
+	"treemine/internal/treegen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "treegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("treegen", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	kind := fs.String("kind", "fanout", "generator: fanout, uniform, yule, phylo, or walk")
+	n := fs.Int("n", 1, "number of trees to generate")
+	size := fs.Int("size", 200, "nodes per tree (fanout/uniform)")
+	fanout := fs.Int("fanout", 5, "children per internal node (fanout)")
+	alphabet := fs.Int("alphabet", 200, "label alphabet size (fanout/uniform)")
+	taxa := fs.Int("taxa", 16, "taxa per tree (yule)")
+	seed := fs.Int64("seed", 1, "random seed")
+	stats := fs.Bool("stats", false, "print per-tree shape statistics instead of Newick")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 {
+		return fmt.Errorf("-n must be ≥ 1")
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	emit := func(t *treemine.Tree) {
+		if *stats {
+			fmt.Fprintln(stdout, tree.StatsOf(t))
+			return
+		}
+		fmt.Fprintln(stdout, treemine.WriteNewick(t))
+	}
+	switch *kind {
+	case "fanout":
+		p := treegen.Params{TreeSize: *size, Fanout: *fanout, AlphabetSize: *alphabet}
+		if p.TreeSize < 1 || p.Fanout < 1 || p.AlphabetSize < 1 {
+			return fmt.Errorf("invalid fanout params: size=%d fanout=%d alphabet=%d",
+				p.TreeSize, p.Fanout, p.AlphabetSize)
+		}
+		for i := 0; i < *n; i++ {
+			emit(treegen.Fanout(rng, p))
+		}
+	case "uniform":
+		if *size < 1 || *alphabet < 1 {
+			return fmt.Errorf("invalid uniform params: size=%d alphabet=%d", *size, *alphabet)
+		}
+		labels := treegen.Alphabet(*alphabet)
+		for i := 0; i < *n; i++ {
+			emit(treegen.Uniform(rng, *size, labels))
+		}
+	case "yule":
+		if *taxa < 1 {
+			return fmt.Errorf("-taxa must be ≥ 1")
+		}
+		names := treebase.Names(*taxa)
+		for i := 0; i < *n; i++ {
+			emit(treegen.Yule(rng, names))
+		}
+	case "phylo":
+		cfg := treebase.DefaultConfig()
+		cfg.NumTrees = *n
+		for _, t := range treebase.NewCorpus(*seed, cfg).AllTrees() {
+			emit(t)
+		}
+	case "walk":
+		if *size < 1 || *alphabet < 1 {
+			return fmt.Errorf("invalid walk params: size=%d alphabet=%d", *size, *alphabet)
+		}
+		// One node per list entry; cycle the alphabet so label
+		// repetition matches the other synthetic generators.
+		alpha := treegen.Alphabet(*alphabet)
+		labels := make([]string, *size)
+		for i := range labels {
+			labels[i] = alpha[i%len(alpha)]
+		}
+		for i := 0; i < *n; i++ {
+			emit(treegen.RandomWalk(rng, labels, 4**size))
+		}
+	default:
+		return fmt.Errorf("unknown kind %q (want fanout, uniform, yule, phylo, or walk)", *kind)
+	}
+	return nil
+}

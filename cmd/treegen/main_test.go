@@ -1,0 +1,114 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"treemine"
+)
+
+func genTrees(t *testing.T, args ...string) []*treemine.Tree {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	trees, err := treemine.ParseNewickAll(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("output not valid Newick: %v\n%s", err, out.String())
+	}
+	return trees
+}
+
+func TestFanoutKind(t *testing.T) {
+	trees := genTrees(t, "-kind", "fanout", "-n", "3", "-size", "50", "-fanout", "4", "-alphabet", "10")
+	if len(trees) != 3 {
+		t.Fatalf("trees = %d", len(trees))
+	}
+	for _, tr := range trees {
+		if tr.Size() != 50 {
+			t.Errorf("size = %d, want 50", tr.Size())
+		}
+	}
+}
+
+func TestUniformKind(t *testing.T) {
+	trees := genTrees(t, "-kind", "uniform", "-n", "2", "-size", "30")
+	if len(trees) != 2 || trees[0].Size() != 30 {
+		t.Fatalf("uniform output wrong: %d trees", len(trees))
+	}
+}
+
+func TestYuleKind(t *testing.T) {
+	trees := genTrees(t, "-kind", "yule", "-n", "2", "-taxa", "8")
+	for _, tr := range trees {
+		if got := len(tr.LeafLabels()); got != 8 {
+			t.Errorf("taxa = %d, want 8", got)
+		}
+	}
+}
+
+func TestPhyloKind(t *testing.T) {
+	trees := genTrees(t, "-kind", "phylo", "-n", "5")
+	if len(trees) != 5 {
+		t.Fatalf("trees = %d", len(trees))
+	}
+	for _, tr := range trees {
+		if tr.Size() < 50 || tr.Size() > 200 {
+			t.Errorf("phylo size %d outside [50,200]", tr.Size())
+		}
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	a := genTrees(t, "-kind", "fanout", "-n", "2", "-seed", "9")
+	b := genTrees(t, "-kind", "fanout", "-n", "2", "-seed", "9")
+	for i := range a {
+		if !treemine.Isomorphic(a[i], b[i]) {
+			t.Fatal("same seed produced different trees")
+		}
+	}
+}
+
+func TestWalkKind(t *testing.T) {
+	trees := genTrees(t, "-kind", "walk", "-n", "2", "-size", "25", "-alphabet", "10")
+	if len(trees) != 2 {
+		t.Fatalf("trees = %d", len(trees))
+	}
+	for _, tr := range trees {
+		if tr.Size() != 25 {
+			t.Errorf("walk size = %d, want 25", tr.Size())
+		}
+	}
+}
+
+func TestStatsMode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kind", "fanout", "-n", "2", "-size", "40", "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("stats lines = %d:\n%s", len(lines), out.String())
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "nodes=40") || !strings.Contains(l, "arity[") {
+			t.Fatalf("stats line wrong: %s", l)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-kind", "bogus"},
+		{"-n", "0"},
+		{"-kind", "fanout", "-size", "0"},
+		{"-kind", "uniform", "-alphabet", "0"},
+		{"-kind", "yule", "-taxa", "0"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

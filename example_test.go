@@ -1,0 +1,110 @@
+package treemine_test
+
+// Testable examples: these render in godoc as the package's usage
+// documentation and run as tests.
+
+import (
+	"fmt"
+
+	"treemine"
+)
+
+func ExampleMine() {
+	t, _ := treemine.ParseNewick("((Human,Chimp),(Gorilla,Orangutan));")
+	items := treemine.Mine(t, treemine.DefaultOptions())
+	for _, it := range items.Items() {
+		fmt.Println(it)
+	}
+	// Output:
+	// (Chimp, Gorilla, 1, 1)
+	// (Chimp, Human, 0, 1)
+	// (Chimp, Orangutan, 1, 1)
+	// (Gorilla, Human, 1, 1)
+	// (Gorilla, Orangutan, 0, 1)
+	// (Human, Orangutan, 1, 1)
+}
+
+func ExampleMineForest() {
+	t1, _ := treemine.ParseNewick("((a,b),c);")
+	t2, _ := treemine.ParseNewick("((a,b),d);")
+	t3, _ := treemine.ParseNewick("((a,x),(b,y));")
+	for _, p := range treemine.MineForest([]*treemine.Tree{t1, t2, t3}, treemine.DefaultForestOptions()) {
+		fmt.Printf("(%s, %s) at distance %s in %d trees\n", p.Key.A, p.Key.B, p.Key.D, p.Support)
+	}
+	// Output:
+	// (a, b) at distance 0 in 2 trees
+}
+
+func ExampleSupport() {
+	t1, _ := treemine.ParseNewick("((a,b),c);")
+	t2, _ := treemine.ParseNewick("((a,x),(b,y));")
+	forest := []*treemine.Tree{t1, t2}
+	// At distance 0 only t1 has (a, b); ignoring distance both do.
+	fmt.Println(treemine.Support(forest, "a", "b", treemine.D(0), treemine.DefaultOptions()))
+	fmt.Println(treemine.Support(forest, "a", "b", treemine.DistWild, treemine.DefaultOptions()))
+	// Output:
+	// 1
+	// 2
+}
+
+func ExampleConsensus() {
+	t1, _ := treemine.ParseNewick("(((a,b),c),d);")
+	t2, _ := treemine.ParseNewick("(((a,b),d),c);")
+	c, _ := treemine.Consensus(treemine.Majority, []*treemine.Tree{t1, t2})
+	fmt.Println(treemine.WriteNewick(c))
+	// Output:
+	// ((a,b),c,d);
+}
+
+func ExampleTDist() {
+	t1, _ := treemine.ParseNewick("((a,b),c);")
+	t2, _ := treemine.ParseNewick("((a,b),c);")
+	t3, _ := treemine.ParseNewick("((x,y),z);")
+	opts := treemine.DefaultOptions()
+	fmt.Println(treemine.TDist(t1, t2, treemine.VariantDistOccur, opts))
+	fmt.Println(treemine.TDist(t1, t3, treemine.VariantDistOccur, opts))
+	// Output:
+	// 0
+	// 1
+}
+
+func ExampleSupertree() {
+	s1, _ := treemine.ParseNewick("((a,b),(c,d));")
+	s2, _ := treemine.ParseNewick("((c,d),e);")
+	st, _ := treemine.Supertree([]*treemine.Tree{s1, s2})
+	fmt.Println(len(st.LeafLabels()))
+	// Output:
+	// 5
+}
+
+func ExampleSim() {
+	consensusTree, _ := treemine.ParseNewick("((a,b),c);")
+	source, _ := treemine.ParseNewick("((a,b),c);")
+	fmt.Println(treemine.Sim(consensusTree, source, treemine.DefaultOptions()))
+	// Output:
+	// 3
+}
+
+func ExampleItemSet_IgnoreDist() {
+	// (a, c) occurs once as siblings and three times as first cousins;
+	// the wildcard view sums the occurrences — the paper's
+	// (l1, l2, *, n) form.
+	t, _ := treemine.ParseNewick("((a,c),(a,x),(c,y));")
+	items := treemine.Mine(t, treemine.DefaultOptions())
+	for _, it := range items.IgnoreDist().Items() {
+		if it.Key.A == "a" && it.Key.B == "c" {
+			fmt.Println(it)
+		}
+	}
+	// Output:
+	// (a, c, *, 4)
+}
+
+func ExampleMineWeighted() {
+	wt, _ := treemine.ParseNewickWeighted("(x:1,y:2);", 1)
+	for _, it := range treemine.MineWeighted(wt, treemine.DefaultWeightedOptions()) {
+		fmt.Println(it.Key, it.Occur)
+	}
+	// Output:
+	// (x, y, 0.5) 1
+}

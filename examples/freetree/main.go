@@ -1,0 +1,75 @@
+// Freetree demonstrates the paper's §6 extension: mining cousin pairs in
+// unrooted trees (undirected acyclic graphs), the natural output of
+// maximum-parsimony and maximum-likelihood reconstruction. The same
+// pattern vocabulary — label pairs at half-integer distances — applies,
+// with distance n/2 − 1 for nodes n edges apart.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"treemine/internal/core"
+	"treemine/internal/freetree"
+)
+
+func main() {
+	// The unrooted tree of the paper's Figure 11 flavor:
+	//
+	//	a   b       d
+	//	 \  |       |
+	//	  \ |       |
+	//	   (+)-----(+)
+	//	   /         \
+	//	  c           e
+	//
+	// Two unlabeled internal nodes joined by an edge; leaves a, b, c on
+	// the left and d, e on the right.
+	g := freetree.NewGraph()
+	left := g.AddNodeUnlabeled()
+	right := g.AddNodeUnlabeled()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	d := g.AddNode("d")
+	e := g.AddNode("e")
+	for _, edge := range [][2]int{{left, right}, {left, a}, {left, b}, {left, c}, {right, d}, {right, e}} {
+		if err := g.AddEdge(edge[0], edge[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	opts := core.Options{MaxDist: core.D(4), MinOccur: 1}
+	items, err := freetree.Mine(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cousin pair items of the free tree:")
+	for _, it := range items.Items() {
+		fmt.Printf("  %s\n", it)
+	}
+
+	// Multiple free trees: the same frequent-pattern machinery applies.
+	g2 := freetree.NewGraph()
+	x := g2.AddNodeUnlabeled()
+	for _, l := range []string{"a", "b", "d"} {
+		n := g2.AddNode(l)
+		if err := g2.AddEdge(x, n); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := g2.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fp, err := freetree.MineForest([]*freetree.Graph{g, g2}, core.DefaultForestOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfrequent pairs across both free trees (minsup 2):")
+	for _, p := range fp {
+		fmt.Printf("  (%s, %s) distance %s support %d\n", p.Key.A, p.Key.B, p.Key.D, p.Support)
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: parse a phylogeny from Newick, mine its cousin pairs, and
+// mine a small forest for frequent patterns — the library's two core
+// entry points in ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"treemine"
+)
+
+func main() {
+	// A phylogeny of great apes with unlabeled ancestors.
+	t, err := treemine.ParseNewick("((Human,Chimp),(Gorilla,(Orangutan,Gibbon)));")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Single_Tree_Mining: all cousin pairs up to distance 1.5.
+	fmt.Println("cousin pair items:")
+	items := treemine.Mine(t, treemine.DefaultOptions())
+	for _, it := range items.Items() {
+		fmt.Printf("  %s\n", it)
+	}
+
+	// Multiple_Tree_Mining: which pairs recur across competing
+	// hypotheses for the same taxa?
+	alt1, err := treemine.ParseNewick("((Human,Chimp),((Gorilla,Orangutan),Gibbon));")
+	if err != nil {
+		log.Fatal(err)
+	}
+	alt2, err := treemine.ParseNewick("(((Human,Chimp),Gorilla),(Orangutan,Gibbon));")
+	if err != nil {
+		log.Fatal(err)
+	}
+	forest := []*treemine.Tree{t, alt1, alt2}
+
+	fmt.Println("\nfrequent cousin pairs (minsup 2):")
+	for _, p := range treemine.MineForest(forest, treemine.DefaultForestOptions()) {
+		fmt.Printf("  (%s, %s) at distance %s in %d of %d trees\n",
+			p.Key.A, p.Key.B, p.Key.D, p.Support, len(forest))
+	}
+
+	// (Human, Chimp) are siblings in every hypothesis.
+	sup := treemine.Support(forest, "Human", "Chimp", treemine.D(0), treemine.DefaultOptions())
+	fmt.Printf("\n(Human, Chimp) sibling support: %d/%d\n", sup, len(forest))
+}

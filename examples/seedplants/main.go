@@ -1,0 +1,45 @@
+// Seedplants reproduces the paper's §5.1 case study: mining the four
+// seed-plant phylogenies of the Doyle & Donoghue study for co-occurring
+// evolutionary patterns (Figure 8 of the paper). The headline patterns —
+// (Gnetum, Welwitschia) as siblings in every tree, and
+// (Ginkgoales, Ephedra) as first cousins once removed in two trees —
+// fall out of Multiple_Tree_Mining with the paper's default parameters.
+package main
+
+import (
+	"fmt"
+
+	"treemine"
+	"treemine/internal/treebase"
+)
+
+func main() {
+	study := treebase.SeedPlantStudy()
+	fmt.Printf("study %s: %d trees over %d taxa\n\n", study.ID, len(study.Trees), len(study.Taxa))
+
+	for i, t := range study.Trees {
+		fmt.Printf("tree %d: %s\n", i+1, treemine.WriteNewick(t))
+	}
+
+	fmt.Println("\nfrequent cousin pairs (maxdist 1.5, minsup 2):")
+	fp := treemine.MineForest(study.Trees, treemine.DefaultForestOptions())
+	for _, p := range fp {
+		marker := " "
+		switch {
+		case p.Key.A == treebase.Gnetum && p.Key.B == treebase.Welwitschia && p.Key.D == treemine.D(0):
+			marker = "•" // the paper highlights this pair with a bullet
+		case p.Key.A == treebase.Ephedra && p.Key.B == treebase.Ginkgoales && p.Key.D == treemine.D(3):
+			marker = "_" // and this one with an underscore
+		}
+		fmt.Printf("  %s (%s, %s) distance %-3s support %d\n", marker, p.Key.A, p.Key.B, p.Key.D, p.Support)
+	}
+
+	fmt.Println("\npairwise tree distances (tdist_{occ,dist}), defined despite shared taxa:")
+	for i := range study.Trees {
+		for j := i + 1; j < len(study.Trees); j++ {
+			d := treemine.TDist(study.Trees[i], study.Trees[j],
+				treemine.VariantDistOccur, treemine.DefaultOptions())
+			fmt.Printf("  tdist(T%d, T%d) = %.3f\n", i+1, j+1, d)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package treemine_test
+
+// Smoke test: every example program must build and run to completion.
+// Each `go run` compiles the example, so the whole suite is skipped in
+// -short mode.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples need `go run`; skipped in -short mode")
+	}
+	examples := []struct {
+		dir  string
+		want string // substring the output must contain
+	}{
+		{"quickstart", "sibling support: 3/3"},
+		{"seedplants", "Gnetum, Welwitschia"},
+		{"consensus", "equally parsimonious trees"},
+		{"kernel", "kernel selection"},
+		{"freetree", "frequent pairs across both free trees"},
+		{"clustering", "supertree over both windows"},
+		{"branchlengths", "UpDown ranking"},
+	}
+	for _, ex := range examples {
+		ex := ex
+		t.Run(ex.dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+ex.dir)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", ex.dir, err, out)
+			}
+			if !strings.Contains(string(out), ex.want) {
+				t.Fatalf("example %s output missing %q:\n%s", ex.dir, ex.want, out)
+			}
+		})
+	}
+}

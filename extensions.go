@@ -1,0 +1,99 @@
+package treemine
+
+// Extensions beyond the paper's core algorithms: the facade for the
+// baseline distances the paper positions itself against, the §7
+// future-work features (weighted edges, phylogeny clustering), supertree
+// assembly, taxon-set surgery, and NEXUS interchange.
+
+import (
+	"io"
+
+	"treemine/internal/cluster"
+	"treemine/internal/core"
+	"treemine/internal/distance"
+	"treemine/internal/editdist"
+	"treemine/internal/nexus"
+	"treemine/internal/supertree"
+	"treemine/internal/tree"
+	"treemine/internal/triplet"
+	"treemine/internal/updown"
+)
+
+// RF returns the Robinson–Foulds distance (COMPONENT's measure). It
+// errors when the trees' taxa differ — the limitation §5.3 contrasts the
+// cousin-based distance against.
+func RF(t1, t2 *Tree) (int, error) { return distance.RF(t1, t2) }
+
+// RFNormalized returns RF scaled to [0, 1].
+func RFNormalized(t1, t2 *Tree) (float64, error) { return distance.RFNormalized(t1, t2) }
+
+// TripletDistance returns the rooted triplet distance over the taxa the
+// trees share (≥ 3 required).
+func TripletDistance(t1, t2 *Tree) (float64, error) { return triplet.Distance(t1, t2) }
+
+// UpDownDistance returns the TreeRank UpDown distance, the
+// parent-child-aware generalization the paper's §2 cites.
+func UpDownDistance(t1, t2 *Tree) float64 { return updown.Distance(t1, t2) }
+
+// EditDistance returns the constrained unordered tree edit distance
+// (Zhang 1996) with unit costs — the edit-style baseline family of the
+// paper's related work.
+func EditDistance(t1, t2 *Tree) int { return editdist.Distance(t1, t2) }
+
+// EditDistanceNormalized scales EditDistance to [0, 1] by total size.
+func EditDistanceNormalized(t1, t2 *Tree) float64 { return editdist.Normalized(t1, t2) }
+
+// Supertree assembles one phylogeny from sources with overlapping taxa
+// by majority-weighted BUILD over rooted triples — the construction the
+// paper's kernel trees are proposed to seed.
+func Supertree(trees []*Tree) (*Tree, error) { return supertree.Supertree(trees) }
+
+// Restrict projects a phylogeny onto the given taxa, pruning other
+// leaves and collapsing unary internals. It returns nil when no leaf
+// survives.
+func Restrict(t *Tree, taxa []string) *Tree { return tree.RestrictTo(t, taxa) }
+
+// Relabel rewrites every label of t through f, returning a new tree.
+func Relabel(t *Tree, f func(string) string) *Tree { return tree.Relabel(t, f) }
+
+// DistanceMatrix is a symmetric pairwise matrix over a tree collection.
+type DistanceMatrix = cluster.Matrix
+
+// TDistMatrix fills the pairwise cousin-based distance matrix of the
+// trees under the variant, mining each tree once.
+func TDistMatrix(trees []*Tree, v Variant, opts Options) *DistanceMatrix {
+	return cluster.TDistMatrix(trees, v, opts)
+}
+
+// ClusterKMedoids groups the points of a distance matrix into k clusters
+// with PAM-style swap descent and returns the assignment and the medoid
+// indices — the phylogenetic data clustering of the paper's §7.
+func ClusterKMedoids(m *DistanceMatrix, k int, seed int64) (assignment, medoids []int, err error) {
+	res, err := cluster.KMedoids(m, k, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Assignment, res.Medoids, nil
+}
+
+// MineDP is the dynamic-programming single-tree miner of §7's future
+// work; its output is identical to Mine's.
+func MineDP(t *Tree, opts Options) ItemSet { return core.MineDP(t, opts) }
+
+// NexusEntry is one named tree from a NEXUS TREES block.
+type NexusEntry = nexus.TreeEntry
+
+// ParseNexus reads a NEXUS file's taxa and trees (translate tables
+// applied).
+func ParseNexus(r io.Reader) (taxa []string, trees []NexusEntry, err error) {
+	f, err := nexus.Parse(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f.Taxa, f.Trees, nil
+}
+
+// WriteNexus serializes trees as a NEXUS file with a TRANSLATE table.
+func WriteNexus(w io.Writer, entries []NexusEntry) error {
+	return nexus.Write(w, &nexus.File{Trees: entries})
+}

@@ -1,0 +1,130 @@
+package treemine_test
+
+import (
+	"strings"
+	"testing"
+
+	"treemine"
+)
+
+func mk(t *testing.T, s string) *treemine.Tree {
+	t.Helper()
+	tr, err := treemine.ParseNewick(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBaselineDistancesFacade(t *testing.T) {
+	t1 := mk(t, "((a,b),(c,d));")
+	t2 := mk(t, "((a,c),(b,d));")
+	if d, err := treemine.RF(t1, t2); err != nil || d != 4 {
+		t.Errorf("RF = %d, %v", d, err)
+	}
+	if d, err := treemine.RFNormalized(t1, t2); err != nil || d != 1 {
+		t.Errorf("RFNormalized = %v, %v", d, err)
+	}
+	if d, err := treemine.TripletDistance(t1, t2); err != nil || d <= 0 {
+		t.Errorf("TripletDistance = %v, %v", d, err)
+	}
+	if d := treemine.UpDownDistance(t1, t2); d <= 0 {
+		t.Errorf("UpDownDistance = %v", d)
+	}
+	if d := treemine.UpDownDistance(t1, t1.Clone()); d != 0 {
+		t.Errorf("UpDownDistance identity = %v", d)
+	}
+	if d := treemine.EditDistance(t1, t1.Clone()); d != 0 {
+		t.Errorf("EditDistance identity = %d", d)
+	}
+	if d := treemine.EditDistance(t1, t2); d <= 0 {
+		t.Errorf("EditDistance = %d", d)
+	}
+	if n := treemine.EditDistanceNormalized(t1, t2); n <= 0 || n > 1 {
+		t.Errorf("EditDistanceNormalized = %v", n)
+	}
+}
+
+func TestSupertreeFacade(t *testing.T) {
+	s1 := mk(t, "((a,b),(c,d));")
+	s2 := mk(t, "((c,d),e);")
+	st, err := treemine.Supertree([]*treemine.Tree{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(st.LeafLabels()); got != 5 {
+		t.Fatalf("supertree taxa = %d", got)
+	}
+}
+
+func TestRestrictAndRelabelFacade(t *testing.T) {
+	tr := mk(t, "((a,b),((c,d),e));")
+	r := treemine.Restrict(tr, []string{"a", "c", "d"})
+	if r == nil || len(r.LeafLabels()) != 3 {
+		t.Fatalf("Restrict = %v", r)
+	}
+	up := treemine.Relabel(tr, strings.ToUpper)
+	if got := up.LeafLabels()[0]; got != "A" {
+		t.Fatalf("Relabel = %v", up.LeafLabels())
+	}
+	if treemine.Restrict(tr, []string{"zz"}) != nil {
+		t.Fatal("empty restriction should be nil")
+	}
+}
+
+func TestClusteringFacade(t *testing.T) {
+	a := mk(t, "((a,b),(c,d));")
+	b := mk(t, "((a,c),(b,d));")
+	trees := []*treemine.Tree{a, a.Clone(), b, b.Clone()}
+	m := treemine.TDistMatrix(trees, treemine.VariantDistOccur, treemine.DefaultOptions())
+	assign, medoids, err := treemine.ClusterKMedoids(m, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(medoids) != 2 {
+		t.Fatalf("medoids = %v", medoids)
+	}
+	if assign[0] != assign[1] || assign[2] != assign[3] || assign[0] == assign[2] {
+		t.Fatalf("assignment = %v", assign)
+	}
+	if _, _, err := treemine.ClusterKMedoids(m, 0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestMineDPFacade(t *testing.T) {
+	tr := mk(t, "((a,b),(c,d));")
+	opts := treemine.DefaultOptions()
+	a := treemine.Mine(tr, opts)
+	b := treemine.MineDP(tr, opts)
+	if len(a) != len(b) {
+		t.Fatalf("MineDP differs: %v vs %v", a.Items(), b.Items())
+	}
+	for k, n := range a {
+		if b[k] != n {
+			t.Fatalf("MineDP[%v] = %d, want %d", k, b[k], n)
+		}
+	}
+}
+
+func TestNexusFacade(t *testing.T) {
+	in := "#NEXUS\nBEGIN TAXA;\nTAXLABELS a b c;\nEND;\nBEGIN TREES;\nTREE t = ((a,b),c);\nEND;\n"
+	taxa, entries, err := treemine.ParseNexus(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(taxa) != 3 || len(entries) != 1 || entries[0].Name != "t" {
+		t.Fatalf("ParseNexus = %v, %v", taxa, entries)
+	}
+	var out strings.Builder
+	if err := treemine.WriteNexus(&out, entries); err != nil {
+		t.Fatal(err)
+	}
+	_, back, err := treemine.ParseNexus(strings.NewReader(out.String()))
+	if err != nil || len(back) != 1 {
+		t.Fatalf("round trip: %v, %d entries", err, len(back))
+	}
+	if !treemine.Isomorphic(entries[0].Tree, back[0].Tree) {
+		t.Fatal("NEXUS round trip lost structure")
+	}
+}

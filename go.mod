@@ -1,0 +1,3 @@
+module treemine
+
+go 1.22

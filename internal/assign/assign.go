@@ -1,0 +1,91 @@
+// Package assign solves the minimum-cost assignment problem (Hungarian
+// algorithm with potentials, O(n³)). It is the matching substrate of the
+// constrained unordered tree edit distance in internal/editdist: at every
+// pair of internal nodes the children's subtrees must be matched at
+// minimum total cost.
+package assign
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve returns a minimum-cost perfect assignment for the square cost
+// matrix: result[i] = column assigned to row i, plus the total cost.
+// Solve panics when the matrix is not square; an empty matrix yields an
+// empty assignment at cost 0. Costs may be any finite float64s,
+// including negative; +Inf marks forbidden pairs (allowed as long as a
+// finite perfect assignment exists).
+func Solve(cost [][]float64) ([]int, float64) {
+	n := len(cost)
+	for i, row := range cost {
+		if len(row) != n {
+			panic(fmt.Sprintf("assign: row %d has %d entries, want %d", i, len(row), n))
+		}
+	}
+	if n == 0 {
+		return nil, 0
+	}
+	// Hungarian algorithm with row/column potentials and 1-based
+	// internal indexing (classical e-maxx formulation).
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j (0 = none)
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	result := make([]int, n)
+	total := 0.0
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			result[p[j]-1] = j - 1
+			total += cost[p[j]-1][j-1]
+		}
+	}
+	return result, total
+}

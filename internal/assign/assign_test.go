@@ -1,0 +1,131 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// brute computes the optimum by trying all permutations (n ≤ 8).
+func brute(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			total := 0.0
+			for i, j := range perm {
+				total += cost[i][j]
+			}
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestSolveKnown(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	asg, total := Solve(cost)
+	if total != 5 { // 1 + 2 + 2
+		t.Fatalf("total = %v, want 5", total)
+	}
+	seen := map[int]bool{}
+	sum := 0.0
+	for i, j := range asg {
+		if seen[j] {
+			t.Fatal("column assigned twice")
+		}
+		seen[j] = true
+		sum += cost[i][j]
+	}
+	if sum != total {
+		t.Fatalf("assignment sums to %v, reported %v", sum, total)
+	}
+}
+
+func TestSolveEmptyAndSingle(t *testing.T) {
+	if asg, total := Solve(nil); len(asg) != 0 || total != 0 {
+		t.Fatal("empty matrix wrong")
+	}
+	if asg, total := Solve([][]float64{{7}}); asg[0] != 0 || total != 7 {
+		t.Fatalf("1x1: %v %v", asg, total)
+	}
+}
+
+func TestSolveNegativeCosts(t *testing.T) {
+	cost := [][]float64{
+		{-5, 0},
+		{0, -5},
+	}
+	_, total := Solve(cost)
+	if total != -10 {
+		t.Fatalf("total = %v, want -10", total)
+	}
+}
+
+func TestSolveNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Solve([][]float64{{1, 2}, {3}})
+}
+
+func TestSolveAgainstBruteForce(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		n := int(size)%6 + 1
+		rng := rand.New(rand.NewSource(seed))
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(41) - 20)
+			}
+		}
+		_, got := Solve(cost)
+		want := brute(cost)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveIsValidPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 12
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = rng.Float64() * 100
+		}
+	}
+	asg, _ := Solve(cost)
+	seen := make([]bool, n)
+	for _, j := range asg {
+		if j < 0 || j >= n || seen[j] {
+			t.Fatalf("invalid assignment %v", asg)
+		}
+		seen[j] = true
+	}
+}

@@ -1,0 +1,145 @@
+// Package benchutil provides the small harness shared by the
+// paper-reproduction experiments: wall-clock timing, parameter sweeps,
+// and aligned table/series printing so every figure of the paper can be
+// regenerated as rows of numbers with the same axes.
+package benchutil
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Time runs f once and returns its wall-clock duration.
+func Time(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// AvgTime runs f(i) for i in [0, n) and returns the mean duration per
+// call. It panics if n < 1.
+func AvgTime(n int, f func(i int)) time.Duration {
+	if n < 1 {
+		panic("benchutil: AvgTime needs n ≥ 1")
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+	return time.Since(start) / time.Duration(n)
+}
+
+// Table accumulates rows and prints them with aligned columns, suitable
+// for terminal output of an experiment's results.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; formatting verbs are applied per cell via
+// fmt.Sprint on each value.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case time.Duration:
+			row[i] = fmtDuration(v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// fmtDuration renders durations compactly with stable units per
+// magnitude so experiment output diffs cleanly.
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// Fprint writes the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	printRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.rows {
+		printRow(row)
+	}
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// FprintCSV writes the table as RFC-4180 CSV (header first), the format
+// the experiment harness emits for plotting.
+func (t *Table) FprintCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Sweep returns n values from lo to hi inclusive, evenly spaced and
+// rounded to ints — the x-axes of the paper's figures. Sweep(1, lo, hi)
+// returns just lo.
+func Sweep(n, lo, hi int) []int {
+	if n <= 1 {
+		return []int{lo}
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*i/(n-1)
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package consensus
+
+import (
+	"sort"
+	"strconv"
+
+	"treemine/internal/tree"
+)
+
+// Adams returns the Adams consensus [Adams 1972]: at every level the
+// taxa are partitioned by the product (common refinement) of the
+// partitions the input trees' roots induce, and the construction recurses
+// into each product block with every tree restricted to that block.
+// The Adams consensus preserves common nesting information even when the
+// trees disagree on clusters, which is why it can resolve relationships
+// the strict consensus collapses.
+func Adams(trees []*tree.Tree) (*tree.Tree, error) {
+	ts, err := validate(trees)
+	if err != nil {
+		return nil, err
+	}
+	// Precompute, per tree, the cluster of every node once.
+	clusters := make([]map[tree.NodeID]tree.Cluster, len(trees))
+	for i, t := range trees {
+		clusters[i] = tree.Clusters(t, ts)
+	}
+	b := tree.NewBuilder()
+	adamsRec(trees, clusters, ts, ts.Full(), tree.None, b)
+	return b.Build()
+}
+
+// adamsRec emits the Adams consensus of the trees restricted to the
+// taxon set s under the given parent (None for the root).
+func adamsRec(trees []*tree.Tree, clusters []map[tree.NodeID]tree.Cluster,
+	ts *tree.TaxonSet, s tree.Cluster, parent tree.NodeID, b *tree.Builder) {
+	members := s.Members()
+	if len(members) == 1 {
+		name := ts.Name(members[0])
+		if parent == tree.None {
+			b.Root(name)
+		} else {
+			b.Child(parent, name)
+		}
+		return
+	}
+	// Partition product: two taxa stay together iff every tree puts them
+	// in the same child block of the restricted root.
+	type sig = string
+	blockOf := make(map[int]sig, len(members))
+	for ti := range trees {
+		part := rootPartition(trees[ti], clusters[ti], s)
+		for bi, blk := range part {
+			for _, m := range blk.Members() {
+				blockOf[m] += strconv.Itoa(ti) + ":" + strconv.Itoa(bi) + ";"
+			}
+		}
+	}
+	groups := map[sig][]int{}
+	var order []sig
+	for _, m := range members {
+		k := blockOf[m]
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], m)
+	}
+	sort.Strings(order)
+	var id tree.NodeID
+	if len(order) == 1 {
+		// Every tree keeps the whole set in one block — impossible when
+		// the restricted root is the LCA of s, but guard against it by
+		// emitting a flat node rather than recursing forever.
+		id = emitInternal(parent, b)
+		for _, m := range members {
+			b.Child(id, ts.Name(m))
+		}
+		return
+	}
+	id = emitInternal(parent, b)
+	for _, k := range order {
+		blk := ts.NewCluster()
+		for _, m := range groups[k] {
+			blk.Set(m)
+		}
+		adamsRec(trees, clusters, ts, blk, id, b)
+	}
+}
+
+func emitInternal(parent tree.NodeID, b *tree.Builder) tree.NodeID {
+	if parent == tree.None {
+		return b.RootUnlabeled()
+	}
+	return b.ChildUnlabeled(parent)
+}
+
+// rootPartition returns the partition of s induced by the children of
+// the root of t restricted to s: the restricted root is the lowest node
+// whose cluster contains s, and each block is the intersection of s with
+// one child's cluster.
+func rootPartition(t *tree.Tree, cl map[tree.NodeID]tree.Cluster, s tree.Cluster) []tree.Cluster {
+	// Descend from the root while a single child still contains all of s.
+	node := t.Root()
+	for {
+		next := tree.None
+		for _, k := range t.Children(node) {
+			if kc, ok := cl[k]; ok && s.SubsetOf(kc) {
+				next = k
+				break
+			}
+		}
+		if next == tree.None {
+			break
+		}
+		node = next
+	}
+	var part []tree.Cluster
+	for _, k := range t.Children(node) {
+		if kc, ok := cl[k]; ok {
+			if blk := kc.Intersect(s); !blk.Empty() {
+				part = append(part, blk)
+			}
+		}
+	}
+	return part
+}

@@ -1,0 +1,34 @@
+package consensus
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+func benchSet(k, taxa int) []*tree.Tree {
+	rng := rand.New(rand.NewSource(1))
+	names := treegen.Alphabet(taxa)
+	out := make([]*tree.Tree, k)
+	for i := range out {
+		out[i] = treegen.Yule(rng, names)
+	}
+	return out
+}
+
+func BenchmarkConsensusMethods(b *testing.B) {
+	set := benchSet(20, 20)
+	for _, m := range Methods() {
+		b.Run(fmt.Sprintf("%s/trees=20/taxa=20", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compute(m, set); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

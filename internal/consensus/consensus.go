@@ -1,0 +1,257 @@
+// Package consensus implements the five classical consensus-tree methods
+// the paper evaluates with its cousin-pair similarity score (§5.2):
+// strict [Day 1985], majority-rule [Margush & McMorris 1981], semi-strict
+// (combinable components) [Bremer 1990], Adams [Adams 1972], and Nelson
+// [Nelson 1979].
+//
+// All methods take a non-empty set of phylogenies over the same taxa
+// (labeled leaves, unlabeled internal nodes) and return a single
+// consensus phylogeny over those taxa.
+package consensus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"treemine/internal/tree"
+)
+
+// Errors reported by the consensus methods.
+var (
+	// ErrNoTrees is returned when the input set is empty.
+	ErrNoTrees = errors.New("consensus: no input trees")
+	// ErrTaxaMismatch is returned when the input trees do not all have
+	// the same leaf label set.
+	ErrTaxaMismatch = errors.New("consensus: input trees have different taxa")
+	// ErrDuplicateTaxa is returned when a tree carries the same leaf
+	// label twice; clusters are ill-defined in that case.
+	ErrDuplicateTaxa = errors.New("consensus: duplicate leaf label in input tree")
+)
+
+// Method identifies one of the five consensus methods.
+type Method int
+
+const (
+	MethodStrict Method = iota
+	MethodSemiStrict
+	MethodMajority
+	MethodNelson
+	MethodAdams
+)
+
+// Methods returns all five methods in the order the paper lists them.
+func Methods() []Method {
+	return []Method{MethodAdams, MethodStrict, MethodMajority, MethodSemiStrict, MethodNelson}
+}
+
+// String returns the method's conventional name.
+func (m Method) String() string {
+	switch m {
+	case MethodStrict:
+		return "strict"
+	case MethodSemiStrict:
+		return "semi-strict"
+	case MethodMajority:
+		return "majority"
+	case MethodNelson:
+		return "Nelson"
+	case MethodAdams:
+		return "Adams"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Compute applies the method to the trees.
+func Compute(m Method, trees []*tree.Tree) (*tree.Tree, error) {
+	switch m {
+	case MethodStrict:
+		return Strict(trees)
+	case MethodSemiStrict:
+		return SemiStrict(trees)
+	case MethodMajority:
+		return Majority(trees)
+	case MethodNelson:
+		return Nelson(trees)
+	case MethodAdams:
+		return Adams(trees)
+	default:
+		return nil, fmt.Errorf("consensus: unknown method %d", int(m))
+	}
+}
+
+// validate checks the input set and returns the common TaxonSet.
+func validate(trees []*tree.Tree) (*tree.TaxonSet, error) {
+	if len(trees) == 0 {
+		return nil, ErrNoTrees
+	}
+	ts := tree.TaxaOf(trees[0])
+	for i, t := range trees {
+		leaves := t.Leaves()
+		labels := t.LeafLabels()
+		if len(labels) != len(leaves) {
+			return nil, fmt.Errorf("%w (tree %d)", ErrDuplicateTaxa, i)
+		}
+		if i == 0 {
+			continue
+		}
+		if len(labels) != ts.Len() {
+			return nil, fmt.Errorf("%w (tree %d has %d taxa, tree 0 has %d)",
+				ErrTaxaMismatch, i, len(labels), ts.Len())
+		}
+		for _, l := range labels {
+			if _, ok := ts.Index(l); !ok {
+				return nil, fmt.Errorf("%w (tree %d has unexpected taxon %q)",
+					ErrTaxaMismatch, i, l)
+			}
+		}
+	}
+	return ts, nil
+}
+
+// countedCluster is a cluster with its replication count across the
+// input trees.
+type countedCluster struct {
+	c     tree.Cluster
+	count int
+}
+
+// clusterCounts returns every distinct non-trivial internal cluster
+// appearing in the trees with the number of trees containing it, sorted
+// by decreasing count then decreasing size for deterministic iteration.
+func clusterCounts(trees []*tree.Tree, ts *tree.TaxonSet) []countedCluster {
+	counts := map[string]*countedCluster{}
+	for _, t := range trees {
+		for key, c := range tree.InternalClusters(t, ts) {
+			if cc, ok := counts[key]; ok {
+				cc.count++
+			} else {
+				counts[key] = &countedCluster{c: c, count: 1}
+			}
+		}
+	}
+	out := make([]countedCluster, 0, len(counts))
+	for _, cc := range counts {
+		out = append(out, *cc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].count != out[j].count {
+			return out[i].count > out[j].count
+		}
+		if ci, cj := out[i].c.Count(), out[j].c.Count(); ci != cj {
+			return ci > cj
+		}
+		return out[i].c.Key() < out[j].c.Key()
+	})
+	return out
+}
+
+// buildFromClusters assembles a phylogeny from a pairwise-compatible
+// cluster set over ts: every cluster becomes an internal node nested
+// under the smallest cluster properly containing it, and every taxon
+// becomes a leaf under the smallest cluster containing it. The full
+// taxon set is always added as the root.
+func buildFromClusters(ts *tree.TaxonSet, clusters []tree.Cluster) *tree.Tree {
+	full := ts.Full()
+	nested := make([]tree.Cluster, 0, len(clusters)+1)
+	nested = append(nested, full)
+	seen := map[string]bool{full.Key(): true}
+	for _, c := range clusters {
+		if k := c.Key(); !seen[k] && c.Count() >= 2 {
+			seen[k] = true
+			nested = append(nested, c)
+		}
+	}
+	// Parents must be built before children: sort by decreasing size.
+	sort.Slice(nested, func(i, j int) bool {
+		if ci, cj := nested[i].Count(), nested[j].Count(); ci != cj {
+			return ci > cj
+		}
+		return nested[i].Key() < nested[j].Key()
+	})
+	b := tree.NewBuilder()
+	ids := make([]tree.NodeID, len(nested))
+	ids[0] = b.RootUnlabeled()
+	for i := 1; i < len(nested); i++ {
+		// The smallest already-placed cluster containing nested[i]; the
+		// later the entry in the sorted order, the smaller it is.
+		parent := 0
+		for j := i - 1; j >= 1; j-- {
+			if nested[i].SubsetOf(nested[j]) {
+				parent = j
+				break
+			}
+		}
+		ids[i] = b.ChildUnlabeled(ids[parent])
+	}
+	for ti := 0; ti < ts.Len(); ti++ {
+		parent := 0
+		for j := len(nested) - 1; j >= 1; j-- {
+			if nested[j].Has(ti) {
+				parent = j
+				break
+			}
+		}
+		b.Child(ids[parent], ts.Name(ti))
+	}
+	return b.MustBuild()
+}
+
+// Strict returns the strict consensus: exactly the clusters present in
+// every input tree.
+func Strict(trees []*tree.Tree) (*tree.Tree, error) {
+	ts, err := validate(trees)
+	if err != nil {
+		return nil, err
+	}
+	var keep []tree.Cluster
+	for _, cc := range clusterCounts(trees, ts) {
+		if cc.count == len(trees) {
+			keep = append(keep, cc.c)
+		}
+	}
+	return buildFromClusters(ts, keep), nil
+}
+
+// Majority returns the majority-rule consensus: the clusters present in
+// strictly more than half of the input trees. Majority clusters are
+// pairwise compatible, so the tree always exists.
+func Majority(trees []*tree.Tree) (*tree.Tree, error) {
+	ts, err := validate(trees)
+	if err != nil {
+		return nil, err
+	}
+	var keep []tree.Cluster
+	for _, cc := range clusterCounts(trees, ts) {
+		if 2*cc.count > len(trees) {
+			keep = append(keep, cc.c)
+		}
+	}
+	return buildFromClusters(ts, keep), nil
+}
+
+// SemiStrict returns the semi-strict (combinable components) consensus:
+// every input cluster that is compatible with all clusters of all input
+// trees. Such clusters are pairwise compatible, so the tree exists.
+func SemiStrict(trees []*tree.Tree) (*tree.Tree, error) {
+	ts, err := validate(trees)
+	if err != nil {
+		return nil, err
+	}
+	counted := clusterCounts(trees, ts)
+	var keep []tree.Cluster
+	for _, cc := range counted {
+		ok := true
+		for _, other := range counted {
+			if !cc.c.CompatibleWith(other.c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			keep = append(keep, cc.c)
+		}
+	}
+	return buildFromClusters(ts, keep), nil
+}

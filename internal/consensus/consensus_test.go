@@ -1,0 +1,311 @@
+package consensus
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"treemine/internal/newick"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+func parse(t *testing.T, s string) *tree.Tree {
+	t.Helper()
+	tr, err := newick.Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return tr
+}
+
+// clusterSet extracts the internal cluster keys of a consensus tree for
+// comparison.
+func clusterSet(t *testing.T, tr *tree.Tree, ts *tree.TaxonSet) map[string]tree.Cluster {
+	t.Helper()
+	return tree.InternalClusters(tr, ts)
+}
+
+func TestValidateErrors(t *testing.T) {
+	if _, err := Strict(nil); !errors.Is(err, ErrNoTrees) {
+		t.Errorf("Strict(nil) err = %v, want ErrNoTrees", err)
+	}
+	t1 := parse(t, "((a,b),c);")
+	t2 := parse(t, "((a,b),d);")
+	if _, err := Strict([]*tree.Tree{t1, t2}); !errors.Is(err, ErrTaxaMismatch) {
+		t.Errorf("taxa mismatch err = %v", err)
+	}
+	dup := parse(t, "((a,a),c);")
+	if _, err := Majority([]*tree.Tree{dup}); !errors.Is(err, ErrDuplicateTaxa) {
+		t.Errorf("duplicate taxa err = %v", err)
+	}
+	t3 := parse(t, "((a,b),(c,d));")
+	if _, err := Adams([]*tree.Tree{t1, t3}); !errors.Is(err, ErrTaxaMismatch) {
+		t.Errorf("different sizes err = %v", err)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	if _, err := Compute(Method(99), []*tree.Tree{parse(t, "(a,b);")}); err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+	if got := Method(99).String(); got != "Method(99)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMethodNames(t *testing.T) {
+	want := map[Method]string{
+		MethodStrict:     "strict",
+		MethodSemiStrict: "semi-strict",
+		MethodMajority:   "majority",
+		MethodNelson:     "Nelson",
+		MethodAdams:      "Adams",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), s)
+		}
+	}
+	if len(Methods()) != 5 {
+		t.Fatalf("Methods() = %v", Methods())
+	}
+}
+
+func TestConsensusOfIdenticalTrees(t *testing.T) {
+	// Every method applied to copies of one tree returns that tree.
+	src := parse(t, "((a,b),((c,d),e));")
+	set := []*tree.Tree{src, src.Clone(), src.Clone()}
+	for _, m := range Methods() {
+		got, err := Compute(m, set)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if !tree.Isomorphic(got, src) {
+			t.Errorf("%s of identical trees: got %v, want %v", m, got, src)
+		}
+	}
+}
+
+func TestStrictDropsConflicts(t *testing.T) {
+	// Two trees agreeing on {a,b} but conflicting on the placement of
+	// c/d: the strict consensus keeps only {a,b}.
+	t1 := parse(t, "(((a,b),c),d);")
+	t2 := parse(t, "(((a,b),d),c);")
+	got, err := Strict([]*tree.Tree{t1, t2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := tree.TaxaOf(t1)
+	cs := clusterSet(t, got, ts)
+	if len(cs) != 1 {
+		t.Fatalf("strict clusters = %d, want 1: %v", len(cs), got)
+	}
+	ab := ts.ClusterOf("a", "b")
+	if _, ok := cs[ab.Key()]; !ok {
+		t.Fatalf("strict consensus missing {a,b}: %v", got)
+	}
+}
+
+func TestMajorityRule(t *testing.T) {
+	// {a,b} in 2 of 3 trees (> half) survives; {c,d} in 1 of 3 does not.
+	t1 := parse(t, "((a,b),(c,(d,e)));")
+	t2 := parse(t, "((a,b),((c,d),e));")
+	t3 := parse(t, "((a,(b,c)),(d,e));")
+	got, err := Majority([]*tree.Tree{t1, t2, t3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := tree.TaxaOf(t1)
+	cs := clusterSet(t, got, ts)
+	if _, ok := cs[ts.ClusterOf("a", "b").Key()]; !ok {
+		t.Errorf("majority missing {a,b}: %v", got)
+	}
+	if _, ok := cs[ts.ClusterOf("c", "d").Key()]; ok {
+		t.Errorf("majority kept minority cluster {c,d}: %v", got)
+	}
+}
+
+func TestMajorityContainsStrict(t *testing.T) {
+	// Strict clusters (in all trees) are a subset of majority clusters.
+	rng := rand.New(rand.NewSource(5))
+	taxa := treegen.Alphabet(12)
+	for trial := 0; trial < 10; trial++ {
+		set := []*tree.Tree{
+			treegen.Yule(rng, taxa),
+			treegen.Yule(rng, taxa),
+			treegen.Yule(rng, taxa),
+		}
+		st, err := Strict(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mj, err := Majority(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := tree.TaxaOf(set[0])
+		stc := clusterSet(t, st, ts)
+		mjc := clusterSet(t, mj, ts)
+		for k := range stc {
+			if _, ok := mjc[k]; !ok {
+				t.Fatalf("strict cluster missing from majority (trial %d)", trial)
+			}
+		}
+	}
+}
+
+func TestSemiStrictKeepsUncontradicted(t *testing.T) {
+	// t1 resolves {a,b}; t2 is a star and contradicts nothing, so the
+	// semi-strict consensus keeps {a,b} while the strict consensus
+	// (cluster in ALL trees) drops it.
+	t1 := parse(t, "((a,b),c,d);")
+	t2 := parse(t, "(a,b,c,d);")
+	ss, err := SemiStrict([]*tree.Tree{t1, t2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := tree.TaxaOf(t1)
+	if _, ok := clusterSet(t, ss, ts)[ts.ClusterOf("a", "b").Key()]; !ok {
+		t.Errorf("semi-strict missing {a,b}: %v", ss)
+	}
+	st, err := Strict([]*tree.Tree{t1, t2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusterSet(t, st, ts)) != 0 {
+		t.Errorf("strict should be a star: %v", st)
+	}
+}
+
+func TestSemiStrictDropsContradicted(t *testing.T) {
+	t1 := parse(t, "((a,b),c,d);")
+	t2 := parse(t, "((b,c),a,d);") // {b,c} overlaps {a,b}: conflict
+	ss, err := SemiStrict([]*tree.Tree{t1, t2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := tree.TaxaOf(t1)
+	if got := len(clusterSet(t, ss, ts)); got != 0 {
+		t.Errorf("semi-strict kept %d conflicting clusters: %v", got, ss)
+	}
+}
+
+func TestNelsonPicksHeaviestClique(t *testing.T) {
+	// {a,b} appears twice, the conflicting {b,c} once: Nelson keeps the
+	// replicated cluster.
+	t1 := parse(t, "((a,b),c,d);")
+	t2 := parse(t, "((a,b),c,d);")
+	t3 := parse(t, "((b,c),a,d);")
+	got, err := Nelson([]*tree.Tree{t1, t2, t3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := tree.TaxaOf(t1)
+	cs := clusterSet(t, got, ts)
+	if _, ok := cs[ts.ClusterOf("a", "b").Key()]; !ok {
+		t.Errorf("Nelson missing {a,b}: %v", got)
+	}
+	if _, ok := cs[ts.ClusterOf("b", "c").Key()]; ok {
+		t.Errorf("Nelson kept lighter conflicting {b,c}: %v", got)
+	}
+}
+
+func TestNelsonTieIntersection(t *testing.T) {
+	// {a,b} and {b,c} conflict and both appear once: the two maximum
+	// cliques tie, and neither cluster is in every maximum clique, so the
+	// consensus keeps neither.
+	t1 := parse(t, "((a,b),c,d);")
+	t2 := parse(t, "((b,c),a,d);")
+	got, err := Nelson([]*tree.Tree{t1, t2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := tree.TaxaOf(t1)
+	cs := clusterSet(t, got, ts)
+	if _, ok := cs[ts.ClusterOf("a", "b").Key()]; ok {
+		t.Errorf("Nelson kept tied cluster {a,b}: %v", got)
+	}
+	if _, ok := cs[ts.ClusterOf("b", "c").Key()]; ok {
+		t.Errorf("Nelson kept tied cluster {b,c}: %v", got)
+	}
+}
+
+func TestAdamsResolvesCommonNesting(t *testing.T) {
+	// Classic Adams behavior: both trees nest {a,b} deepest but disagree
+	// about c/d order; Adams keeps the {a,b} group.
+	t1 := parse(t, "(((a,b),c),d);")
+	t2 := parse(t, "(((a,b),d),c);")
+	got, err := Adams([]*tree.Tree{t1, t2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := tree.TaxaOf(t1)
+	cs := clusterSet(t, got, ts)
+	if _, ok := cs[ts.ClusterOf("a", "b").Key()]; !ok {
+		t.Errorf("Adams missing {a,b}: %v", got)
+	}
+}
+
+func TestAdamsProductPartition(t *testing.T) {
+	// The root partitions {{a,b},{c,d}} and {{a,c},{b,d}} intersect to
+	// singletons: the Adams consensus root is a star over the four taxa.
+	t1 := parse(t, "((a,b),(c,d));")
+	t2 := parse(t, "((a,c),(b,d));")
+	got, err := Adams([]*tree.Tree{t1, t2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumChildren(got.Root()) != 4 {
+		t.Fatalf("Adams root arity = %d, want 4: %v", got.NumChildren(got.Root()), got)
+	}
+}
+
+func TestAllMethodsPreserveTaxa(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	taxa := treegen.Alphabet(15)
+	var set []*tree.Tree
+	for i := 0; i < 7; i++ {
+		set = append(set, treegen.Yule(rng, taxa))
+	}
+	for _, m := range Methods() {
+		got, err := Compute(m, set)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if labels := got.LeafLabels(); len(labels) != len(taxa) {
+			t.Errorf("%s consensus has %d taxa, want %d", m, len(labels), len(taxa))
+		}
+		// Consensus trees never invent clusters outside the union of
+		// input clusters (Adams can, in principle, create new clusters;
+		// for the others verify containment).
+		if m == MethodAdams {
+			continue
+		}
+		ts := tree.TaxaOf(set[0])
+		all := map[string]bool{}
+		for _, in := range set {
+			for k := range tree.InternalClusters(in, ts) {
+				all[k] = true
+			}
+		}
+		for k := range clusterSet(t, got, ts) {
+			if !all[k] {
+				t.Errorf("%s invented a cluster not present in any input", m)
+			}
+		}
+	}
+}
+
+func TestSingleTreeConsensusIsIdentity(t *testing.T) {
+	src := parse(t, "((a,(b,c)),(d,e),f);")
+	for _, m := range Methods() {
+		got, err := Compute(m, []*tree.Tree{src})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if !tree.Isomorphic(got, src) {
+			t.Errorf("%s of single tree: got %v, want %v", m, got, src)
+		}
+	}
+}

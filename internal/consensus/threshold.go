@@ -1,0 +1,32 @@
+package consensus
+
+import (
+	"fmt"
+
+	"treemine/internal/tree"
+)
+
+// MajorityThreshold generalizes the majority rule to the M-ℓ consensus
+// family (Margush & McMorris): a cluster survives when it appears in
+// strictly more than frac·|trees| of the inputs. frac = 0.5 is the
+// classic majority rule; frac → 1 approaches the strict consensus (frac
+// = 1 would keep nothing, so values must lie in [0.5, 1)). Clusters
+// above half replication are pairwise compatible, which is exactly why
+// the threshold cannot go below 0.5.
+func MajorityThreshold(trees []*tree.Tree, frac float64) (*tree.Tree, error) {
+	if frac < 0.5 || frac >= 1 {
+		return nil, fmt.Errorf("consensus: threshold %v outside [0.5, 1)", frac)
+	}
+	ts, err := validate(trees)
+	if err != nil {
+		return nil, err
+	}
+	need := frac * float64(len(trees))
+	var keep []tree.Cluster
+	for _, cc := range clusterCounts(trees, ts) {
+		if float64(cc.count) > need {
+			keep = append(keep, cc.c)
+		}
+	}
+	return buildFromClusters(ts, keep), nil
+}

@@ -1,0 +1,104 @@
+package consensus
+
+import (
+	"math/rand"
+	"testing"
+
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+func TestMajorityThresholdBounds(t *testing.T) {
+	set := []*tree.Tree{parse(t, "((a,b),c);")}
+	for _, bad := range []float64{0.49, -1, 1, 1.5} {
+		if _, err := MajorityThreshold(set, bad); err == nil {
+			t.Errorf("threshold %v accepted", bad)
+		}
+	}
+}
+
+func TestMajorityThresholdAtHalfIsMajority(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	taxa := treegen.Alphabet(9)
+	for trial := 0; trial < 10; trial++ {
+		set := []*tree.Tree{
+			treegen.Yule(rng, taxa),
+			treegen.Yule(rng, taxa),
+			treegen.Yule(rng, taxa),
+		}
+		a, err := MajorityThreshold(set, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Majority(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tree.Isomorphic(a, b) {
+			t.Fatalf("threshold 0.5 ≠ majority (trial %d)", trial)
+		}
+	}
+}
+
+func TestMajorityThresholdMonotone(t *testing.T) {
+	// Raising the threshold can only drop clusters: the 0.9-consensus
+	// clusters are a subset of the 0.5-consensus clusters, and the
+	// 0.99-threshold result over k trees equals the strict consensus.
+	rng := rand.New(rand.NewSource(15))
+	taxa := treegen.Alphabet(10)
+	set := []*tree.Tree{
+		treegen.Yule(rng, taxa),
+		treegen.Yule(rng, taxa),
+		treegen.Yule(rng, taxa),
+		treegen.Yule(rng, taxa),
+	}
+	ts := tree.TaxaOf(set[0])
+	lo, err := MajorityThreshold(set, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := MajorityThreshold(set, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loC := tree.InternalClusters(lo, ts)
+	hiC := tree.InternalClusters(hi, ts)
+	for k := range hiC {
+		if _, ok := loC[k]; !ok {
+			t.Fatal("higher threshold introduced a cluster")
+		}
+	}
+	strictT, err := Strict(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := MajorityThreshold(set, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Isomorphic(strictT, top) {
+		t.Fatal("threshold → 1 should coincide with strict consensus")
+	}
+}
+
+func TestMajorityThresholdDropsMiddleClusters(t *testing.T) {
+	// A cluster in 3 of 5 trees survives at 0.5 but not at 0.7.
+	base := parse(t, "((a,b),c,d);")
+	star := parse(t, "(a,b,c,d);")
+	set := []*tree.Tree{base, base.Clone(), base.Clone(), star, star.Clone()}
+	ts := tree.TaxaOf(base)
+	lo, err := MajorityThreshold(set, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tree.InternalClusters(lo, ts)[ts.ClusterOf("a", "b").Key()]; !ok {
+		t.Fatal("3/5 cluster should survive at 0.5")
+	}
+	hi, err := MajorityThreshold(set, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.InternalClusters(hi, ts)) != 0 {
+		t.Fatal("3/5 cluster should drop at 0.7")
+	}
+}

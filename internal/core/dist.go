@@ -1,0 +1,133 @@
+// Package core implements the cousin-pair mining algorithms of Shasha,
+// Wang & Zhang, "Unordered Tree Mining with Applications to Phylogeny"
+// (ICDE 2004): cousin distances, cousin pair items, Single_Tree_Mining
+// and Multiple_Tree_Mining, and the derived similarity and tree-distance
+// measures used in the paper's phylogenetic applications.
+//
+// # Cousin distance
+//
+// For two labeled nodes u, v of a rooted unordered labeled tree, neither
+// an ancestor of the other, let a = lca(u,v) and let hu, hv be the depths
+// of u and v below a. The cousin distance is
+//
+//	hu − 1            if hu = hv
+//	min(hu,hv) − 0.5  if |hu − hv| = 1
+//	undefined         otherwise
+//
+// so siblings are at distance 0, aunt–niece pairs at 0.5, first cousins
+// at 1, and so on. Distances are half-integer; the Dist type stores twice
+// the distance in an int so all arithmetic stays exact.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Dist is a cousin distance stored as twice its value: Dist(0) is
+// distance 0 (siblings), Dist(1) is 0.5 (aunt–niece), Dist(2) is 1
+// (first cousins), Dist(3) is 1.5, …
+type Dist int
+
+// DistWild marks the "don't care" distance used when aggregating cousin
+// pair items across distances (the paper's "*" placeholder).
+const DistWild Dist = -1
+
+// D returns the Dist for the given number of distance halves; D(2*k)
+// is distance k, D(2*k+1) is k+0.5. It is a readable literal constructor
+// for tests and examples: D(0)=0, D(1)=0.5, D(3)=1.5.
+func D(halves int) Dist { return Dist(halves) }
+
+// DistFromFloat converts a float distance (0, 0.5, 1, 1.5, …) to a Dist.
+// It returns an error when f is negative or not a multiple of 0.5.
+func DistFromFloat(f float64) (Dist, error) {
+	h := f * 2
+	if h < 0 || h != float64(int(h)) {
+		return 0, fmt.Errorf("core: invalid cousin distance %v (must be a non-negative multiple of 0.5)", f)
+	}
+	return Dist(int(h)), nil
+}
+
+// ParseDist parses a distance string such as "0", "0.5", "1.5", or "*"
+// (wildcard).
+func ParseDist(s string) (Dist, error) {
+	if strings.TrimSpace(s) == "*" {
+		return DistWild, nil
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("core: invalid cousin distance %q: %w", s, err)
+	}
+	return DistFromFloat(f)
+}
+
+// Float returns the distance as a float64; DistWild returns NaN-free -0.5
+// which callers should never see if they check IsWild first.
+func (d Dist) Float() float64 { return float64(d) / 2 }
+
+// IsWild reports whether d is the wildcard distance.
+func (d Dist) IsWild() bool { return d < 0 }
+
+// Half reports whether d is a "removed" (half-integer) distance such as
+// 0.5 or 1.5, i.e. the two cousins are one generation apart.
+func (d Dist) Half() bool { return d >= 0 && d%2 == 1 }
+
+// String formats the distance the way the paper prints it: "0", "0.5",
+// "1", "1.5", or "*" for the wildcard.
+func (d Dist) String() string {
+	if d.IsWild() {
+		return "*"
+	}
+	if d%2 == 0 {
+		return strconv.Itoa(int(d / 2))
+	}
+	return strconv.Itoa(int(d/2)) + ".5"
+}
+
+// Levels returns the paper's my_level and my_cousin_level for distance d:
+// the number of edges i to walk up from the first cousin to the LCA, and
+// the number of edges j to walk down to the second cousin. For integer
+// distances i = j = d+1; for half distances j = i+1 (Eq. 1–3 of the
+// paper). Levels panics on the wildcard distance.
+func (d Dist) Levels() (i, j int) {
+	if d.IsWild() {
+		panic("core: Levels on wildcard distance")
+	}
+	i = int(d)/2 + 1
+	j = i
+	if d.Half() {
+		j++
+	}
+	return i, j
+}
+
+// DistOf returns the cousin distance of two nodes whose depths below
+// their LCA are hu and hv (both ≥ 1), and whether it is defined: the
+// distance is undefined when the generations differ by more than one.
+func DistOf(hu, hv int) (Dist, bool) {
+	if hu > hv {
+		hu, hv = hv, hu
+	}
+	switch hv - hu {
+	case 0:
+		return Dist(2 * (hu - 1)), true
+	case 1:
+		return Dist(2*(hu-1) + 1), true
+	default:
+		return 0, false
+	}
+}
+
+// ValidDistances returns all defined distance values 0, 0.5, 1, …, up to
+// and including maxDist.
+func ValidDistances(maxDist Dist) []Dist {
+	if maxDist < 0 {
+		return nil
+	}
+	out := make([]Dist, maxDist+1)
+	for i := range out {
+		out[i] = Dist(i)
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"treemine/internal/tree"
+)
+
+func TestMineDPHandExample(t *testing.T) {
+	tr := handTree(t)
+	opts := Options{MaxDist: D(4), MinOccur: 1}
+	got := MineDP(tr, opts)
+	if want := handItems(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("MineDP = %v\nwant %v", got.Items(), want.Items())
+	}
+}
+
+func TestMineDPEquivalentToMine(t *testing.T) {
+	f := func(seed int64, size uint8, maxD uint8, minOcc uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size)%60 + 1
+		tr := randLabeledTree(rng, n)
+		opts := Options{MaxDist: Dist(maxD % 9), MinOccur: int(minOcc%3) + 1}
+		a := Mine(tr, opts)
+		b := MineDP(tr, opts)
+		if !reflect.DeepEqual(a, b) {
+			t.Logf("seed=%d n=%d opts=%+v\nmine=%v\ndp=%v",
+				seed, n, opts, a.Items(), b.Items())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMineDPDeepChain(t *testing.T) {
+	// A deep chain with side leaves: exercises histogram truncation at
+	// maxJ along a long spine.
+	b := tree.NewBuilder()
+	spine := b.RootUnlabeled()
+	for i := 0; i < 2000; i++ {
+		b.Child(spine, "leaf")
+		spine = b.ChildUnlabeled(spine)
+	}
+	b.Child(spine, "leaf")
+	tr := b.MustBuild()
+	opts := Options{MaxDist: D(3), MinOccur: 1}
+	a := Mine(tr, opts)
+	c := MineDP(tr, opts)
+	if !reflect.DeepEqual(a, c) {
+		t.Fatalf("deep chain: mine=%v dp=%v", a.Items(), c.Items())
+	}
+}
+
+func TestMineDPSingleAndEmptyish(t *testing.T) {
+	b := tree.NewBuilder()
+	b.Root("x")
+	tr := b.MustBuild()
+	if got := MineDP(tr, DefaultOptions()); len(got) != 0 {
+		t.Fatalf("single node: %v", got.Items())
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sort"
+
+	"treemine/internal/tree"
+)
+
+// ForestOptions configure Multiple_Tree_Mining over a set of trees.
+type ForestOptions struct {
+	Options
+	// MinSup is the minimum number of trees that must contain a cousin
+	// pair for it to be frequent (the paper's minsup, default 2).
+	MinSup int
+	// IgnoreDist makes support counting distance-insensitive: a tree
+	// supports a label pair if the pair occurs at any distance ≤ MaxDist
+	// (the paper's example where the support of (a,c) grows from 2 to 3
+	// once distances are ignored).
+	IgnoreDist bool
+}
+
+// DefaultForestOptions returns the paper's Table 2 defaults:
+// maxdist = 1.5, minoccur = 1, minsup = 2.
+func DefaultForestOptions() ForestOptions {
+	return ForestOptions{Options: DefaultOptions(), MinSup: 2}
+}
+
+// FrequentPair is a cousin pair frequent across a forest: its key (with
+// DistWild when IgnoreDist was set) and the number of trees supporting it.
+type FrequentPair struct {
+	Key     Key
+	Support int
+}
+
+// MineForest is Multiple_Tree_Mining: it mines each tree with the
+// per-tree options and returns the cousin pairs whose support (number of
+// trees containing the pair, with the required distance unless
+// IgnoreDist) is at least opts.MinSup. The result is sorted by
+// decreasing support, then by key, so the strongest patterns come first.
+// Its running time is O(Σ|Ti|²), linear in the number of trees for
+// bounded tree size — the paper's Figures 6 and 7.
+func MineForest(trees []*tree.Tree, opts ForestOptions) []FrequentPair {
+	support := make(map[Key]int)
+	for _, t := range trees {
+		items := Mine(t, opts.Options)
+		if opts.IgnoreDist {
+			items = items.IgnoreDist()
+		}
+		for k := range items {
+			support[k]++
+		}
+	}
+	var out []FrequentPair
+	for k, s := range support {
+		if s >= opts.MinSup {
+			out = append(out, FrequentPair{Key: k, Support: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		a, b := out[i].Key, out[j].Key
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		if a.B != b.B {
+			return a.B < b.B
+		}
+		return a.D < b.D
+	})
+	return out
+}
+
+// Support returns the support of a specific label pair at distance d
+// (or any distance if d is DistWild) across the forest, using the
+// per-tree options.
+func Support(trees []*tree.Tree, l1, l2 string, d Dist, opts Options) int {
+	k := NewKey(l1, l2, d)
+	n := 0
+	for _, t := range trees {
+		items := Mine(t, opts)
+		if d.IsWild() {
+			items = items.IgnoreDist()
+		}
+		if _, ok := items[k]; ok {
+			n++
+		}
+	}
+	return n
+}

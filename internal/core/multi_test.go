@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"treemine/internal/tree"
+)
+
+func TestMineForestEmpty(t *testing.T) {
+	if got := MineForest(nil, DefaultForestOptions()); len(got) != 0 {
+		t.Fatalf("MineForest(nil) = %v", got)
+	}
+}
+
+func TestMineForestMinSupOne(t *testing.T) {
+	// With minsup 1 every item of every tree appears.
+	b := tree.NewBuilder()
+	r := b.RootUnlabeled()
+	b.Child(r, "x")
+	b.Child(r, "y")
+	t1 := b.MustBuild()
+	opts := DefaultForestOptions()
+	opts.MinSup = 1
+	got := MineForest([]*tree.Tree{t1}, opts)
+	if len(got) != 1 || got[0].Key != NewKey("x", "y", D(0)) || got[0].Support != 1 {
+		t.Fatalf("MineForest = %v", got)
+	}
+}
+
+func TestMineForestSortedBySupport(t *testing.T) {
+	mk := func(labels ...string) *tree.Tree {
+		b := tree.NewBuilder()
+		r := b.RootUnlabeled()
+		for _, l := range labels {
+			b.Child(r, l)
+		}
+		return b.MustBuild()
+	}
+	forest := []*tree.Tree{
+		mk("p", "q", "r"), // pairs pq, pr, qr
+		mk("p", "q"),      // pq
+		mk("p", "q"),      // pq
+		mk("q", "r"),      // qr
+	}
+	opts := DefaultForestOptions()
+	got := MineForest(forest, opts)
+	if len(got) != 2 {
+		t.Fatalf("MineForest = %v, want pq(3), qr(2)", got)
+	}
+	if got[0].Key != NewKey("p", "q", D(0)) || got[0].Support != 3 {
+		t.Errorf("first = %v, want (p,q,0) support 3", got[0])
+	}
+	if got[1].Key != NewKey("q", "r", D(0)) || got[1].Support != 2 {
+		t.Errorf("second = %v, want (q,r,0) support 2", got[1])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Support > got[i-1].Support {
+			t.Fatal("not sorted by support")
+		}
+	}
+}
+
+func TestMineForestMinOccurInteraction(t *testing.T) {
+	// minoccur applies within each tree before support counting: a tree
+	// containing a pair only once does not support it when minoccur = 2.
+	mkOnce := func() *tree.Tree {
+		b := tree.NewBuilder()
+		r := b.RootUnlabeled()
+		b.Child(r, "x")
+		b.Child(r, "y")
+		return b.MustBuild()
+	}
+	mkTwice := func() *tree.Tree {
+		b := tree.NewBuilder()
+		r := b.RootUnlabeled()
+		b.Child(r, "x")
+		b.Child(r, "x")
+		b.Child(r, "y")
+		return b.MustBuild()
+	}
+	forest := []*tree.Tree{mkOnce(), mkTwice(), mkTwice()}
+	opts := DefaultForestOptions()
+	opts.MinOccur = 2
+	got := MineForest(forest, opts)
+	// Only (x,y,0) with occurrence 2 inside the two mkTwice trees counts.
+	if len(got) != 1 || got[0].Key != NewKey("x", "y", D(0)) || got[0].Support != 2 {
+		t.Fatalf("MineForest = %v", got)
+	}
+}
+
+func TestSupportConsistentWithMineForest(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var forest []*tree.Tree
+	for i := 0; i < 8; i++ {
+		forest = append(forest, randLabeledTree(rng, 30))
+	}
+	opts := DefaultForestOptions()
+	opts.MinSup = 1
+	for _, fp := range MineForest(forest, opts) {
+		if got := Support(forest, fp.Key.A, fp.Key.B, fp.Key.D, opts.Options); got != fp.Support {
+			t.Fatalf("Support(%v) = %d, MineForest said %d", fp.Key, got, fp.Support)
+		}
+	}
+}

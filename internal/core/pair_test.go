@@ -1,0 +1,127 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNewKeyCanonical(t *testing.T) {
+	k1 := NewKey("b", "a", D(1))
+	k2 := NewKey("a", "b", D(1))
+	if k1 != k2 {
+		t.Fatalf("keys differ: %v vs %v", k1, k2)
+	}
+	if k1.A != "a" || k1.B != "b" {
+		t.Fatalf("labels not sorted: %v", k1)
+	}
+	if got := k1.String(); got != "(a, b, 0.5)" {
+		t.Fatalf("Key.String = %q", got)
+	}
+}
+
+func TestItemString(t *testing.T) {
+	it := Item{Key: NewKey("a", "c", D(1)), Occur: 2}
+	if got := it.String(); got != "(a, c, 0.5, 2)" {
+		t.Fatalf("Item.String = %q", got)
+	}
+}
+
+func TestItemsSorted(t *testing.T) {
+	s := ItemSet{
+		NewKey("b", "a", D(0)): 1,
+		NewKey("a", "a", D(2)): 3,
+		NewKey("a", "b", D(2)): 2,
+	}
+	items := s.Items()
+	want := []Item{
+		{NewKey("a", "a", D(2)), 3},
+		{NewKey("a", "b", D(0)), 1},
+		{NewKey("a", "b", D(2)), 2},
+	}
+	if !reflect.DeepEqual(items, want) {
+		t.Fatalf("Items = %v, want %v", items, want)
+	}
+}
+
+func TestViews(t *testing.T) {
+	// Mirrors the paper's example: a pair occurring once at distance 0
+	// and once at distance 1 yields (pair, *, 2) when the distance is
+	// ignored and (pair, d, *) singletons when occurrences are ignored.
+	s := ItemSet{
+		NewKey("a", "c", D(0)): 1,
+		NewKey("a", "c", D(2)): 1,
+		NewKey("b", "c", D(0)): 3,
+	}
+	id := s.IgnoreDist()
+	if got := id[Key{"a", "c", DistWild}]; got != 2 {
+		t.Errorf("IgnoreDist (a,c,*) = %d, want 2", got)
+	}
+	if got := id[Key{"b", "c", DistWild}]; got != 3 {
+		t.Errorf("IgnoreDist (b,c,*) = %d, want 3", got)
+	}
+	io := s.IgnoreOccur()
+	if len(io) != 3 {
+		t.Errorf("IgnoreOccur size = %d, want 3", len(io))
+	}
+	for k, n := range io {
+		if n != 1 {
+			t.Errorf("IgnoreOccur[%v] = %d, want 1", k, n)
+		}
+	}
+	lp := s.LabelPairs()
+	if len(lp) != 2 {
+		t.Errorf("LabelPairs size = %d, want 2", len(lp))
+	}
+	if got := lp[Key{"a", "c", DistWild}]; got != 1 {
+		t.Errorf("LabelPairs (a,c) = %d, want 1", got)
+	}
+}
+
+func TestFilterMinOccur(t *testing.T) {
+	s := ItemSet{
+		NewKey("a", "b", D(0)): 1,
+		NewKey("a", "c", D(0)): 3,
+	}
+	f := s.FilterMinOccur(2)
+	if len(f) != 1 {
+		t.Fatalf("filtered size = %d, want 1", len(f))
+	}
+	if _, ok := f[NewKey("a", "c", D(0))]; !ok {
+		t.Fatal("surviving item missing")
+	}
+}
+
+func TestMultisetOps(t *testing.T) {
+	// Footnote 2 of the paper: ∩ keeps min counts, ∪ keeps max counts.
+	s1 := ItemSet{NewKey("a", "c", D(1)): 2, NewKey("x", "y", D(0)): 1}
+	s2 := ItemSet{NewKey("a", "c", D(1)): 1, NewKey("p", "q", D(0)): 4}
+	inter := s1.Intersect(s2)
+	if len(inter) != 1 || inter[NewKey("a", "c", D(1))] != 1 {
+		t.Fatalf("Intersect = %v", inter)
+	}
+	union := s1.Union(s2)
+	if len(union) != 3 || union[NewKey("a", "c", D(1))] != 2 ||
+		union[NewKey("p", "q", D(0))] != 4 {
+		t.Fatalf("Union = %v", union)
+	}
+	if got := union.Total(); got != 7 {
+		t.Fatalf("Total = %d, want 7", got)
+	}
+	if got := (ItemSet{}).Total(); got != 0 {
+		t.Fatalf("empty Total = %d", got)
+	}
+}
+
+func TestMinDistOf(t *testing.T) {
+	s := ItemSet{
+		NewKey("a", "c", D(3)): 1,
+		NewKey("a", "c", D(1)): 1,
+		NewKey("b", "c", D(0)): 1,
+	}
+	if d, ok := s.MinDistOf("c", "a"); !ok || d != D(1) {
+		t.Fatalf("MinDistOf(c,a) = (%v,%v), want (0.5,true)", d, ok)
+	}
+	if _, ok := s.MinDistOf("a", "z"); ok {
+		t.Fatal("MinDistOf on absent pair should miss")
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"treemine/internal/tree"
+)
+
+// MineForestParallel is MineForest with per-tree mining fanned out over
+// a worker pool. Mining is embarrassingly parallel across trees — each
+// tree's item set is independent — so support counting is the only
+// synchronization point; workers merge into shard maps keyed by label
+// hash and the shards are combined at the end. The result is identical
+// to MineForest's (deterministic, sorted), only faster on large forests.
+//
+// workers ≤ 0 selects GOMAXPROCS.
+func MineForestParallel(trees []*tree.Tree, opts ForestOptions, workers int) []FrequentPair {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(trees) {
+		workers = len(trees)
+	}
+	if workers <= 1 {
+		return MineForest(trees, opts)
+	}
+
+	// Each worker accumulates private support counts over a strided
+	// slice of the forest; privates are merged afterwards. This avoids
+	// both a global lock and per-key sharding overhead.
+	privates := make([]map[Key]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make(map[Key]int)
+			for i := w; i < len(trees); i += workers {
+				items := Mine(trees[i], opts.Options)
+				if opts.IgnoreDist {
+					items = items.IgnoreDist()
+				}
+				for k := range items {
+					local[k]++
+				}
+			}
+			privates[w] = local
+		}(w)
+	}
+	wg.Wait()
+
+	support := make(map[Key]int)
+	for _, local := range privates {
+		for k, n := range local {
+			support[k] += n
+		}
+	}
+	var out []FrequentPair
+	for k, s := range support {
+		if s >= opts.MinSup {
+			out = append(out, FrequentPair{Key: k, Support: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		a, b := out[i].Key, out[j].Key
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		if a.B != b.B {
+			return a.B < b.B
+		}
+		return a.D < b.D
+	})
+	return out
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"treemine/internal/tree"
+)
+
+func randomForest(seed int64, n, size int) []*tree.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*tree.Tree, n)
+	for i := range out {
+		out[i] = randLabeledTree(rng, size)
+	}
+	return out
+}
+
+func TestMineForestParallelMatchesSerial(t *testing.T) {
+	forest := randomForest(3, 60, 40)
+	opts := DefaultForestOptions()
+	opts.MinSup = 1
+	serial := MineForest(forest, opts)
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		got := MineForestParallel(forest, opts, workers)
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d: parallel result differs (%d vs %d pairs)",
+				workers, len(got), len(serial))
+		}
+	}
+}
+
+func TestMineForestParallelIgnoreDist(t *testing.T) {
+	forest := randomForest(5, 30, 30)
+	opts := DefaultForestOptions()
+	opts.IgnoreDist = true
+	serial := MineForest(forest, opts)
+	got := MineForestParallel(forest, opts, 4)
+	if !reflect.DeepEqual(got, serial) {
+		t.Fatalf("IgnoreDist parallel differs: %v vs %v", got, serial)
+	}
+}
+
+func TestMineForestParallelEmpty(t *testing.T) {
+	if got := MineForestParallel(nil, DefaultForestOptions(), 4); len(got) != 0 {
+		t.Fatalf("empty forest = %v", got)
+	}
+}
+
+func BenchmarkMineForestSerialVsParallel(b *testing.B) {
+	forest := randomForest(7, 400, 60)
+	opts := DefaultForestOptions()
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MineForest(forest, opts)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MineForestParallel(forest, opts, 0)
+		}
+	})
+}

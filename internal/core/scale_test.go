@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"treemine/internal/tree"
+)
+
+// These regression tests pin the miner's asymptotic behavior on the
+// pathological shapes: a deep chain must mine in near-linear time (the
+// grouping pass touches each node maxJ times and no pairs exist), and a
+// wide star's cost must be proportional to its quadratic output, not
+// worse.
+
+func TestMineDeepChainFast(t *testing.T) {
+	b := tree.NewBuilder()
+	n := b.Root("n")
+	for i := 0; i < 50_000; i++ {
+		n = b.Child(n, "n")
+	}
+	chain := b.MustBuild()
+	start := time.Now()
+	items := Mine(chain, DefaultOptions())
+	elapsed := time.Since(start)
+	if len(items) != 0 {
+		t.Fatalf("chain produced %d items", len(items))
+	}
+	// Generous bound: linear work on 50k nodes must stay well under a
+	// second even on slow CI hardware.
+	if elapsed > 5*time.Second {
+		t.Fatalf("chain mining took %v — asymptotic regression", elapsed)
+	}
+}
+
+func TestMineWideStarOutputBound(t *testing.T) {
+	b := tree.NewBuilder()
+	r := b.RootUnlabeled()
+	leaves := 2000
+	for i := 0; i < leaves; i++ {
+		b.Child(r, "x")
+	}
+	star := b.MustBuild()
+	items := Mine(star, DefaultOptions())
+	// All C(2000,2) sibling pairs aggregate into one item.
+	want := leaves * (leaves - 1) / 2
+	if got := items[NewKey("x", "x", D(0))]; got != want {
+		t.Fatalf("star pair count = %d, want %d", got, want)
+	}
+	if len(items) != 1 {
+		t.Fatalf("star items = %d, want 1", len(items))
+	}
+	// MineCounts must reach the same count without enumerating pairs.
+	fast := MineCounts(star, DefaultOptions())
+	if fast[NewKey("x", "x", D(0))] != want {
+		t.Fatalf("MineCounts star count = %d", fast[NewKey("x", "x", D(0))])
+	}
+}
+
+func TestMineCountsStarAsymptoticallyCheaper(t *testing.T) {
+	// On a single-label star the histogram miner is output-independent:
+	// it must beat pair enumeration by a wide margin at scale.
+	b := tree.NewBuilder()
+	r := b.RootUnlabeled()
+	for i := 0; i < 5000; i++ {
+		b.Child(r, "x")
+	}
+	star := b.MustBuild()
+	opts := DefaultOptions()
+	tPairs := time.Now()
+	Mine(star, opts)
+	dPairs := time.Since(tPairs)
+	tCounts := time.Now()
+	MineCounts(star, opts)
+	dCounts := time.Since(tCounts)
+	if dCounts > dPairs {
+		t.Logf("warning: MineCounts (%v) not faster than Mine (%v) on 5k star", dCounts, dPairs)
+	}
+	// Hard assertion only on a big ratio failure, to avoid flaky CI.
+	if dCounts > 3*dPairs+time.Millisecond {
+		t.Fatalf("MineCounts (%v) much slower than Mine (%v) on the star", dCounts, dPairs)
+	}
+}

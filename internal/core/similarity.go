@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sort"
+
+	"treemine/internal/tree"
+)
+
+// Sim is the paper's similarity score σ(C, T) between a consensus tree C
+// and a source tree T (Eq. 4): over all cousin pairs cp whose label pair
+// occurs in both trees,
+//
+//	σ(C, T) = Σ 1 / (1 + |cdist_C(cp) − cdist_T(cp)|)
+//
+// A shared pair at identical distances contributes 1; pairs at diverging
+// distances contribute less. When a label pair occurs at several
+// distances within one tree, the smallest distance represents it (the
+// paper's worked example uses each pair once; the minimum is the closest
+// kinship the tree asserts for the pair).
+func Sim(c, t *tree.Tree, opts Options) float64 {
+	ci := Mine(c, opts)
+	ti := Mine(t, opts)
+	return SimItems(ci, ti)
+}
+
+// SimItems computes σ from two pre-mined item sets; use it when scoring
+// one consensus tree against many source trees to avoid re-mining the
+// consensus tree each time.
+func SimItems(ci, ti ItemSet) float64 {
+	cMin := minDistIndex(ci)
+	tMin := minDistIndex(ti)
+	// Collect the per-pair contributions and sum them in sorted order so
+	// the result is independent of map iteration order (float addition is
+	// not associative) and σ(C,T) == σ(T,C) exactly.
+	var terms []float64
+	for pair, dc := range cMin {
+		dt, ok := tMin[pair]
+		if !ok {
+			continue
+		}
+		diff := (dc - dt).Float()
+		if diff < 0 {
+			diff = -diff
+		}
+		terms = append(terms, 1/(1+diff))
+	}
+	sort.Float64s(terms)
+	sum := 0.0
+	for _, v := range terms {
+		sum += v
+	}
+	return sum
+}
+
+// minDistIndex maps each label pair of s to its smallest cousin distance.
+func minDistIndex(s ItemSet) map[[2]string]Dist {
+	out := make(map[[2]string]Dist, len(s))
+	for k := range s {
+		if k.D.IsWild() {
+			continue
+		}
+		p := [2]string{k.A, k.B}
+		if d, ok := out[p]; !ok || k.D < d {
+			out[p] = k.D
+		}
+	}
+	return out
+}
+
+// AvgSim is the paper's average similarity score σ̄(C, S) of a consensus
+// tree C with respect to the set S of source trees it was derived from
+// (Eq. 5): the mean of σ(C, T) over T ∈ S. Higher is better; the paper
+// uses this to rank the five classical consensus methods. AvgSim returns
+// 0 for an empty set.
+func AvgSim(c *tree.Tree, set []*tree.Tree, opts Options) float64 {
+	if len(set) == 0 {
+		return 0
+	}
+	ci := Mine(c, opts)
+	sum := 0.0
+	for _, t := range set {
+		sum += SimItems(ci, Mine(t, opts))
+	}
+	return sum / float64(len(set))
+}

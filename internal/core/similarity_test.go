@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"treemine/internal/tree"
+)
+
+func TestSimIdenticalTrees(t *testing.T) {
+	tr := handTree(t)
+	opts := Options{MaxDist: D(4), MinOccur: 1}
+	// Against itself every shared pair contributes exactly 1, so σ equals
+	// the number of distinct label pairs.
+	pairs := len(Mine(tr, opts).LabelPairs())
+	if got := Sim(tr, tr, opts); got != float64(pairs) {
+		t.Fatalf("Sim(T,T) = %v, want %d", got, pairs)
+	}
+}
+
+func TestSimDisjointLabels(t *testing.T) {
+	mk := func(l1, l2 string) *tree.Tree {
+		b := tree.NewBuilder()
+		r := b.RootUnlabeled()
+		b.Child(r, l1)
+		b.Child(r, l2)
+		return b.MustBuild()
+	}
+	if got := Sim(mk("a", "b"), mk("x", "y"), DefaultOptions()); got != 0 {
+		t.Fatalf("Sim(disjoint) = %v, want 0", got)
+	}
+}
+
+func TestSimDistancePenalty(t *testing.T) {
+	// (a, b) as siblings vs (a, b) as first cousins: single shared pair
+	// with |0 − 1| = 1 difference contributes 1/(1+1) = 0.5.
+	sib := func() *tree.Tree {
+		b := tree.NewBuilder()
+		r := b.RootUnlabeled()
+		b.Child(r, "a")
+		b.Child(r, "b")
+		return b.MustBuild()
+	}()
+	cousins := func() *tree.Tree {
+		b := tree.NewBuilder()
+		r := b.RootUnlabeled()
+		l := b.ChildUnlabeled(r)
+		rr := b.ChildUnlabeled(r)
+		b.Child(l, "a")
+		b.Child(rr, "b")
+		return b.MustBuild()
+	}()
+	if got := Sim(sib, cousins, DefaultOptions()); got != 0.5 {
+		t.Fatalf("Sim = %v, want 0.5", got)
+	}
+	// Half-generation difference: siblings vs aunt–niece, 1/(1+0.5) = 2/3.
+	aunt := func() *tree.Tree {
+		b := tree.NewBuilder()
+		r := b.RootUnlabeled()
+		b.Child(r, "a")
+		x := b.ChildUnlabeled(r)
+		b.Child(x, "b")
+		return b.MustBuild()
+	}()
+	if got := Sim(sib, aunt, DefaultOptions()); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("Sim = %v, want 2/3", got)
+	}
+}
+
+func TestSimSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		t1 := randLabeledTree(rng, 25)
+		t2 := randLabeledTree(rng, 25)
+		opts := DefaultOptions()
+		return Sim(t1, t2, opts) == Sim(t2, t1, opts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimUpperBound(t *testing.T) {
+	// σ(C,T) never exceeds the number of label pairs shared.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		t1 := randLabeledTree(rng, 30)
+		t2 := randLabeledTree(rng, 30)
+		opts := DefaultOptions()
+		s1, s2 := Mine(t1, opts), Mine(t2, opts)
+		shared := len(s1.LabelPairs().Intersect(s2.LabelPairs()))
+		return SimItems(s1, s2) <= float64(shared)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvgSim(t *testing.T) {
+	tr := handTree(t)
+	opts := Options{MaxDist: D(4), MinOccur: 1}
+	set := []*tree.Tree{tr, tr, tr}
+	if got, want := AvgSim(tr, set, opts), Sim(tr, tr, opts); got != want {
+		t.Fatalf("AvgSim = %v, want %v", got, want)
+	}
+	if got := AvgSim(tr, nil, opts); got != 0 {
+		t.Fatalf("AvgSim(empty) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DistHistogram returns, for each concrete distance in the set, the
+// total number of cousin pair occurrences at that distance — the
+// distribution the paper's Figure 4 discussion reasons about when it
+// explains why bushy trees mine slowly.
+func (s ItemSet) DistHistogram() map[Dist]int {
+	out := make(map[Dist]int)
+	for k, n := range s {
+		if !k.D.IsWild() {
+			out[k.D] += n
+		}
+	}
+	return out
+}
+
+// TopK returns the k items with the highest occurrence counts, ties
+// broken by key order. k larger than the set returns everything.
+func (s ItemSet) TopK(k int) []Item {
+	items := s.Items()
+	sort.SliceStable(items, func(i, j int) bool {
+		return items[i].Occur > items[j].Occur
+	})
+	if k < len(items) {
+		items = items[:k]
+	}
+	return items
+}
+
+// MarshalJSON renders the distance as the string the paper prints
+// ("0.5", "*"), keeping JSON output human-readable.
+func (d Dist) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + d.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the same strings MarshalJSON emits.
+func (d *Dist) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("core: invalid distance JSON %s", b)
+	}
+	v, err := ParseDist(string(b[1 : len(b)-1]))
+	if err != nil {
+		return err
+	}
+	*d = v
+	return nil
+}

@@ -1,0 +1,63 @@
+// Package distance implements the Robinson–Foulds distance, the classic
+// cluster-based phylogenetic distance implemented by the COMPONENT tool
+// the paper contrasts with (§5.3). RF requires both trees to be over the
+// same taxa — exactly the limitation that motivates the paper's
+// cousin-based tree distance, which has no such requirement.
+package distance
+
+import (
+	"errors"
+	"fmt"
+
+	"treemine/internal/tree"
+)
+
+// ErrTaxaMismatch is returned when the trees have different leaf label
+// sets; Robinson–Foulds is undefined in that case.
+var ErrTaxaMismatch = errors.New("distance: Robinson–Foulds requires identical taxa")
+
+// RF returns the Robinson–Foulds distance between two phylogenies over
+// the same taxa: the size of the symmetric difference of their
+// non-trivial cluster sets.
+func RF(t1, t2 *tree.Tree) (int, error) {
+	l1, l2 := t1.LeafLabels(), t2.LeafLabels()
+	if len(l1) != len(l2) {
+		return 0, fmt.Errorf("%w (%d vs %d taxa)", ErrTaxaMismatch, len(l1), len(l2))
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			return 0, fmt.Errorf("%w (%q vs %q)", ErrTaxaMismatch, l1[i], l2[i])
+		}
+	}
+	ts := tree.TaxaOf(t1)
+	c1 := tree.InternalClusters(t1, ts)
+	c2 := tree.InternalClusters(t2, ts)
+	d := 0
+	for k := range c1 {
+		if _, ok := c2[k]; !ok {
+			d++
+		}
+	}
+	for k := range c2 {
+		if _, ok := c1[k]; !ok {
+			d++
+		}
+	}
+	return d, nil
+}
+
+// RFNormalized returns RF scaled to [0, 1] by the total number of
+// non-trivial clusters in both trees. Two trees with no non-trivial
+// clusters (stars) are at distance 0.
+func RFNormalized(t1, t2 *tree.Tree) (float64, error) {
+	d, err := RF(t1, t2)
+	if err != nil {
+		return 0, err
+	}
+	ts := tree.TaxaOf(t1)
+	total := len(tree.InternalClusters(t1, ts)) + len(tree.InternalClusters(t2, ts))
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(d) / float64(total), nil
+}

@@ -1,0 +1,93 @@
+package distance
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"treemine/internal/newick"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+func parse(t *testing.T, s string) *tree.Tree {
+	t.Helper()
+	tr, err := newick.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRFIdentical(t *testing.T) {
+	tr := parse(t, "((a,b),((c,d),e));")
+	if d, err := RF(tr, tr.Clone()); err != nil || d != 0 {
+		t.Fatalf("RF = %d, %v; want 0", d, err)
+	}
+	if d, err := RFNormalized(tr, tr.Clone()); err != nil || d != 0 {
+		t.Fatalf("RFNormalized = %v, %v; want 0", d, err)
+	}
+}
+
+func TestRFKnownValue(t *testing.T) {
+	// t1 clusters: {a,b}, {a,b,c}; t2 clusters: {a,b}, {c,d}.
+	// Symmetric difference: {a,b,c}, {c,d} → RF = 2.
+	t1 := parse(t, "(((a,b),c),d);")
+	t2 := parse(t, "((a,b),(c,d));")
+	d, err := RF(t1, t2)
+	if err != nil || d != 2 {
+		t.Fatalf("RF = %d, %v; want 2", d, err)
+	}
+	n, err := RFNormalized(t1, t2)
+	if err != nil || n != 0.5 {
+		t.Fatalf("RFNormalized = %v, %v; want 0.5", n, err)
+	}
+}
+
+func TestRFMaximal(t *testing.T) {
+	// Completely conflicting resolutions: every cluster differs.
+	t1 := parse(t, "((a,b),(c,d));")
+	t2 := parse(t, "((a,c),(b,d));")
+	d, err := RF(t1, t2)
+	if err != nil || d != 4 {
+		t.Fatalf("RF = %d, %v; want 4", d, err)
+	}
+	n, err := RFNormalized(t1, t2)
+	if err != nil || n != 1 {
+		t.Fatalf("RFNormalized = %v, %v; want 1", n, err)
+	}
+}
+
+func TestRFStars(t *testing.T) {
+	t1 := parse(t, "(a,b,c,d);")
+	t2 := parse(t, "(a,b,c,d);")
+	if d, err := RFNormalized(t1, t2); err != nil || d != 0 {
+		t.Fatalf("RFNormalized(stars) = %v, %v", d, err)
+	}
+}
+
+func TestRFTaxaMismatch(t *testing.T) {
+	t1 := parse(t, "((a,b),c);")
+	t2 := parse(t, "((a,b),d);")
+	if _, err := RF(t1, t2); !errors.Is(err, ErrTaxaMismatch) {
+		t.Fatalf("err = %v, want ErrTaxaMismatch", err)
+	}
+	t3 := parse(t, "((a,b),(c,d));")
+	if _, err := RFNormalized(t1, t3); !errors.Is(err, ErrTaxaMismatch) {
+		t.Fatalf("err = %v, want ErrTaxaMismatch", err)
+	}
+}
+
+func TestRFSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	taxa := treegen.Alphabet(12)
+	for trial := 0; trial < 20; trial++ {
+		t1 := treegen.Yule(rng, taxa)
+		t2 := treegen.Yule(rng, taxa)
+		d12, err1 := RF(t1, t2)
+		d21, err2 := RF(t2, t1)
+		if err1 != nil || err2 != nil || d12 != d21 {
+			t.Fatalf("RF not symmetric: %d/%d (%v/%v)", d12, d21, err1, err2)
+		}
+	}
+}

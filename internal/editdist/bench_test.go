@@ -1,0 +1,20 @@
+package editdist
+
+import (
+	"math/rand"
+	"testing"
+
+	"treemine/internal/treegen"
+)
+
+func BenchmarkDistance(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	taxa := treegen.Alphabet(20)
+	t1 := treegen.Yule(rng, taxa)
+	t2 := treegen.Yule(rng, taxa)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Distance(t1, t2)
+	}
+}

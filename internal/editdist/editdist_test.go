@@ -1,0 +1,208 @@
+package editdist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"treemine/internal/newick"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+func parse(t *testing.T, s string) *tree.Tree {
+	t.Helper()
+	tr, err := newick.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestDistanceIdentity(t *testing.T) {
+	tr := parse(t, "((a,b),((c,d),e));")
+	if d := Distance(tr, tr.Clone()); d != 0 {
+		t.Fatalf("D(T,T) = %d", d)
+	}
+}
+
+func TestDistanceSingleRelabel(t *testing.T) {
+	t1 := parse(t, "((a,b),c);")
+	t2 := parse(t, "((a,x),c);")
+	if d := Distance(t1, t2); d != 1 {
+		t.Fatalf("single relabel = %d, want 1", d)
+	}
+}
+
+func TestDistanceLeafInsertion(t *testing.T) {
+	t1 := parse(t, "(a,b);")
+	t2 := parse(t, "(a,b,c);")
+	if d := Distance(t1, t2); d != 1 {
+		t.Fatalf("one insertion = %d, want 1", d)
+	}
+}
+
+func TestDistanceToSingleNode(t *testing.T) {
+	// Mapping a 5-node tree onto a single identical-labeled node keeps
+	// that node and deletes the rest.
+	t1 := parse(t, "((x,y),(z,w))r;")
+	b := tree.NewBuilder()
+	b.Root("r")
+	t2 := b.MustBuild()
+	if d := Distance(t1, t2); d != t1.Size()-1 {
+		t.Fatalf("D = %d, want %d", d, t1.Size()-1)
+	}
+}
+
+func TestDistanceConstrainedSemantics(t *testing.T) {
+	// ((a,b)x,c) vs (a,b,c): the general edit distance is 1 (delete x,
+	// promote a and b), but that mapping violates the constrained
+	// condition — lca(a,b) ≠ lca(a,c) in the first tree while they
+	// coincide in the second — so the constrained distance keeps only
+	// two leaves aligned: delete x and b, insert b ⇒ 3. This pins the
+	// constrained (Zhang 1996) semantics the package implements.
+	t1 := parse(t, "((a,b)x,c);")
+	t2 := parse(t, "(a,b,c);")
+	if d := Distance(t1, t2); d != 3 {
+		t.Fatalf("constrained distance = %d, want 3", d)
+	}
+}
+
+func TestDistanceUnlabeledMatchesFree(t *testing.T) {
+	// Unlabeled internal nodes match each other at no cost.
+	t1 := parse(t, "((a,b),(c,d));")
+	t2 := parse(t, "((a,b),(c,d));")
+	if d := Distance(t1, t2); d != 0 {
+		t.Fatalf("D = %d", d)
+	}
+	// Unlabeled vs labeled root costs a relabel.
+	t3 := parse(t, "((a,b),(c,d))root;")
+	if d := Distance(t1, t3); d != 1 {
+		t.Fatalf("root relabel = %d, want 1", d)
+	}
+}
+
+func TestDistanceSiblingOrderIrrelevant(t *testing.T) {
+	t1 := parse(t, "((a,b),(c,d));")
+	t2 := parse(t, "((d,c),(b,a));")
+	if d := Distance(t1, t2); d != 0 {
+		t.Fatalf("unordered distance = %d, want 0", d)
+	}
+}
+
+func randTree(rng *rand.Rand, n int) *tree.Tree {
+	labels := []string{"a", "b", "c"}
+	b := tree.NewBuilder()
+	if rng.Intn(2) == 0 {
+		b.RootUnlabeled()
+	} else {
+		b.Root(labels[rng.Intn(len(labels))])
+	}
+	for i := 1; i < n; i++ {
+		p := tree.NodeID(rng.Intn(i))
+		if rng.Intn(4) == 0 {
+			b.ChildUnlabeled(p)
+		} else {
+			b.Child(p, labels[rng.Intn(len(labels))])
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestDistanceMetricProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randTree(rng, rng.Intn(12)+1)
+		b := randTree(rng, rng.Intn(12)+1)
+		c := randTree(rng, rng.Intn(12)+1)
+		dab, dba := Distance(a, b), Distance(b, a)
+		if dab != dba {
+			t.Logf("seed %d: asymmetric %d vs %d", seed, dab, dba)
+			return false
+		}
+		if Distance(a, a) != 0 {
+			return false
+		}
+		// Triangle inequality.
+		if dab > Distance(a, c)+Distance(c, b) {
+			t.Logf("seed %d: triangle violated", seed)
+			return false
+		}
+		// Bounded by total deletion + insertion.
+		return dab <= a.Size()+b.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceIsomorphicIsZero(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randTree(rng, rng.Intn(15)+1)
+		// Shuffle children by rebuilding in random order.
+		b := rebuildShuffled(rng, a)
+		return Distance(a, b) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func rebuildShuffled(rng *rand.Rand, t *tree.Tree) *tree.Tree {
+	b := tree.NewBuilder()
+	var rec func(old, parent tree.NodeID)
+	rec = func(old, parent tree.NodeID) {
+		var id tree.NodeID
+		if l, ok := t.Label(old); ok {
+			if parent == tree.None {
+				id = b.Root(l)
+			} else {
+				id = b.Child(parent, l)
+			}
+		} else {
+			if parent == tree.None {
+				id = b.RootUnlabeled()
+			} else {
+				id = b.ChildUnlabeled(parent)
+			}
+		}
+		kids := append([]tree.NodeID(nil), t.Children(old)...)
+		rng.Shuffle(len(kids), func(i, j int) { kids[i], kids[j] = kids[j], kids[i] })
+		for _, k := range kids {
+			rec(k, id)
+		}
+	}
+	rec(t.Root(), tree.None)
+	return b.MustBuild()
+}
+
+func TestNormalized(t *testing.T) {
+	t1 := parse(t, "(a,b);")
+	t2 := parse(t, "(x,y);")
+	n := Normalized(t1, t2)
+	if n <= 0 || n > 1 {
+		t.Fatalf("Normalized = %v", n)
+	}
+	if Normalized(t1, t1.Clone()) != 0 {
+		t.Fatal("Normalized identity not 0")
+	}
+}
+
+func TestDistancePhylogenies(t *testing.T) {
+	// Sanity at phylogeny scale: same taxa, different topologies yield a
+	// small positive distance; disjoint taxa yield near-total cost.
+	rng := rand.New(rand.NewSource(5))
+	taxa := treegen.Alphabet(12)
+	a := treegen.Yule(rng, taxa)
+	b := treegen.Yule(rng, taxa)
+	dSame := Distance(a, b)
+	if dSame < 0 || dSame > a.Size()+b.Size() {
+		t.Fatalf("same-taxa distance out of bounds: %d", dSame)
+	}
+	other := treegen.Yule(rng, treegen.Alphabet(24)[12:])
+	dDiff := Distance(a, other)
+	if dDiff <= dSame {
+		t.Fatalf("disjoint-taxa distance %d not above same-taxa %d", dDiff, dSame)
+	}
+}

@@ -1,0 +1,397 @@
+// Package freetree extends cousin-pair mining to free trees — unrooted
+// unordered labeled trees, i.e. undirected acyclic graphs (UAGs) — as
+// described in §6 of the paper. Reconstruction methods such as maximum
+// parsimony and maximum likelihood naturally produce unrooted trees, so
+// the extension matters in practice.
+//
+// In a UAG the cousin distance of two labeled nodes u, v is
+//
+//	cdist(u, v) = n/2 − 1
+//
+// where n is the number of edges on the unique u–v path (Eq. 7). Paths
+// of length 1 (adjacent nodes — the unrooted analogue of parent–child
+// pairs) are excluded, exactly as the rooted algorithm excludes
+// ancestor–descendant pairs.
+package freetree
+
+import (
+	"errors"
+	"fmt"
+
+	"treemine/internal/core"
+)
+
+// Errors reported by graph construction.
+var (
+	// ErrCycle is returned by Validate when the graph contains a cycle.
+	ErrCycle = errors.New("freetree: graph contains a cycle")
+	// ErrDisconnected is returned by Validate when the graph is not
+	// connected.
+	ErrDisconnected = errors.New("freetree: graph is not connected")
+)
+
+// Graph is an undirected acyclic graph with optionally labeled nodes.
+// Build it with AddNode/AddEdge, then Validate before mining.
+type Graph struct {
+	adj     [][]int
+	labels  []string
+	labeled []bool
+	edges   int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddNode adds a labeled node and returns its index.
+func (g *Graph) AddNode(label string) int { return g.add(label, true) }
+
+// AddNodeUnlabeled adds an unlabeled node and returns its index.
+func (g *Graph) AddNodeUnlabeled() int { return g.add("", false) }
+
+func (g *Graph) add(label string, labeled bool) int {
+	g.adj = append(g.adj, nil)
+	g.labels = append(g.labels, label)
+	g.labeled = append(g.labeled, labeled)
+	return len(g.adj) - 1
+}
+
+// AddEdge connects nodes u and v. It returns an error for out-of-range
+// endpoints, self-loops, and duplicate edges.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return fmt.Errorf("freetree: edge (%d,%d) out of range [0,%d)", u, v, len(g.adj))
+	}
+	if u == v {
+		return fmt.Errorf("freetree: self-loop on node %d", u)
+	}
+	for _, w := range g.adj[u] {
+		if w == v {
+			return fmt.Errorf("freetree: duplicate edge (%d,%d)", u, v)
+		}
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.edges++
+	return nil
+}
+
+// Size returns the number of nodes.
+func (g *Graph) Size() int { return len(g.adj) }
+
+// Label returns the label of node n and whether n is labeled.
+func (g *Graph) Label(n int) (string, bool) {
+	if !g.labeled[n] {
+		return "", false
+	}
+	return g.labels[n], true
+}
+
+// Neighbors returns the adjacency list of n; the slice is owned by the
+// graph.
+func (g *Graph) Neighbors(n int) []int { return g.adj[n] }
+
+// Validate checks that the graph is a free tree: connected and acyclic.
+// The empty graph is valid.
+func (g *Graph) Validate() error {
+	n := len(g.adj)
+	if n == 0 {
+		return nil
+	}
+	if g.edges != n-1 {
+		if g.edges > n-1 {
+			return fmt.Errorf("%w (%d nodes, %d edges)", ErrCycle, n, g.edges)
+		}
+		return fmt.Errorf("%w (%d nodes, %d edges)", ErrDisconnected, n, g.edges)
+	}
+	// n−1 edges: connected ⟺ acyclic; check connectivity by BFS.
+	seen := make([]bool, n)
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	if count != n {
+		return fmt.Errorf("%w (reached %d of %d nodes)", ErrDisconnected, count, n)
+	}
+	return nil
+}
+
+// Mine finds every cousin pair item of the free tree g with distance at
+// most opts.MaxDist and occurrence at least opts.MinOccur, implementing
+// the rooted-conversion algorithm of §6: an arbitrary edge is subdivided
+// by an artificial root r, and for each distance d all level
+// combinations (i, j) with i + j = 2(d+1) are enumerated below every
+// potential meeting node — or i + j = 2(d+1)+1 below r itself, to
+// account for the extra edge the subdivision inserted (Eq. 8–10). The
+// caller should Validate first; Mine returns an error otherwise.
+func Mine(g *Graph, opts core.Options) (core.ItemSet, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	items := make(core.ItemSet)
+	if g.Size() < 2 || opts.MaxDist < 0 {
+		return items.FilterMinOccur(opts.MinOccur), nil
+	}
+	r := rootedView(g)
+	// Deepest level reachable by any qualified pair: at the artificial
+	// root i + j = n+1 edges with n = maxdist·2 + 2 and the partner at
+	// least at level 1, so j ≤ n + 1 − 1 = int(MaxDist) + 2.
+	maxJ := int(opts.MaxDist) + 2
+	groups := r.buildGroups(maxJ)
+	for _, d := range core.ValidDistances(opts.MaxDist) {
+		pathLen := int(d) + 2 // edges between the cousins: n = 2(dist+1)
+		for a, g2 := range groups {
+			target := pathLen
+			if a == 0 { // the artificial root: one extra edge (Eq. 10)
+				target = pathLen + 1
+			}
+			for i := 1; 2*i < target; i++ {
+				emitCross(r, g2, i, target-i, d, items)
+			}
+			if target%2 == 0 {
+				emitCross(r, g2, target/2, target/2, d, items)
+			}
+			// Vertical pairs: unrooted trees have no ancestors, so a
+			// labeled node a and a labeled node pathLen edges straight
+			// below it in the rooted view are cousins too — a case the
+			// up-i/down-j enumeration (i, j ≥ 1) cannot reach.
+			if a != 0 && r.g.labeled[r.orig[a]] {
+				emitVertical(r, a, g2, pathLen, d, items)
+			}
+		}
+	}
+	return items.FilterMinOccur(opts.MinOccur), nil
+}
+
+// NaiveMine is the brute-force oracle: BFS from every labeled node
+// counting path lengths, then d = n/2 − 1 (Eq. 7).
+func NaiveMine(g *Graph, opts core.Options) (core.ItemSet, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	items := make(core.ItemSet)
+	n := g.Size()
+	for u := 0; u < n; u++ {
+		if !g.labeled[u] {
+			continue
+		}
+		dist := make([]int, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[u] = 0
+		queue := []int{u}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, y := range g.adj[x] {
+				if dist[y] < 0 {
+					dist[y] = dist[x] + 1
+					queue = append(queue, y)
+				}
+			}
+		}
+		for v := u + 1; v < n; v++ {
+			if !g.labeled[v] || dist[v] < 2 {
+				continue
+			}
+			d := core.Dist(dist[v] - 2) // halves: n/2−1 ⇒ 2d = n−2
+			if d > opts.MaxDist {
+				continue
+			}
+			items[core.NewKey(g.labels[u], g.labels[v], d)]++
+		}
+	}
+	return items.FilterMinOccur(opts.MinOccur), nil
+}
+
+// rooted is the rooted view of a free tree: node 0 is the artificial
+// root subdividing the chosen edge; nodes 1.. map back to graph nodes.
+type rooted struct {
+	g        *Graph
+	parent   []int   // parent in the rooted view, -1 for the root
+	children [][]int // children in the rooted view
+	orig     []int   // rooted-view index → graph node (-1 for the root)
+}
+
+// rootedView subdivides the first edge of the graph with an artificial
+// root. The graph has at least two nodes (hence at least one edge).
+func rootedView(g *Graph) *rooted {
+	n := g.Size()
+	r := &rooted{
+		g:        g,
+		parent:   make([]int, n+1),
+		children: make([][]int, n+1),
+		orig:     make([]int, n+1),
+	}
+	// Pick the edge between node 0 and its first neighbor.
+	x, y := 0, g.adj[0][0]
+	r.parent[0] = -1
+	r.orig[0] = -1
+	// Graph node v is rooted-view node v+1.
+	for v := 0; v < n; v++ {
+		r.orig[v+1] = v
+	}
+	attach := func(child, par int) {
+		r.parent[child+1] = par
+		r.children[par] = append(r.children[par], child+1)
+	}
+	attach(x, 0)
+	attach(y, 0)
+	// BFS orienting away from the subdivided edge.
+	seen := make([]bool, n)
+	seen[x], seen[y] = true, true
+	queue := []int{x, y}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if u == x && v == y || u == y && v == x {
+				continue
+			}
+			if !seen[v] {
+				seen[v] = true
+				attach(v, u+1)
+				queue = append(queue, v)
+			}
+		}
+	}
+	return r
+}
+
+// buildGroups returns, for every rooted-view node a, the labeled
+// descendants grouped by (child subtree of a, depth below a), for depths
+// up to maxJ. groups[a][ci][depth-1] lists graph nodes.
+func (r *rooted) buildGroups(maxJ int) map[int][][][]int {
+	groups := make(map[int][][][]int)
+	childIndex := make([]int, len(r.parent))
+	for a := range r.children {
+		for i, c := range r.children[a] {
+			childIndex[c] = i
+		}
+	}
+	for v := 1; v < len(r.parent); v++ {
+		ov := r.orig[v]
+		if !r.g.labeled[ov] {
+			continue
+		}
+		child := v
+		a := r.parent[v]
+		for depth := 1; depth <= maxJ && a >= 0; depth++ {
+			gr := groups[a]
+			if gr == nil {
+				gr = make([][][]int, len(r.children[a]))
+				groups[a] = gr
+			}
+			ci := childIndex[child]
+			for len(gr[ci]) < depth {
+				gr[ci] = append(gr[ci], nil)
+			}
+			gr[ci][depth-1] = append(gr[ci][depth-1], ov)
+			child = a
+			a = r.parent[a]
+		}
+	}
+	return groups
+}
+
+// emitCross counts label pairs between depth-i nodes of one child
+// subtree and depth-j nodes of a different child subtree. For i == j
+// unordered child pairs are visited once.
+func emitCross(r *rooted, g2 [][][]int, i, j int, d core.Dist, items core.ItemSet) {
+	for c1 := range g2 {
+		if len(g2[c1]) < i {
+			continue
+		}
+		us := g2[c1][i-1]
+		if len(us) == 0 {
+			continue
+		}
+		start := 0
+		if i == j {
+			start = c1 + 1
+		}
+		for c2 := start; c2 < len(g2); c2++ {
+			if c2 == c1 || len(g2[c2]) < j {
+				continue
+			}
+			for _, u := range us {
+				for _, v := range g2[c2][j-1] {
+					items[core.NewKey(r.g.labels[u], r.g.labels[v], d)]++
+				}
+			}
+		}
+	}
+}
+
+// emitVertical counts pairs between the labeled node a and every labeled
+// node exactly depth edges below it in the rooted view.
+func emitVertical(r *rooted, a int, g2 [][][]int, depth int, d core.Dist, items core.ItemSet) {
+	la := r.g.labels[r.orig[a]]
+	for c := range g2 {
+		if len(g2[c]) < depth {
+			continue
+		}
+		for _, v := range g2[c][depth-1] {
+			items[core.NewKey(la, r.g.labels[v], d)]++
+		}
+	}
+}
+
+// MineForest finds frequent cousin pairs across multiple free trees,
+// mirroring core.MineForest. Graphs failing validation abort with an
+// error.
+func MineForest(graphs []*Graph, opts core.ForestOptions) ([]core.FrequentPair, error) {
+	support := make(map[core.Key]int)
+	for gi, g := range graphs {
+		items, err := Mine(g, opts.Options)
+		if err != nil {
+			return nil, fmt.Errorf("freetree: graph %d: %w", gi, err)
+		}
+		if opts.IgnoreDist {
+			items = items.IgnoreDist()
+		}
+		for k := range items {
+			support[k]++
+		}
+	}
+	var out []core.FrequentPair
+	for k, s := range support {
+		if s >= opts.MinSup {
+			out = append(out, core.FrequentPair{Key: k, Support: s})
+		}
+	}
+	sortFrequent(out)
+	return out, nil
+}
+
+func sortFrequent(fp []core.FrequentPair) {
+	// Same ordering as core.MineForest: support desc, then key.
+	for i := 1; i < len(fp); i++ {
+		for j := i; j > 0 && lessFrequent(fp[j], fp[j-1]); j-- {
+			fp[j], fp[j-1] = fp[j-1], fp[j]
+		}
+	}
+}
+
+func lessFrequent(a, b core.FrequentPair) bool {
+	if a.Support != b.Support {
+		return a.Support > b.Support
+	}
+	if a.Key.A != b.Key.A {
+		return a.Key.A < b.Key.A
+	}
+	if a.Key.B != b.Key.B {
+		return a.Key.B < b.Key.B
+	}
+	return a.Key.D < b.Key.D
+}

@@ -1,0 +1,211 @@
+// Package kernel finds kernel trees from groups of phylogenies (§5.3 of
+// the paper): given s groups of trees — each group typically the equally
+// parsimonious trees for one taxon set, with different groups sharing
+// some but not all taxa — it selects one tree per group so that the
+// average pairwise cousin-based tree distance among the selected trees is
+// minimized. The paper proposes the selected trees as a starting point
+// for supertree construction, precisely because the cousin-based distance
+// (unlike COMPONENT's measures) tolerates unequal taxon sets.
+package kernel
+
+import (
+	"errors"
+	"math/rand"
+
+	"treemine/internal/core"
+	"treemine/internal/tree"
+)
+
+// ErrEmptyGroup is returned when any group contains no trees.
+var ErrEmptyGroup = errors.New("kernel: empty group")
+
+// Config tunes the kernel search.
+type Config struct {
+	// Variant selects the tree-distance measure; the paper's experiment
+	// uses VariantDistOccur.
+	Variant core.Variant
+	// Mining options for the per-tree cousin pair items.
+	Options core.Options
+	// ExactBudget caps the number of tree combinations the exact search
+	// may enumerate; larger inputs fall back to coordinate descent.
+	ExactBudget int
+	// Restarts for the coordinate-descent fallback.
+	Restarts int
+	// Seed drives the fallback's randomized restarts.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's kernel experiment: tdist_{occ,dist}
+// with the Table 2 mining defaults.
+func DefaultConfig() Config {
+	return Config{
+		Variant:     core.VariantDistOccur,
+		Options:     core.DefaultOptions(),
+		ExactBudget: 1_000_000,
+		Restarts:    8,
+		Seed:        1,
+	}
+}
+
+// Result is the outcome of a kernel search.
+type Result struct {
+	// Choice[g] is the index of the selected tree within group g.
+	Choice []int
+	// AvgDist is the average pairwise tree distance among the selected
+	// trees (0 when there are fewer than two groups).
+	AvgDist float64
+	// Exact reports whether the result came from exhaustive enumeration
+	// (true) or the coordinate-descent fallback (false).
+	Exact bool
+}
+
+// Find selects one tree per group minimizing the average pairwise
+// distance. Mining happens once per tree; the pairwise distances between
+// trees of different groups are then precomputed, so the search itself
+// touches only a matrix.
+func Find(groups [][]*tree.Tree, cfg Config) (*Result, error) {
+	s := len(groups)
+	if s == 0 {
+		return &Result{}, nil
+	}
+	for _, g := range groups {
+		if len(g) == 0 {
+			return nil, ErrEmptyGroup
+		}
+	}
+	// Pre-mine every tree.
+	items := make([][]core.ItemSet, s)
+	for gi, g := range groups {
+		items[gi] = make([]core.ItemSet, len(g))
+		for ti, t := range g {
+			items[gi][ti] = core.Mine(t, cfg.Options)
+		}
+	}
+	// dist returns the distance between tree ti of group gi and tree tj
+	// of group gj, memoized.
+	type pairKey struct{ gi, ti, gj, tj int }
+	memo := map[pairKey]float64{}
+	dist := func(gi, ti, gj, tj int) float64 {
+		if gi > gj || (gi == gj && ti > tj) {
+			gi, ti, gj, tj = gj, tj, gi, ti
+		}
+		k := pairKey{gi, ti, gj, tj}
+		if d, ok := memo[k]; ok {
+			return d
+		}
+		d := core.TDistItems(items[gi][ti], items[gj][tj], cfg.Variant)
+		memo[k] = d
+		return d
+	}
+
+	if s == 1 {
+		return &Result{Choice: []int{0}, AvgDist: 0, Exact: true}, nil
+	}
+
+	product := 1
+	exact := true
+	for _, g := range groups {
+		product *= len(g)
+		if product > cfg.ExactBudget {
+			exact = false
+			break
+		}
+	}
+
+	var best *Result
+	if exact {
+		best = findExact(groups, dist)
+		best.Exact = true
+	} else {
+		best = findDescent(groups, dist, cfg)
+		best.Exact = false
+	}
+	return best, nil
+}
+
+// findExact enumerates the full cross product with partial-sum pruning.
+func findExact(groups [][]*tree.Tree, dist func(gi, ti, gj, tj int) float64) *Result {
+	s := len(groups)
+	pairs := float64(s*(s-1)) / 2
+	bestSum := -1.0
+	bestChoice := make([]int, s)
+	cur := make([]int, s)
+	var rec func(g int, sum float64)
+	rec = func(g int, sum float64) {
+		if bestSum >= 0 && sum >= bestSum {
+			return // distances are non-negative: prune
+		}
+		if g == s {
+			bestSum = sum
+			copy(bestChoice, cur)
+			return
+		}
+		for ti := range groups[g] {
+			cur[g] = ti
+			add := 0.0
+			for gj := 0; gj < g; gj++ {
+				add += dist(g, ti, gj, cur[gj])
+			}
+			rec(g+1, sum+add)
+		}
+	}
+	rec(0, 0)
+	return &Result{Choice: bestChoice, AvgDist: bestSum / pairs}
+}
+
+// findDescent runs randomized coordinate descent: starting from a random
+// choice, repeatedly re-optimize one group's selection holding the others
+// fixed, until no single-group change improves; keep the best of several
+// restarts.
+func findDescent(groups [][]*tree.Tree, dist func(gi, ti, gj, tj int) float64, cfg Config) *Result {
+	s := len(groups)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pairs := float64(s*(s-1)) / 2
+	score := func(choice []int) float64 {
+		sum := 0.0
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				sum += dist(i, choice[i], j, choice[j])
+			}
+		}
+		return sum
+	}
+	restarts := cfg.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	var bestChoice []int
+	bestSum := -1.0
+	for r := 0; r < restarts; r++ {
+		choice := make([]int, s)
+		for g := range choice {
+			choice[g] = rng.Intn(len(groups[g]))
+		}
+		for improved := true; improved; {
+			improved = false
+			for g := 0; g < s; g++ {
+				curBest, curIdx := -1.0, choice[g]
+				for ti := range groups[g] {
+					sum := 0.0
+					for gj := 0; gj < s; gj++ {
+						if gj != g {
+							sum += dist(g, ti, gj, choice[gj])
+						}
+					}
+					if curBest < 0 || sum < curBest {
+						curBest, curIdx = sum, ti
+					}
+				}
+				if curIdx != choice[g] {
+					choice[g] = curIdx
+					improved = true
+				}
+			}
+		}
+		if total := score(choice); bestSum < 0 || total < bestSum {
+			bestSum = total
+			bestChoice = append([]int(nil), choice...)
+		}
+	}
+	return &Result{Choice: bestChoice, AvgDist: bestSum / pairs}
+}

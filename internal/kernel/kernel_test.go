@@ -1,0 +1,146 @@
+package kernel
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"treemine/internal/core"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+// groupsFixture builds s groups of k random phylogenies over overlapping
+// taxon windows.
+func groupsFixture(seed int64, s, k int) [][]*tree.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	all := treegen.Alphabet(40)
+	groups := make([][]*tree.Tree, s)
+	for g := 0; g < s; g++ {
+		taxa := all[g*5 : g*5+20] // consecutive windows share 15 taxa
+		for i := 0; i < k; i++ {
+			groups[g] = append(groups[g], treegen.Yule(rng, taxa))
+		}
+	}
+	return groups
+}
+
+func TestFindEmptyAndSingle(t *testing.T) {
+	res, err := Find(nil, DefaultConfig())
+	if err != nil || len(res.Choice) != 0 {
+		t.Fatalf("Find(nil) = %+v, %v", res, err)
+	}
+	groups := groupsFixture(1, 1, 3)
+	res, err = Find(groups, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Choice) != 1 || res.AvgDist != 0 || !res.Exact {
+		t.Fatalf("single group result = %+v", res)
+	}
+}
+
+func TestFindEmptyGroupError(t *testing.T) {
+	groups := [][]*tree.Tree{{}, nil}
+	if _, err := Find(groups, DefaultConfig()); !errors.Is(err, ErrEmptyGroup) {
+		t.Fatalf("err = %v, want ErrEmptyGroup", err)
+	}
+}
+
+func TestFindPicksIdenticalTrees(t *testing.T) {
+	// Two groups; one tree of each group is identical across groups, the
+	// others are scrambles. The kernel must select the identical pair
+	// (distance 0).
+	rng := rand.New(rand.NewSource(3))
+	taxa := treegen.Alphabet(15)
+	shared := treegen.Yule(rng, taxa)
+	groups := [][]*tree.Tree{
+		{treegen.Yule(rng, taxa), shared, treegen.Yule(rng, taxa)},
+		{treegen.Yule(rng, taxa), treegen.Yule(rng, taxa), shared.Clone()},
+	}
+	res, err := Find(groups, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("small product should use exact search")
+	}
+	if res.AvgDist != 0 {
+		t.Fatalf("AvgDist = %v, want 0", res.AvgDist)
+	}
+	if res.Choice[0] != 1 || res.Choice[1] != 2 {
+		t.Fatalf("Choice = %v, want [1 2]", res.Choice)
+	}
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	groups := groupsFixture(7, 3, 4)
+	cfg := DefaultConfig()
+	res, err := Find(groups, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force over all 64 combinations.
+	items := make([][]core.ItemSet, len(groups))
+	for gi, g := range groups {
+		for _, tr := range g {
+			items[gi] = append(items[gi], core.Mine(tr, cfg.Options))
+		}
+	}
+	bestSum := -1.0
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			for c := 0; c < 4; c++ {
+				sum := core.TDistItems(items[0][a], items[1][b], cfg.Variant) +
+					core.TDistItems(items[0][a], items[2][c], cfg.Variant) +
+					core.TDistItems(items[1][b], items[2][c], cfg.Variant)
+				if bestSum < 0 || sum < bestSum {
+					bestSum = sum
+				}
+			}
+		}
+	}
+	want := bestSum / 3
+	if diff := res.AvgDist - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("AvgDist = %v, brute force = %v", res.AvgDist, want)
+	}
+}
+
+func TestDescentFallback(t *testing.T) {
+	groups := groupsFixture(11, 3, 5)
+	cfg := DefaultConfig()
+	cfg.ExactBudget = 10 // force fallback (125 combos > 10)
+	res, err := Find(groups, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("expected fallback search")
+	}
+	// Fallback must not beat exact (sanity) and must be within 2x.
+	exact, err := Find(groups, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgDist < exact.AvgDist-1e-12 {
+		t.Fatalf("fallback %v beat exact %v", res.AvgDist, exact.AvgDist)
+	}
+	if exact.AvgDist > 0 && res.AvgDist > 2*exact.AvgDist {
+		t.Fatalf("fallback %v more than 2x exact %v", res.AvgDist, exact.AvgDist)
+	}
+}
+
+func TestFindDeterministic(t *testing.T) {
+	groups := groupsFixture(13, 2, 3)
+	a, err := Find(groups, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Find(groups, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgDist != b.AvgDist || a.Choice[0] != b.Choice[0] || a.Choice[1] != b.Choice[1] {
+		t.Fatalf("Find not deterministic: %+v vs %+v", a, b)
+	}
+}

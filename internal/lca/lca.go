@@ -1,0 +1,129 @@
+// Package lca answers least-common-ancestor queries on a tree in O(1)
+// after O(n log n) preprocessing, using the classic Euler-tour reduction
+// to range-minimum queries over a sparse table (Bender & Farach-Colton,
+// "The LCA problem revisited", LATIN 2000 — reference [4] of the paper).
+//
+// The cousin-pair miner itself does not need an LCA index (it enumerates
+// cousins level-by-level), but the naive quadratic oracle used to verify
+// the miner does, as do the similarity measures that look up the cousin
+// distance of specific node pairs.
+package lca
+
+import (
+	"math/bits"
+
+	"treemine/internal/tree"
+)
+
+// Index is a preprocessed LCA index over a single tree. It is safe for
+// concurrent queries once built.
+type Index struct {
+	t     *tree.Tree
+	euler []tree.NodeID // Euler tour of the tree, 2n-1 entries
+	depth []int         // depth of each tour entry
+	first []int         // first tour position of each node
+	table [][]int32     // sparse table of tour positions with minimal depth
+}
+
+// New builds an LCA index for t. Building is O(n log n).
+func New(t *tree.Tree) *Index {
+	n := t.Size()
+	idx := &Index{
+		t:     t,
+		euler: make([]tree.NodeID, 0, 2*n-1),
+		depth: make([]int, 0, 2*n-1),
+		first: make([]int, n),
+	}
+	for i := range idx.first {
+		idx.first[i] = -1
+	}
+	idx.tour(t.Root())
+	idx.buildTable()
+	return idx
+}
+
+// tour performs an iterative Euler tour so deep trees cannot overflow the
+// goroutine stack.
+func (idx *Index) tour(root tree.NodeID) {
+	if root == tree.None {
+		return
+	}
+	type frame struct {
+		node tree.NodeID
+		next int // index of next child to visit
+	}
+	stack := []frame{{node: root}}
+	record := func(n tree.NodeID) {
+		if idx.first[n] < 0 {
+			idx.first[n] = len(idx.euler)
+		}
+		idx.euler = append(idx.euler, n)
+		idx.depth = append(idx.depth, idx.t.Depth(n))
+	}
+	record(root)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		kids := idx.t.Children(f.node)
+		if f.next < len(kids) {
+			child := kids[f.next]
+			f.next++
+			record(child)
+			stack = append(stack, frame{node: child})
+		} else {
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				record(stack[len(stack)-1].node)
+			}
+		}
+	}
+}
+
+func (idx *Index) buildTable() {
+	m := len(idx.euler)
+	levels := 1
+	if m > 1 {
+		levels = bits.Len(uint(m)) // floor(log2(m)) + 1
+	}
+	idx.table = make([][]int32, levels)
+	idx.table[0] = make([]int32, m)
+	for i := 0; i < m; i++ {
+		idx.table[0][i] = int32(i)
+	}
+	for k := 1; k < levels; k++ {
+		width := m - (1 << k) + 1
+		if width <= 0 {
+			idx.table = idx.table[:k]
+			break
+		}
+		idx.table[k] = make([]int32, width)
+		half := 1 << (k - 1)
+		for i := 0; i < width; i++ {
+			a, b := idx.table[k-1][i], idx.table[k-1][i+half]
+			if idx.depth[a] <= idx.depth[b] {
+				idx.table[k][i] = a
+			} else {
+				idx.table[k][i] = b
+			}
+		}
+	}
+}
+
+// LCA returns the least common ancestor of u and v.
+func (idx *Index) LCA(u, v tree.NodeID) tree.NodeID {
+	l, r := idx.first[u], idx.first[v]
+	if l > r {
+		l, r = r, l
+	}
+	k := bits.Len(uint(r-l+1)) - 1
+	a, b := idx.table[k][l], idx.table[k][r-(1<<k)+1]
+	if idx.depth[a] <= idx.depth[b] {
+		return idx.euler[a]
+	}
+	return idx.euler[b]
+}
+
+// Dist returns the number of edges on the path between u and v.
+func (idx *Index) Dist(u, v tree.NodeID) int {
+	a := idx.LCA(u, v)
+	return idx.t.Depth(u) + idx.t.Depth(v) - 2*idx.t.Depth(a)
+}

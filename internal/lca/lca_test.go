@@ -1,0 +1,93 @@
+package lca
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"treemine/internal/tree"
+)
+
+func buildRandom(rng *rand.Rand, n int) *tree.Tree {
+	b := tree.NewBuilder()
+	b.Root("n0")
+	for i := 1; i < n; i++ {
+		b.Child(tree.NodeID(rng.Intn(i)), "n")
+	}
+	return b.MustBuild()
+}
+
+func TestLCAAgainstWalkingBaseline(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size)%60 + 1
+		tr := buildRandom(rng, n)
+		idx := New(tr)
+		for q := 0; q < 50; q++ {
+			u := tree.NodeID(rng.Intn(n))
+			v := tree.NodeID(rng.Intn(n))
+			if idx.LCA(u, v) != tr.LCA(u, v) {
+				t.Logf("seed=%d n=%d u=%d v=%d: fast=%d slow=%d",
+					seed, n, u, v, idx.LCA(u, v), tr.LCA(u, v))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLCASingleNode(t *testing.T) {
+	b := tree.NewBuilder()
+	b.Root("only")
+	tr := b.MustBuild()
+	idx := New(tr)
+	if got := idx.LCA(0, 0); got != 0 {
+		t.Fatalf("LCA(0,0) = %d", got)
+	}
+	if got := idx.Dist(0, 0); got != 0 {
+		t.Fatalf("Dist(0,0) = %d", got)
+	}
+}
+
+func TestLCADeepChain(t *testing.T) {
+	// A 10k-deep chain must not overflow the stack during the tour.
+	b := tree.NewBuilder()
+	n := b.Root("r")
+	for i := 0; i < 10000; i++ {
+		n = b.Child(n, "c")
+	}
+	tr := b.MustBuild()
+	idx := New(tr)
+	if got := idx.LCA(0, n); got != 0 {
+		t.Fatalf("LCA(root, deepest) = %d, want 0", got)
+	}
+	if got := idx.Dist(0, n); got != 10000 {
+		t.Fatalf("Dist = %d, want 10000", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	// ((a,b),(c,d)): dist(a,b)=2, dist(a,c)=4, dist(a, left-internal)=1.
+	b := tree.NewBuilder()
+	r := b.RootUnlabeled()
+	l := b.ChildUnlabeled(r)
+	a := b.Child(l, "a")
+	bb := b.Child(l, "b")
+	rr := b.ChildUnlabeled(r)
+	c := b.Child(rr, "c")
+	b.Child(rr, "d")
+	tr := b.MustBuild()
+	idx := New(tr)
+	if got := idx.Dist(a, bb); got != 2 {
+		t.Errorf("Dist(a,b) = %d, want 2", got)
+	}
+	if got := idx.Dist(a, c); got != 4 {
+		t.Errorf("Dist(a,c) = %d, want 4", got)
+	}
+	if got := idx.Dist(a, l); got != 1 {
+		t.Errorf("Dist(a,parent) = %d, want 1", got)
+	}
+}

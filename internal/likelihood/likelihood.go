@@ -1,0 +1,203 @@
+// Package likelihood implements maximum-likelihood phylogeny scoring and
+// search under the Jukes–Cantor (JC69) substitution model: Felsenstein's
+// pruning algorithm computes the log-likelihood of a tree given an
+// alignment, and an NNI hill-climb searches tree space. Together with
+// internal/parsimony this covers both reconstruction families the
+// paper's §6 names as producers of the unrooted trees the free-tree
+// extension mines ("methods such as MP [14] and ML [12] may produce
+// unrooted unordered labeled trees"); reference [12] is Felsenstein's
+// original ML paper.
+package likelihood
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"treemine/internal/parsimony"
+	"treemine/internal/seqsim"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+// Errors reported by the scorer.
+var (
+	// ErrNotBinary is returned when an internal node is not binary.
+	ErrNotBinary = errors.New("likelihood: tree is not binary")
+	// ErrMissingSequence is returned when a leaf has no sequence.
+	ErrMissingSequence = errors.New("likelihood: leaf taxon missing from alignment")
+	// ErrBadBranchLength is returned for non-positive branch lengths.
+	ErrBadBranchLength = errors.New("likelihood: branch length must be positive")
+)
+
+// jcProbs returns the JC69 transition probabilities for one edge of
+// length t (expected substitutions per site): pSame for identical
+// states, pDiff for each of the three others.
+func jcProbs(t float64) (pSame, pDiff float64) {
+	e := math.Exp(-4 * t / 3)
+	return 0.25 + 0.75*e, 0.25 - 0.25*e
+}
+
+// baseIndex maps a base to 0..3, or -1 for unknown (treated as fully
+// ambiguous).
+func baseIndex(b byte) int {
+	switch b {
+	case 'A':
+		return 0
+	case 'C':
+		return 1
+	case 'G':
+		return 2
+	case 'T':
+		return 3
+	default:
+		return -1
+	}
+}
+
+// Score returns the log-likelihood of the binary tree under JC69 with
+// every edge at the given branch length. Uniform branch lengths keep the
+// model one-parameter — enough for topology search, which is all the
+// mining pipeline needs from ML.
+func Score(t *tree.Tree, a *seqsim.Alignment, branchLen float64) (float64, error) {
+	if branchLen <= 0 {
+		return 0, fmt.Errorf("%w (%v)", ErrBadBranchLength, branchLen)
+	}
+	sites := a.Len()
+	pSame, pDiff := jcProbs(branchLen)
+
+	// partial[n][site*4+s] = P(data below n | state s at n).
+	partial := make([][]float64, t.Size())
+	var err error
+	t.PostOrder(func(n tree.NodeID) {
+		if err != nil {
+			return
+		}
+		if t.IsLeaf(n) {
+			l, ok := t.Label(n)
+			if !ok {
+				err = fmt.Errorf("%w (unlabeled leaf %d)", ErrMissingSequence, n)
+				return
+			}
+			seq, ok := a.Seqs[l]
+			if !ok {
+				err = fmt.Errorf("%w (%q)", ErrMissingSequence, l)
+				return
+			}
+			if len(seq) != sites {
+				err = fmt.Errorf("likelihood: sequence for %q has %d sites, want %d", l, len(seq), sites)
+				return
+			}
+			p := make([]float64, sites*4)
+			for i, b := range seq {
+				if s := baseIndex(b); s >= 0 {
+					p[i*4+s] = 1
+				} else {
+					p[i*4], p[i*4+1], p[i*4+2], p[i*4+3] = 1, 1, 1, 1
+				}
+			}
+			partial[n] = p
+			return
+		}
+		kids := t.Children(n)
+		if len(kids) != 2 {
+			err = fmt.Errorf("%w (node %d has %d children)", ErrNotBinary, n, len(kids))
+			return
+		}
+		l, r := partial[kids[0]], partial[kids[1]]
+		p := make([]float64, sites*4)
+		for i := 0; i < sites; i++ {
+			for s := 0; s < 4; s++ {
+				// Sum over child states with JC transition probabilities.
+				var fromL, fromR float64
+				for c := 0; c < 4; c++ {
+					pr := pDiff
+					if c == s {
+						pr = pSame
+					}
+					fromL += pr * l[i*4+c]
+					fromR += pr * r[i*4+c]
+				}
+				p[i*4+s] = fromL * fromR
+			}
+		}
+		partial[n] = p
+	})
+	if err != nil {
+		return 0, err
+	}
+	rootP := partial[t.Root()]
+	ll := 0.0
+	for i := 0; i < sites; i++ {
+		site := 0.25 * (rootP[i*4] + rootP[i*4+1] + rootP[i*4+2] + rootP[i*4+3])
+		if site <= 0 {
+			return math.Inf(-1), nil
+		}
+		ll += math.Log(site)
+	}
+	return ll, nil
+}
+
+// SearchConfig tunes the ML topology search.
+type SearchConfig struct {
+	Starts    int     // random starting trees (default 8)
+	MaxRounds int     // NNI improvement rounds per start (default 100)
+	BranchLen float64 // uniform branch length (default 0.1)
+	// UseSPR widens each climb step to the SPR neighborhood.
+	UseSPR bool
+}
+
+// DefaultSearchConfig returns defaults suited to the paper-scale
+// workloads.
+func DefaultSearchConfig() SearchConfig {
+	return SearchConfig{Starts: 8, MaxRounds: 100, BranchLen: 0.1}
+}
+
+// Search hill-climbs to a maximum-likelihood topology with NNI moves
+// from random Yule starts and returns the best tree and its
+// log-likelihood.
+func Search(rng *rand.Rand, a *seqsim.Alignment, cfg SearchConfig) (*tree.Tree, float64, error) {
+	if cfg.Starts <= 0 || cfg.MaxRounds <= 0 || cfg.BranchLen <= 0 {
+		useSPR := cfg.UseSPR
+		cfg = DefaultSearchConfig()
+		cfg.UseSPR = useSPR
+	}
+	if a.NumTaxa() < 2 {
+		return nil, 0, fmt.Errorf("likelihood: need at least 2 taxa, have %d", a.NumTaxa())
+	}
+	neighbors := parsimony.NNINeighbors
+	if cfg.UseSPR {
+		neighbors = parsimony.SPRNeighbors
+	}
+	var bestTree *tree.Tree
+	best := math.Inf(-1)
+	for s := 0; s < cfg.Starts; s++ {
+		cur := treegen.Yule(rng, a.Taxa)
+		score, err := Score(cur, a, cfg.BranchLen)
+		if err != nil {
+			return nil, 0, err
+		}
+		for round := 0; round < cfg.MaxRounds; round++ {
+			improved := false
+			for _, nb := range neighbors(cur) {
+				ns, err := Score(nb, a, cfg.BranchLen)
+				if err != nil {
+					return nil, 0, err
+				}
+				if ns > score {
+					cur, score = nb, ns
+					improved = true
+					break
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		if score > best {
+			best, bestTree = score, cur
+		}
+	}
+	return bestTree, best, nil
+}

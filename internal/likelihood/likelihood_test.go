@@ -1,0 +1,197 @@
+package likelihood
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"treemine/internal/newick"
+	"treemine/internal/seqsim"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+func aln(taxa []string, seqs ...string) *seqsim.Alignment {
+	a := &seqsim.Alignment{Taxa: taxa, Seqs: map[string][]byte{}}
+	for i, t := range taxa {
+		a.Seqs[t] = []byte(seqs[i])
+	}
+	return a
+}
+
+func parse(t *testing.T, s string) *tree.Tree {
+	t.Helper()
+	tr, err := newick.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestScoreTwoTaxaClosedForm(t *testing.T) {
+	// Two taxa, one site: the likelihood has a closed form. With states
+	// equal: Σ_s π_s P_ss(t)² + cross terms … simpler: root at the
+	// midpoint, L = Σ_root π (P_same-or-diff to each leaf). For equal
+	// states A,A with branch t each side:
+	// L = 0.25·Σ_s P(s→A)² over the four root states.
+	a := aln([]string{"x", "y"}, "A", "A")
+	tr := parse(t, "(x,y);")
+	bl := 0.3
+	got, err := Score(tr, a, bl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pS, pD := jcProbs(bl)
+	want := math.Log(0.25 * (pS*pS + 3*pD*pD))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Score = %v, want %v", got, want)
+	}
+	// Different states A,C.
+	a2 := aln([]string{"x", "y"}, "A", "C")
+	got2, err := Score(tr, a2, bl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := math.Log(0.25 * (2*pS*pD + 2*pD*pD))
+	if math.Abs(got2-want2) > 1e-12 {
+		t.Fatalf("Score(diff) = %v, want %v", got2, want2)
+	}
+	// Identical observations are more likely than different ones at
+	// short branch lengths.
+	if got <= got2 {
+		t.Fatal("same-state data should be more likely")
+	}
+}
+
+func TestScoreSitesAdd(t *testing.T) {
+	tr := parse(t, "(x,y);")
+	one, err := Score(tr, aln([]string{"x", "y"}, "A", "A"), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Score(tr, aln([]string{"x", "y"}, "AA", "AA"), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(two-2*one) > 1e-12 {
+		t.Fatalf("log-likelihoods must add over sites: %v vs 2·%v", two, one)
+	}
+}
+
+func TestScorePrefersTrueTopology(t *testing.T) {
+	// A,A,G,G on ((a,b),(c,d)) must beat ((a,c),(b,d)).
+	a := aln([]string{"a", "b", "c", "d"}, "AAAA", "AAAA", "GGGG", "GGGG")
+	good, err := Score(parse(t, "((a,b),(c,d));"), a, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := Score(parse(t, "((a,c),(b,d));"), a, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good <= bad {
+		t.Fatalf("true topology LL %v not above wrong topology %v", good, bad)
+	}
+}
+
+func TestScoreAmbiguousBase(t *testing.T) {
+	// An all-ambiguous site contributes log(1) = 0… actually with
+	// ambiguity the site likelihood is 1 at every root state: P = 1.
+	tr := parse(t, "(x,y);")
+	got, err := Score(tr, aln([]string{"x", "y"}, "N", "N"), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got) > 1e-12 {
+		t.Fatalf("ambiguous site LL = %v, want 0", got)
+	}
+}
+
+func TestScoreErrors(t *testing.T) {
+	a := aln([]string{"x", "y", "z"}, "A", "A", "A")
+	if _, err := Score(parse(t, "(x,y,z);"), a, 0.1); !errors.Is(err, ErrNotBinary) {
+		t.Errorf("non-binary err = %v", err)
+	}
+	if _, err := Score(parse(t, "(x,w);"), a, 0.1); !errors.Is(err, ErrMissingSequence) {
+		t.Errorf("missing seq err = %v", err)
+	}
+	if _, err := Score(parse(t, "(x,y);"), a, 0); !errors.Is(err, ErrBadBranchLength) {
+		t.Errorf("zero branch err = %v", err)
+	}
+	ragged := aln([]string{"x", "y"}, "AA", "A")
+	if _, err := Score(parse(t, "(x,y);"), ragged, 0.1); err == nil {
+		t.Error("ragged alignment accepted")
+	}
+}
+
+func TestSearchRecoversSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	taxa := treegen.Alphabet(7)
+	model := treegen.Yule(rng, taxa)
+	a, err := seqsim.Evolve(rng, model, 300, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelLL, err := Score(model, a, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, best, err := Search(rng, a, SearchConfig{Starts: 6, MaxRounds: 60, BranchLen: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < modelLL-1e-9 {
+		t.Fatalf("search LL %v below model tree LL %v", best, modelLL)
+	}
+	if got == nil || len(got.LeafLabels()) != len(taxa) {
+		t.Fatalf("search tree malformed: %v", got)
+	}
+}
+
+func TestSearchSPRMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	taxa := treegen.Alphabet(6)
+	model := treegen.Yule(rng, taxa)
+	a, err := seqsim.Evolve(rng, model, 150, 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nniTree, nniLL, err := Search(rand.New(rand.NewSource(3)), a,
+		SearchConfig{Starts: 3, MaxRounds: 30, BranchLen: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sprTree, sprLL, err := Search(rand.New(rand.NewSource(3)), a,
+		SearchConfig{Starts: 3, MaxRounds: 30, BranchLen: 0.1, UseSPR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sprLL < nniLL-1e-9 {
+		t.Fatalf("SPR LL %v below NNI LL %v from the same starts", sprLL, nniLL)
+	}
+	if nniTree == nil || sprTree == nil {
+		t.Fatal("nil result tree")
+	}
+}
+
+func TestSearchTooFewTaxa(t *testing.T) {
+	a := aln([]string{"only"}, "ACGT")
+	if _, _, err := Search(rand.New(rand.NewSource(0)), a, DefaultSearchConfig()); err == nil {
+		t.Fatal("single taxon accepted")
+	}
+}
+
+func TestJCProbsSaneLimits(t *testing.T) {
+	pS, pD := jcProbs(1e-9)
+	if pS < 0.999 || pD > 1e-9*2 {
+		t.Fatalf("short branch: pS=%v pD=%v", pS, pD)
+	}
+	pS, pD = jcProbs(1e9)
+	if math.Abs(pS-0.25) > 1e-9 || math.Abs(pD-0.25) > 1e-9 {
+		t.Fatalf("long branch must saturate at 1/4: pS=%v pD=%v", pS, pD)
+	}
+	if math.Abs(pS+3*pD-1) > 1e-9 {
+		t.Fatal("probabilities must sum to 1")
+	}
+}

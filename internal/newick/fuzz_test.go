@@ -1,0 +1,46 @@
+package newick
+
+import (
+	"testing"
+
+	"treemine/internal/tree"
+)
+
+// FuzzParse checks two safety properties on arbitrary input: the parser
+// never panics, and anything it accepts survives a Write/Parse round
+// trip isomorphically. The seed corpus runs as part of `go test`; use
+// `go test -fuzz=FuzzParse` for open-ended exploration.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"(A,B,(C,D));",
+		"(A:0.1,B:0.2,(C:0.3,D:0.4)E:0.5)F;",
+		"('Homo sapiens','it''s',(X)'q(r)');",
+		"[c](A[n],B) [t [nested]] ;",
+		"A;",
+		"(,);",
+		"((((((deep))))));",
+		"(A,B));",
+		"('unterminated",
+		"(A:xyz);",
+		";",
+		"()();",
+		"(\x00,\xff);",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		parsed, err := Parse(input)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		out := Write(parsed)
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Write produced unparseable output %q from %q: %v", out, input, err)
+		}
+		if !tree.Isomorphic(parsed, back) {
+			t.Fatalf("round trip changed tree: %q → %q", input, out)
+		}
+	})
+}

@@ -1,0 +1,225 @@
+package newick
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"treemine/internal/tree"
+)
+
+func mustParse(t *testing.T, s string) *tree.Tree {
+	t.Helper()
+	tr, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return tr
+}
+
+func TestParseSimple(t *testing.T) {
+	tr := mustParse(t, "(A,B,(C,D));")
+	if tr.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", tr.Size())
+	}
+	if tr.Labeled(tr.Root()) {
+		t.Error("root should be unlabeled")
+	}
+	want := []string{"A", "B", "C", "D"}
+	got := tr.LeafLabels()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("leaves = %v, want %v", got, want)
+	}
+}
+
+func TestParseInternalLabelsAndLengths(t *testing.T) {
+	tr := mustParse(t, "(A:0.1,B:0.2,(C:0.3,D:0.4)E:0.5)F;")
+	if l, ok := tr.Label(tr.Root()); !ok || l != "F" {
+		t.Fatalf("root label = %q,%v, want F", l, ok)
+	}
+	// E is the internal child with two children.
+	var foundE bool
+	tr.Walk(func(n tree.NodeID) bool {
+		if l, ok := tr.Label(n); ok && l == "E" {
+			foundE = true
+			if tr.NumChildren(n) != 2 {
+				t.Errorf("E children = %d, want 2", tr.NumChildren(n))
+			}
+		}
+		return true
+	})
+	if !foundE {
+		t.Fatal("internal label E not found")
+	}
+}
+
+func TestParseQuotedLabels(t *testing.T) {
+	tr := mustParse(t, "('Homo sapiens','it''s',(A)'x(y)');")
+	labels := map[string]bool{}
+	tr.Walk(func(n tree.NodeID) bool {
+		if l, ok := tr.Label(n); ok {
+			labels[l] = true
+		}
+		return true
+	})
+	for _, want := range []string{"Homo sapiens", "it's", "x(y)", "A"} {
+		if !labels[want] {
+			t.Errorf("missing label %q; have %v", want, labels)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	tr := mustParse(t, "[comment](A[note],B) [trailing [nested]] ;")
+	if tr.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", tr.Size())
+	}
+}
+
+func TestParseWhitespace(t *testing.T) {
+	tr := mustParse(t, " ( A ,\n\tB , ( C , D ) ) ;\n")
+	if tr.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", tr.Size())
+	}
+}
+
+func TestParseSingleLeaf(t *testing.T) {
+	tr := mustParse(t, "A;")
+	if tr.Size() != 1 || tr.MustLabel(tr.Root()) != "A" {
+		t.Fatalf("single leaf parse wrong: %v", tr)
+	}
+}
+
+func TestParseNegativeAndExponentLengths(t *testing.T) {
+	tr := mustParse(t, "(A:-0.5,B:1e-3);")
+	if tr.Size() != 3 {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",               // empty
+		"(A,B)",          // missing ;
+		"(A,B;",          // unclosed paren
+		"(A,B));",        // extra paren
+		"(A,,B);",        // empty sibling is a label-less leaf: actually legal
+		"(A,B); junk",    // trailing input
+		"(A:xyz,B);",     // bad branch length
+		"('unterminated", // unterminated quote
+		"[unterminated (A,B);",
+	}
+	for _, s := range cases {
+		if s == "(A,,B);" {
+			// Newick permits anonymous leaves; ensure it parses.
+			if _, err := Parse(s); err != nil {
+				t.Errorf("Parse(%q) should accept anonymous leaf: %v", s, err)
+			}
+			continue
+		}
+		_, err := Parse(s)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error", s)
+			continue
+		}
+		if !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q): error %v is not ErrSyntax", s, err)
+		}
+	}
+}
+
+func TestParseErrorOffset(t *testing.T) {
+	_, err := Parse("(A,B));")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not *ParseError", err)
+	}
+	if pe.Offset != 5 {
+		t.Errorf("Offset = %d, want 5", pe.Offset)
+	}
+	if !strings.Contains(pe.Error(), "offset 5") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	in := "(A,B);\n(C,(D,E));\n[x]\n(F,G);"
+	trees, err := ParseAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	if len(trees) != 3 {
+		t.Fatalf("ParseAll returned %d trees, want 3", len(trees))
+	}
+	if trees[1].Size() != 5 {
+		t.Errorf("second tree size = %d, want 5", trees[1].Size())
+	}
+}
+
+func TestParseAllEmpty(t *testing.T) {
+	trees, err := ParseAll(strings.NewReader("  \n\t"))
+	if err != nil || len(trees) != 0 {
+		t.Fatalf("ParseAll(blank) = %d trees, err %v", len(trees), err)
+	}
+}
+
+func TestParseAllErrorOffsetShifted(t *testing.T) {
+	_, err := ParseAll(strings.NewReader("(A,B);(C));"))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not *ParseError", err)
+	}
+	if pe.Offset <= 6 {
+		t.Errorf("Offset = %d, want > 6 (shifted past first tree)", pe.Offset)
+	}
+}
+
+func TestWriteQuoting(t *testing.T) {
+	b := tree.NewBuilder()
+	r := b.RootUnlabeled()
+	b.Child(r, "plain")
+	b.Child(r, "has space")
+	b.Child(r, "it's")
+	tr := b.MustBuild()
+	s := Write(tr)
+	if !strings.Contains(s, "'has space'") || !strings.Contains(s, "'it''s'") {
+		t.Fatalf("Write = %q, quoting missing", s)
+	}
+	back, err := Parse(s)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !tree.Isomorphic(tr, back) {
+		t.Fatal("round trip lost structure")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	labels := []string{"a", "b", "c", "Homo sapiens", "x'y", "n:1", ""}
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size)%30 + 1
+		b := tree.NewBuilder()
+		b.Root(labels[rng.Intn(len(labels))])
+		for i := 1; i < n; i++ {
+			p := tree.NodeID(rng.Intn(i))
+			if rng.Intn(5) == 0 {
+				b.ChildUnlabeled(p)
+			} else {
+				b.Child(p, labels[rng.Intn(len(labels))])
+			}
+		}
+		tr := b.MustBuild()
+		back, err := Parse(Write(tr))
+		if err != nil {
+			t.Logf("reparse error: %v for %q", err, Write(tr))
+			return false
+		}
+		return tree.Isomorphic(tr, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,282 @@
+// Package parsimony implements maximum-parsimony phylogeny inference:
+// Fitch's small-parsimony scoring [Fitch 1971] and a hill-climbing search
+// over tree space using nearest-neighbor interchange (NNI) moves. It is
+// the reproduction's substitute for PHYLIP's dnapars: the paper obtained
+// its sets of equally parsimonious trees from PHYLIP; this package
+// obtains them from the same principle, keeping every distinct topology
+// tied at the best parsimony score the search finds.
+package parsimony
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"treemine/internal/seqsim"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+// Errors reported by the scorer.
+var (
+	// ErrNotBinary is returned when a tree has an internal node without
+	// exactly two children; Fitch scoring here requires binary trees.
+	ErrNotBinary = errors.New("parsimony: tree is not binary")
+	// ErrMissingSequence is returned when a leaf label has no sequence
+	// in the alignment.
+	ErrMissingSequence = errors.New("parsimony: leaf taxon missing from alignment")
+)
+
+// baseMask maps a DNA base to its Fitch state-set bit.
+func baseMask(b byte) uint8 {
+	switch b {
+	case 'A':
+		return 1
+	case 'C':
+		return 2
+	case 'G':
+		return 4
+	case 'T':
+		return 8
+	default:
+		return 15 // unknown base: compatible with everything
+	}
+}
+
+// Score returns the Fitch parsimony score of the binary tree t under the
+// alignment: the minimum total number of substitutions over all internal
+// state assignments, summed over sites.
+func Score(t *tree.Tree, a *seqsim.Alignment) (int, error) {
+	sites := a.Len()
+	masks := make([][]uint8, t.Size())
+	total := 0
+	var err error
+	t.PostOrder(func(n tree.NodeID) {
+		if err != nil {
+			return
+		}
+		if t.IsLeaf(n) {
+			l, ok := t.Label(n)
+			if !ok {
+				err = fmt.Errorf("%w (unlabeled leaf %d)", ErrMissingSequence, n)
+				return
+			}
+			seq, ok := a.Seqs[l]
+			if !ok {
+				err = fmt.Errorf("%w (%q)", ErrMissingSequence, l)
+				return
+			}
+			if len(seq) != sites {
+				err = fmt.Errorf("parsimony: sequence for %q has %d sites, want %d", l, len(seq), sites)
+				return
+			}
+			m := make([]uint8, sites)
+			for i, b := range seq {
+				m[i] = baseMask(b)
+			}
+			masks[n] = m
+			return
+		}
+		kids := t.Children(n)
+		if len(kids) != 2 {
+			err = fmt.Errorf("%w (node %d has %d children)", ErrNotBinary, n, len(kids))
+			return
+		}
+		l, r := masks[kids[0]], masks[kids[1]]
+		m := make([]uint8, sites)
+		for i := 0; i < sites; i++ {
+			inter := l[i] & r[i]
+			if inter != 0 {
+				m[i] = inter
+			} else {
+				m[i] = l[i] | r[i]
+				total++
+			}
+		}
+		masks[n] = m
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// SearchConfig tunes the equally-parsimonious-tree search.
+type SearchConfig struct {
+	Starts    int // random starting trees (default 12)
+	MaxTrees  int // cap on the returned tied set (default 64)
+	MaxRounds int // cap on NNI improvement rounds per start (default 200)
+	// Seeds are additional starting trees searched before the random
+	// starts — inject a Neighbor-Joining or UPGMA tree here to warm-start
+	// the climb (internal/reconstruct builds them). Seeds must be binary
+	// trees over exactly the alignment's taxa.
+	Seeds []*tree.Tree
+	// UseSPR widens each climb step from the NNI neighborhood to the
+	// much larger SPR neighborhood: slower per round, but escapes local
+	// optima NNI cannot.
+	UseSPR bool
+}
+
+// DefaultSearchConfig returns sensible defaults for the paper-scale
+// workloads (16–32 taxa).
+func DefaultSearchConfig() SearchConfig {
+	return SearchConfig{Starts: 12, MaxTrees: 64, MaxRounds: 200}
+}
+
+// Search looks for maximum-parsimony trees for the alignment: it
+// hill-climbs with NNI moves from cfg.Starts random Yule starting
+// topologies and returns every distinct topology tied at the best score
+// encountered anywhere during the search (the "equally parsimonious
+// trees" of the paper's §5.2), sorted by canonical form, capped at
+// cfg.MaxTrees. The best score is returned alongside.
+func Search(rng *rand.Rand, a *seqsim.Alignment, cfg SearchConfig) ([]*tree.Tree, int, error) {
+	if cfg.Starts <= 0 || cfg.MaxTrees <= 0 || cfg.MaxRounds <= 0 {
+		seeds := cfg.Seeds
+		cfg = DefaultSearchConfig()
+		cfg.Seeds = seeds
+	}
+	if a.NumTaxa() < 2 {
+		return nil, 0, fmt.Errorf("parsimony: need at least 2 taxa, have %d", a.NumTaxa())
+	}
+	best := -1
+	tied := map[string]*tree.Tree{}
+	consider := func(t *tree.Tree, score int) {
+		switch {
+		case best < 0 || score < best:
+			best = score
+			tied = map[string]*tree.Tree{t.Canonical(): t}
+		case score == best:
+			if len(tied) < cfg.MaxTrees*4 { // slack before the final cap
+				tied[t.Canonical()] = t
+			}
+		}
+	}
+	starts := make([]*tree.Tree, 0, cfg.Starts+len(cfg.Seeds))
+	starts = append(starts, cfg.Seeds...)
+	for s := 0; s < cfg.Starts; s++ {
+		starts = append(starts, treegen.Yule(rng, a.Taxa))
+	}
+	for _, cur := range starts {
+		score, err := Score(cur, a)
+		if err != nil {
+			return nil, 0, err
+		}
+		consider(cur, score)
+		neighbors := NNINeighbors
+		if cfg.UseSPR {
+			neighbors = SPRNeighbors
+		}
+		for round := 0; round < cfg.MaxRounds; round++ {
+			improved := false
+			for _, nb := range neighbors(cur) {
+				ns, err := Score(nb, a)
+				if err != nil {
+					return nil, 0, err
+				}
+				consider(nb, ns)
+				if ns < score {
+					cur, score = nb, ns
+					improved = true
+					break // greedy first-improvement
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+	}
+	out := make([]*tree.Tree, 0, len(tied))
+	keys := make([]string, 0, len(tied))
+	for k := range tied {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if len(out) == cfg.MaxTrees {
+			break
+		}
+		out = append(out, tied[k])
+	}
+	return out, best, nil
+}
+
+// NNINeighbors returns the nearest-neighbor-interchange neighborhood of
+// a rooted binary tree: for every internal edge (u, v) with v an internal
+// child of u, the two topologies obtained by exchanging v's sibling with
+// one of v's children. The input is never modified; each neighbor is a
+// fresh tree.
+func NNINeighbors(t *tree.Tree) []*tree.Tree {
+	var out []*tree.Tree
+	for _, v := range t.Nodes() {
+		u := t.Parent(v)
+		if u == tree.None || t.IsLeaf(v) {
+			continue
+		}
+		// Binary trees: v has exactly one sibling.
+		var sib tree.NodeID = tree.None
+		for _, c := range t.Children(u) {
+			if c != v {
+				sib = c
+			}
+		}
+		if sib == tree.None || t.NumChildren(u) != 2 {
+			continue
+		}
+		kids := t.Children(v)
+		if len(kids) != 2 {
+			continue
+		}
+		// Exchange sib with kids[0], then with kids[1].
+		out = append(out,
+			rewire(t, map[tree.NodeID]tree.NodeID{sib: v, kids[0]: u}),
+			rewire(t, map[tree.NodeID]tree.NodeID{sib: v, kids[1]: u}),
+		)
+	}
+	return out
+}
+
+// rewire rebuilds t with some nodes re-parented per moves (node → new
+// parent). The caller must keep the structure a tree.
+func rewire(t *tree.Tree, moves map[tree.NodeID]tree.NodeID) *tree.Tree {
+	n := t.Size()
+	parent := make([]tree.NodeID, n)
+	for i := 0; i < n; i++ {
+		parent[i] = t.Parent(tree.NodeID(i))
+	}
+	for child, np := range moves {
+		parent[child] = np
+	}
+	kids := make([][]tree.NodeID, n)
+	root := tree.None
+	for i := 0; i < n; i++ {
+		if parent[i] == tree.None {
+			root = tree.NodeID(i)
+		} else {
+			kids[parent[i]] = append(kids[parent[i]], tree.NodeID(i))
+		}
+	}
+	b := tree.NewBuilder()
+	var emit func(old tree.NodeID, newParent tree.NodeID)
+	emit = func(old, newParent tree.NodeID) {
+		var id tree.NodeID
+		if l, ok := t.Label(old); ok {
+			if newParent == tree.None {
+				id = b.Root(l)
+			} else {
+				id = b.Child(newParent, l)
+			}
+		} else {
+			if newParent == tree.None {
+				id = b.RootUnlabeled()
+			} else {
+				id = b.ChildUnlabeled(newParent)
+			}
+		}
+		for _, k := range kids[old] {
+			emit(k, id)
+		}
+	}
+	emit(root, tree.None)
+	return b.MustBuild()
+}

@@ -1,0 +1,229 @@
+package parsimony
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"treemine/internal/newick"
+	"treemine/internal/seqsim"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+func aln(taxa []string, seqs ...string) *seqsim.Alignment {
+	a := &seqsim.Alignment{Taxa: taxa, Seqs: map[string][]byte{}}
+	for i, t := range taxa {
+		a.Seqs[t] = []byte(seqs[i])
+	}
+	return a
+}
+
+func parse(t *testing.T, s string) *tree.Tree {
+	t.Helper()
+	tr, err := newick.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestScoreTextbookExample(t *testing.T) {
+	// Single site, four taxa: ((a,b),(c,d)) with states A,A,G,G needs
+	// one substitution; ((a,c),(b,d)) needs two.
+	al := aln([]string{"a", "b", "c", "d"}, "A", "A", "G", "G")
+	good := parse(t, "((a,b),(c,d));")
+	bad := parse(t, "((a,c),(b,d));")
+	if got, err := Score(good, al); err != nil || got != 1 {
+		t.Fatalf("Score(good) = %d, %v; want 1", got, err)
+	}
+	if got, err := Score(bad, al); err != nil || got != 2 {
+		t.Fatalf("Score(bad) = %d, %v; want 2", got, err)
+	}
+}
+
+func TestScoreMultipleSites(t *testing.T) {
+	// Sites score independently and sum.
+	al := aln([]string{"a", "b", "c", "d"}, "AA", "AG", "GA", "GG")
+	tr := parse(t, "((a,b),(c,d));")
+	// Site 1: A A G G → 1. Site 2: A G A G → 2. Total 3.
+	if got, err := Score(tr, al); err != nil || got != 3 {
+		t.Fatalf("Score = %d, %v; want 3", got, err)
+	}
+}
+
+func TestScoreIdenticalSequencesZero(t *testing.T) {
+	al := aln([]string{"a", "b", "c"}, "ACGT", "ACGT", "ACGT")
+	tr := parse(t, "((a,b),c);")
+	if got, err := Score(tr, al); err != nil || got != 0 {
+		t.Fatalf("Score = %d, %v; want 0", got, err)
+	}
+}
+
+func TestScoreErrors(t *testing.T) {
+	al := aln([]string{"a", "b", "c"}, "A", "A", "A")
+	if _, err := Score(parse(t, "(a,b,c);"), al); !errors.Is(err, ErrNotBinary) {
+		t.Errorf("non-binary err = %v", err)
+	}
+	if _, err := Score(parse(t, "((a,b),z);"), al); !errors.Is(err, ErrMissingSequence) {
+		t.Errorf("missing taxon err = %v", err)
+	}
+	ragged := aln([]string{"a", "b", "c"}, "AC", "A", "AC")
+	if _, err := Score(parse(t, "((a,b),c);"), ragged); err == nil {
+		t.Error("ragged alignment accepted")
+	}
+}
+
+func TestScoreUnknownBaseIsFree(t *testing.T) {
+	// An unknown base is compatible with everything and never forces a
+	// substitution.
+	al := aln([]string{"a", "b"}, "N", "A")
+	tr := parse(t, "(a,b);")
+	if got, err := Score(tr, al); err != nil || got != 0 {
+		t.Fatalf("Score = %d, %v; want 0", got, err)
+	}
+}
+
+func TestNNINeighborsCountAndValidity(t *testing.T) {
+	tr := parse(t, "(((a,b),c),(d,e));")
+	nbs := NNINeighbors(tr)
+	// Internal non-root nodes with internal parent arrangement: every
+	// internal child edge yields 2 neighbors.
+	if len(nbs)%2 != 0 || len(nbs) == 0 {
+		t.Fatalf("NNI count = %d", len(nbs))
+	}
+	for _, nb := range nbs {
+		if nb.Size() != tr.Size() {
+			t.Fatalf("neighbor size %d != %d", nb.Size(), tr.Size())
+		}
+		if got := nb.LeafLabels(); len(got) != 5 {
+			t.Fatalf("neighbor lost taxa: %v", got)
+		}
+		for _, n := range nb.Nodes() {
+			if !nb.IsLeaf(n) && nb.NumChildren(n) != 2 {
+				t.Fatalf("neighbor not binary")
+			}
+		}
+	}
+	// Neighbors differ from the original.
+	diff := 0
+	for _, nb := range nbs {
+		if !tree.Isomorphic(tr, nb) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("all NNI neighbors isomorphic to the original")
+	}
+}
+
+func TestNNIOnQuartetReachesAllTopologies(t *testing.T) {
+	// The three unrooted quartet topologies are mutually reachable by
+	// NNI; from ((a,b),(c,d)) the neighborhood must contain trees
+	// scoring the other two groupings.
+	tr := parse(t, "((a,b),(c,d));")
+	seen := map[string]bool{tr.Canonical(): true}
+	for _, nb := range NNINeighbors(tr) {
+		seen[nb.Canonical()] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("NNI reached only %d distinct quartet topologies", len(seen))
+	}
+}
+
+func TestSearchFindsPerfectTree(t *testing.T) {
+	// Evolve an alignment with strong signal down a known model tree;
+	// the search must find a tree whose score is no worse than the model
+	// tree's own score.
+	rng := rand.New(rand.NewSource(42))
+	taxa := treegen.Alphabet(8)
+	model := treegen.Yule(rng, taxa)
+	al, err := seqsim.Evolve(rng, model, 200, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelScore, err := Score(model, al)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, best, err := Search(rng, al, SearchConfig{Starts: 10, MaxTrees: 32, MaxRounds: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best > modelScore {
+		t.Fatalf("search best %d worse than model tree score %d", best, modelScore)
+	}
+	if len(trees) == 0 {
+		t.Fatal("search returned no trees")
+	}
+	for _, tr := range trees {
+		s, err := Score(tr, al)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != best {
+			t.Fatalf("returned tree scores %d, tied set claims %d", s, best)
+		}
+		if got := len(tr.LeafLabels()); got != len(taxa) {
+			t.Fatalf("returned tree has %d taxa, want %d", got, len(taxa))
+		}
+	}
+}
+
+func TestSearchDistinctTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	taxa := treegen.Alphabet(10)
+	model := treegen.Yule(rng, taxa)
+	// Short, noisy alignment: many ties expected.
+	al, err := seqsim.Evolve(rng, model, 30, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, _, err := Search(rng, al, SearchConfig{Starts: 15, MaxTrees: 50, MaxRounds: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, tr := range trees {
+		c := tr.Canonical()
+		if seen[c] {
+			t.Fatal("duplicate topology in tied set")
+		}
+		seen[c] = true
+	}
+}
+
+func TestSearchTooFewTaxa(t *testing.T) {
+	al := aln([]string{"only"}, "ACGT")
+	rng := rand.New(rand.NewSource(0))
+	if _, _, err := Search(rng, al, DefaultSearchConfig()); err == nil {
+		t.Fatal("expected error for single taxon")
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	taxa := treegen.Alphabet(6)
+	mk := func() ([]*tree.Tree, int) {
+		rng := rand.New(rand.NewSource(3))
+		model := treegen.Yule(rng, taxa)
+		al, err := seqsim.Evolve(rng, model, 60, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees, best, err := Search(rng, al, SearchConfig{Starts: 6, MaxTrees: 16, MaxRounds: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trees, best
+	}
+	a, ba := mk()
+	b, bb := mk()
+	if ba != bb || len(a) != len(b) {
+		t.Fatalf("search not deterministic: %d/%d trees, scores %d/%d", len(a), len(b), ba, bb)
+	}
+	for i := range a {
+		if a[i].Canonical() != b[i].Canonical() {
+			t.Fatal("tied sets differ across same-seed runs")
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package parsimony
+
+import (
+	"treemine/internal/seqsim"
+	"treemine/internal/tree"
+)
+
+// Plateau expands a set of equally parsimonious trees by walking the
+// optimal plateau: starting from the seed trees (all of which must score
+// equally under the alignment), it breadth-first explores NNI neighbors
+// with the same parsimony score, collecting distinct topologies until
+// maxTrees are found or the plateau is exhausted. Real datasets routinely
+// have large plateaus — PHYLIP's dnapars reports exactly such sets, which
+// is what the paper's consensus experiment consumed.
+func Plateau(seeds []*tree.Tree, a *seqsim.Alignment, maxTrees int) ([]*tree.Tree, error) {
+	if len(seeds) == 0 || maxTrees <= 0 {
+		return nil, nil
+	}
+	score, err := Score(seeds[0], a)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []*tree.Tree
+	var queue []*tree.Tree
+	push := func(t *tree.Tree) {
+		c := t.Canonical()
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, t)
+			queue = append(queue, t)
+		}
+	}
+	for _, s := range seeds {
+		si, err := Score(s, a)
+		if err != nil {
+			return nil, err
+		}
+		if si != score {
+			continue // seed off the plateau: skip rather than fail
+		}
+		push(s)
+		if len(out) >= maxTrees {
+			return out[:maxTrees], nil
+		}
+	}
+	for len(queue) > 0 && len(out) < maxTrees {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range NNINeighbors(cur) {
+			ns, err := Score(nb, a)
+			if err != nil {
+				return nil, err
+			}
+			if ns == score {
+				push(nb)
+				if len(out) >= maxTrees {
+					break
+				}
+			}
+		}
+	}
+	if len(out) > maxTrees {
+		out = out[:maxTrees]
+	}
+	return out, nil
+}

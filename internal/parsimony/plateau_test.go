@@ -1,0 +1,93 @@
+package parsimony
+
+import (
+	"math/rand"
+	"testing"
+
+	"treemine/internal/seqsim"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+func TestPlateauAllSameScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	taxa := treegen.Alphabet(9)
+	model := treegen.Yule(rng, taxa)
+	al, err := seqsim.Evolve(rng, model, 40, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, best, err := Search(rng, al, SearchConfig{Starts: 6, MaxTrees: 8, MaxRounds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plateau, err := Plateau(seeds, al, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plateau) < len(seeds) {
+		t.Fatalf("plateau %d smaller than seed set %d", len(plateau), len(seeds))
+	}
+	seen := map[string]bool{}
+	for _, tr := range plateau {
+		s, err := Score(tr, al)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != best {
+			t.Fatalf("plateau tree scores %d, want %d", s, best)
+		}
+		c := tr.Canonical()
+		if seen[c] {
+			t.Fatal("duplicate topology on plateau")
+		}
+		seen[c] = true
+	}
+}
+
+func TestPlateauRespectsCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	taxa := treegen.Alphabet(10)
+	model := treegen.Yule(rng, taxa)
+	// Uninformative alignment: gigantic plateau.
+	al, err := seqsim.Evolve(rng, model, 5, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, _, err := Search(rng, al, SearchConfig{Starts: 3, MaxTrees: 4, MaxRounds: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plateau, err := Plateau(seeds, al, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plateau) > 15 {
+		t.Fatalf("plateau size %d exceeds cap", len(plateau))
+	}
+}
+
+func TestPlateauSkipsOffPlateauSeeds(t *testing.T) {
+	al := aln([]string{"a", "b", "c", "d"}, "AAA", "AAA", "GGG", "GGG")
+	good := parse(t, "((a,b),(c,d));") // score 3
+	bad := parse(t, "((a,c),(b,d));")  // score 6
+	plateau, err := Plateau([]*tree.Tree{good, bad}, al, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range plateau {
+		s, err := Score(tr, al)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != 3 {
+			t.Fatalf("off-plateau tree (score %d) in result", s)
+		}
+	}
+}
+
+func TestPlateauEmptyInputs(t *testing.T) {
+	if out, err := Plateau(nil, nil, 5); err != nil || out != nil {
+		t.Fatalf("Plateau(nil) = %v, %v", out, err)
+	}
+}

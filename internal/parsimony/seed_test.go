@@ -1,0 +1,68 @@
+package parsimony
+
+import (
+	"math/rand"
+	"testing"
+
+	"treemine/internal/reconstruct"
+	"treemine/internal/seqsim"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+func TestSearchWithUPGMASeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	taxa := treegen.Alphabet(10)
+	model := treegen.Yule(rng, taxa)
+	al, err := seqsim.Evolve(rng, model, 300, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, d, err := reconstruct.PDistance(al)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := reconstruct.UPGMA(names, d) // binary tree over the taxa
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedScore, err := Score(seed, al)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, best, err := Search(rng, al, SearchConfig{
+		Seeds: []*tree.Tree{seed}, Starts: 1, MaxTrees: 8, MaxRounds: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best > seedScore {
+		t.Fatalf("seeded search best %d worse than the seed's own score %d", best, seedScore)
+	}
+	if len(trees) == 0 {
+		t.Fatal("no trees returned")
+	}
+}
+
+func TestSearchSeedSurvivesConfigRepair(t *testing.T) {
+	// An all-zero config is repaired to defaults; the seed must survive.
+	rng := rand.New(rand.NewSource(32))
+	taxa := treegen.Alphabet(6)
+	model := treegen.Yule(rng, taxa)
+	al, err := seqsim.Evolve(rng, model, 100, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := treegen.Yule(rng, taxa)
+	seedScore, err := Score(seed, al)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, best, err := Search(rng, al, SearchConfig{Seeds: []*tree.Tree{seed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best > seedScore {
+		t.Fatalf("best %d worse than seed score %d after config repair", best, seedScore)
+	}
+}

@@ -1,0 +1,102 @@
+package parsimony
+
+import (
+	"math/rand"
+	"testing"
+
+	"treemine/internal/seqsim"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+func evolveFixture(rng *rand.Rand, model *tree.Tree) (*seqsim.Alignment, error) {
+	return seqsim.Evolve(rng, model, 120, 0.12)
+}
+
+func TestSPRNeighborsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		src := treegen.Yule(rng, treegen.Alphabet(rng.Intn(6)+4))
+		want := src.LeafLabels()
+		nbs := SPRNeighbors(src)
+		if len(nbs) == 0 {
+			t.Fatalf("trial %d: empty SPR neighborhood for %d-leaf tree", trial, len(want))
+		}
+		for _, nb := range nbs {
+			if nb.Size() != src.Size() {
+				t.Fatalf("size %d != %d", nb.Size(), src.Size())
+			}
+			got := nb.LeafLabels()
+			if len(got) != len(want) {
+				t.Fatalf("taxa changed: %v vs %v", got, want)
+			}
+			for _, n := range nb.Nodes() {
+				if !nb.IsLeaf(n) && nb.NumChildren(n) != 2 {
+					t.Fatalf("non-binary SPR result: node %d has %d children", n, nb.NumChildren(n))
+				}
+			}
+		}
+	}
+}
+
+func TestSPRSupersetOfNNITopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := treegen.Yule(rng, treegen.Alphabet(6))
+	nni := map[string]bool{}
+	for _, nb := range NNINeighbors(src) {
+		nni[nb.Canonical()] = true
+	}
+	spr := map[string]bool{}
+	for _, nb := range SPRNeighbors(src) {
+		spr[nb.Canonical()] = true
+	}
+	if len(spr) < len(nni) {
+		t.Fatalf("SPR reached %d topologies, NNI %d", len(spr), len(nni))
+	}
+	// SPR must reach something NNI cannot on 6 leaves.
+	extra := 0
+	for c := range spr {
+		if !nni[c] {
+			extra++
+		}
+	}
+	if extra == 0 {
+		t.Fatal("SPR added no topologies beyond NNI")
+	}
+}
+
+func TestSPRTinyTrees(t *testing.T) {
+	// Fewer than 4 nodes: no move possible.
+	b := tree.NewBuilder()
+	r := b.RootUnlabeled()
+	b.Child(r, "a")
+	b.Child(r, "b")
+	if nbs := SPRNeighbors(b.MustBuild()); nbs != nil {
+		t.Fatalf("3-node SPR = %d neighbors, want none", len(nbs))
+	}
+}
+
+func TestSearchWithSPRAtLeastAsGood(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	taxa := treegen.Alphabet(8)
+	model := treegen.Yule(rng, taxa)
+	al, err := evolveFixture(rng, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(useSPR bool) int {
+		r2 := rand.New(rand.NewSource(7))
+		_, best, err := Search(r2, al, SearchConfig{
+			Starts: 4, MaxTrees: 8, MaxRounds: 40, UseSPR: useSPR,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return best
+	}
+	nniBest := mk(false)
+	sprBest := mk(true)
+	if sprBest > nniBest {
+		t.Fatalf("SPR best %d worse than NNI best %d (same seeds)", sprBest, nniBest)
+	}
+}

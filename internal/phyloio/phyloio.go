@@ -1,0 +1,77 @@
+// Package phyloio loads phylogenies for the command-line tools: it
+// reads Newick streams and NEXUS files interchangeably, sniffing the
+// format from the #NEXUS header, so every CLI accepts both of the
+// formats TreeBASE-era tooling exchanges.
+package phyloio
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"treemine/internal/newick"
+	"treemine/internal/nexus"
+	"treemine/internal/tree"
+)
+
+// ReadTrees loads all trees from the named files, or from stdin when no
+// files are given. Each input may be a Newick stream (any number of
+// semicolon-terminated trees) or a NEXUS file with a TREES block.
+func ReadTrees(files []string, stdin io.Reader) ([]*tree.Tree, error) {
+	if len(files) == 0 {
+		return readAll("stdin", stdin)
+	}
+	var trees []*tree.Tree
+	for _, f := range files {
+		r, err := os.Open(f)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := readAll(f, r)
+		r.Close()
+		if err != nil {
+			return nil, err
+		}
+		trees = append(trees, ts...)
+	}
+	return trees, nil
+}
+
+func readAll(name string, r io.Reader) ([]*tree.Tree, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if IsNexus(data) {
+		f, err := nexus.Parse(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		trees := make([]*tree.Tree, len(f.Trees))
+		for i, e := range f.Trees {
+			trees[i] = e.Tree
+		}
+		return trees, nil
+	}
+	trees, err := newick.ParseAll(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return trees, nil
+}
+
+// IsNexus reports whether the data starts with the #NEXUS header
+// (ignoring leading whitespace, case-insensitively).
+func IsNexus(data []byte) bool {
+	s := strings.TrimLeft(string(data[:min(len(data), 64)]), " \t\r\n")
+	return len(s) >= 6 && strings.EqualFold(s[:6], "#NEXUS")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,69 @@
+package phyloio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadNewickFromStdin(t *testing.T) {
+	trees, err := ReadTrees(nil, strings.NewReader("(a,b);(c,(d,e));"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 2 || trees[1].Size() != 5 {
+		t.Fatalf("trees = %d", len(trees))
+	}
+}
+
+func TestReadNexusFromStdin(t *testing.T) {
+	in := "  \n#NEXUS\nBEGIN TREES;\nTREE t1 = (a,b);\nTREE t2 = ((a,b),c);\nEND;\n"
+	trees, err := ReadTrees(nil, strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 2 || trees[1].Size() != 5 {
+		t.Fatalf("trees = %d", len(trees))
+	}
+}
+
+func TestReadMixedFiles(t *testing.T) {
+	dir := t.TempDir()
+	nwk := filepath.Join(dir, "a.nwk")
+	nex := filepath.Join(dir, "b.nex")
+	if err := os.WriteFile(nwk, []byte("(a,b);"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(nex, []byte("#NEXUS\nBEGIN TREES;\nTREE x = (c,d);\nEND;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trees, err := ReadTrees([]string{nwk, nex}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 2 {
+		t.Fatalf("trees = %d", len(trees))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := ReadTrees([]string{"/nonexistent.nwk"}, nil); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := ReadTrees(nil, strings.NewReader("((a,b);")); err == nil {
+		t.Error("bad newick accepted")
+	}
+	if _, err := ReadTrees(nil, strings.NewReader("#NEXUS\nBEGIN TREES;\n")); err == nil {
+		t.Error("bad nexus accepted")
+	}
+}
+
+func TestIsNexus(t *testing.T) {
+	if !IsNexus([]byte("#NEXUS\n...")) || !IsNexus([]byte("  \n#nexus")) {
+		t.Error("header not detected")
+	}
+	if IsNexus([]byte("(a,b);")) || IsNexus([]byte("")) {
+		t.Error("false positive")
+	}
+}

@@ -1,0 +1,144 @@
+package seqsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+func TestEvolveBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	taxa := []string{"t1", "t2", "t3", "t4", "t5"}
+	model := treegen.Yule(rng, taxa)
+	a, err := Evolve(rng, model, 100, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumTaxa() != 5 {
+		t.Fatalf("NumTaxa = %d, want 5", a.NumTaxa())
+	}
+	if a.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", a.Len())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestEvolveZeroMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	model := treegen.Yule(rng, []string{"a", "b", "c"})
+	a, err := Evolve(rng, model, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no mutation all sequences equal the root sequence.
+	ref := a.Seqs[a.Taxa[0]]
+	for _, taxon := range a.Taxa {
+		if string(a.Seqs[taxon]) != string(ref) {
+			t.Fatalf("sequences differ with mutProb 0")
+		}
+	}
+}
+
+func TestEvolveFullMutationChangesEverySite(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// A root with a single labeled leaf child: one edge.
+	model := treegen.Yule(rng, []string{"x", "y"})
+	a, err := Evolve(rng, model, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// With p=1 every edge mutates every site, so sister taxa (two edges
+	// apart) may coincide by double mutation, but each sequence must
+	// still be valid DNA — checked above. Also check determinism.
+	rng2 := rand.New(rand.NewSource(3))
+	model2 := treegen.Yule(rng2, []string{"x", "y"})
+	b, err := Evolve(rng2, model2, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, taxon := range a.Taxa {
+		if string(a.Seqs[taxon]) != string(b.Seqs[taxon]) {
+			t.Fatal("Evolve not deterministic for same seed")
+		}
+	}
+}
+
+func TestEvolveBadProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	model := treegen.Yule(rng, []string{"a", "b"})
+	if _, err := Evolve(rng, model, 10, -0.1); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := Evolve(rng, model, 10, 1.5); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+}
+
+func TestEvolveSignalPreserved(t *testing.T) {
+	// Sister taxa should agree on more sites than distant taxa, on
+	// average, when mutation is moderate: that is the phylogenetic
+	// signal parsimony search relies on.
+	rng := rand.New(rand.NewSource(5))
+	// Model: ((a,b),(c,d)) built by hand for controlled distances.
+	qb := tree.NewBuilder()
+	r := qb.RootUnlabeled()
+	l := qb.ChildUnlabeled(r)
+	qb.Child(l, "a")
+	qb.Child(l, "b")
+	rr := qb.ChildUnlabeled(r)
+	qb.Child(rr, "c")
+	qb.Child(rr, "d")
+	bld := qb.MustBuild()
+	agree := func(s1, s2 []byte) int {
+		n := 0
+		for i := range s1 {
+			if s1[i] == s2[i] {
+				n++
+			}
+		}
+		return n
+	}
+	sisters, distant := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		a, err := Evolve(rng, bld, 300, 0.08)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sisters += agree(a.Seqs["a"], a.Seqs["b"])
+		distant += agree(a.Seqs["a"], a.Seqs["d"])
+	}
+	if sisters <= distant {
+		t.Fatalf("sister agreement %d not above distant agreement %d", sisters, distant)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	a := &Alignment{Taxa: []string{"x"}, Seqs: map[string][]byte{}}
+	if err := a.Validate(); err == nil {
+		t.Error("missing sequence accepted")
+	}
+	a = &Alignment{Taxa: []string{"x", "y"}, Seqs: map[string][]byte{
+		"x": []byte("ACGT"), "y": []byte("ACG"),
+	}}
+	if err := a.Validate(); err == nil {
+		t.Error("ragged alignment accepted")
+	}
+	a = &Alignment{Taxa: []string{"x"}, Seqs: map[string][]byte{"x": []byte("ACGZ")}}
+	if err := a.Validate(); err == nil {
+		t.Error("invalid base accepted")
+	}
+}
+
+func TestEmptyAlignment(t *testing.T) {
+	a := &Alignment{}
+	if a.Len() != 0 || a.NumTaxa() != 0 {
+		t.Fatal("empty alignment dims wrong")
+	}
+}

@@ -1,0 +1,182 @@
+// Package store persists mined cousin-pair item sets so a phylogeny
+// database can be mined once and queried many times — the natural
+// database-systems complement to the paper's algorithms (mining 1,500
+// TreeBASE phylogenies takes sub-second here, but the paper's original
+// K implementation took minutes, and either way re-mining on every
+// support query is waste). An Index holds each tree's item set plus the
+// aggregate support table, serializes with encoding/gob behind a
+// versioned magic header, and answers support/frequent/containment
+// queries without touching the source trees.
+package store
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"treemine/internal/core"
+	"treemine/internal/tree"
+)
+
+// magic identifies index files; the trailing digit is the format
+// version.
+const magic = "TREEMINEIDX1"
+
+// Errors reported by Load.
+var (
+	// ErrBadMagic is returned when the input is not an index file or is
+	// a different format version.
+	ErrBadMagic = errors.New("store: not a treemine index (bad magic)")
+	// ErrCorrupt is returned when the payload fails to decode.
+	ErrCorrupt = errors.New("store: corrupt index")
+)
+
+// TreeEntry is the persisted mining result of one tree.
+type TreeEntry struct {
+	Name  string
+	Nodes int
+	Items core.ItemSet
+}
+
+// Index is a queryable collection of per-tree item sets. Build one with
+// Build, persist with Save, and reload with Load. Once built or loaded,
+// an Index is safe for concurrent queries.
+type Index struct {
+	// Options are the mining parameters the index was built with;
+	// queries are only meaningful at these parameters.
+	Options core.Options
+	Entries []TreeEntry
+
+	supportOnce sync.Once
+	support     map[core.Key]int // lazily built aggregate
+}
+
+// Build mines every tree and assembles the index. names may be nil (trees
+// are then named by position) or must match trees in length.
+func Build(trees []*tree.Tree, names []string, opts core.Options) (*Index, error) {
+	if names != nil && len(names) != len(trees) {
+		return nil, fmt.Errorf("store: %d names for %d trees", len(names), len(trees))
+	}
+	ix := &Index{Options: opts}
+	for i, t := range trees {
+		name := fmt.Sprintf("tree_%d", i+1)
+		if names != nil {
+			name = names[i]
+		}
+		ix.Entries = append(ix.Entries, TreeEntry{
+			Name:  name,
+			Nodes: t.Size(),
+			Items: core.Mine(t, opts),
+		})
+	}
+	return ix, nil
+}
+
+// NumTrees returns the number of indexed trees.
+func (ix *Index) NumTrees() int { return len(ix.Entries) }
+
+// supportTable builds (once, concurrency-safe) the aggregate tree-count
+// per key.
+func (ix *Index) supportTable() map[core.Key]int {
+	ix.supportOnce.Do(func() {
+		ix.support = make(map[core.Key]int)
+		for _, e := range ix.Entries {
+			for k := range e.Items {
+				ix.support[k]++
+			}
+		}
+	})
+	return ix.support
+}
+
+// Support returns the number of indexed trees containing the label pair
+// at distance d; DistWild counts trees containing the pair at any
+// distance.
+func (ix *Index) Support(l1, l2 string, d core.Dist) int {
+	if !d.IsWild() {
+		return ix.supportTable()[core.NewKey(l1, l2, d)]
+	}
+	n := 0
+	for _, e := range ix.Entries {
+		if _, ok := e.Items.IgnoreDist()[core.NewKey(l1, l2, core.DistWild)]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Frequent returns the pairs with support ≥ minSup, sorted like
+// core.MineForest's output.
+func (ix *Index) Frequent(minSup int) []core.FrequentPair {
+	var out []core.FrequentPair
+	for k, s := range ix.supportTable() {
+		if s >= minSup {
+			out = append(out, core.FrequentPair{Key: k, Support: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		a, b := out[i].Key, out[j].Key
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		if a.B != b.B {
+			return a.B < b.B
+		}
+		return a.D < b.D
+	})
+	return out
+}
+
+// TreesWith returns the indices of the trees containing the key, in
+// index order.
+func (ix *Index) TreesWith(k core.Key) []int {
+	var out []int
+	for i, e := range ix.Entries {
+		if _, ok := e.Items[k]; ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// savedIndex is the gob payload; the transient support table stays out.
+type savedIndex struct {
+	Options core.Options
+	Entries []TreeEntry
+}
+
+// Save writes the index: magic header, then a gob stream.
+func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return fmt.Errorf("store: write header: %w", err)
+	}
+	if err := gob.NewEncoder(bw).Encode(savedIndex{Options: ix.Options, Entries: ix.Entries}); err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reads an index written by Save.
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if string(head) != magic {
+		return nil, ErrBadMagic
+	}
+	var saved savedIndex
+	if err := gob.NewDecoder(br).Decode(&saved); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return &Index{Options: saved.Options, Entries: saved.Entries}, nil
+}

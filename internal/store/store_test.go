@@ -1,0 +1,180 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"treemine/internal/core"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+func fixtureForest(seed int64, n int) []*tree.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	taxa := treegen.Alphabet(10)
+	out := make([]*tree.Tree, n)
+	for i := range out {
+		out[i] = treegen.Yule(rng, taxa)
+	}
+	return out
+}
+
+func TestBuildAndQuery(t *testing.T) {
+	forest := fixtureForest(1, 20)
+	opts := core.DefaultOptions()
+	ix, err := Build(forest, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumTrees() != 20 {
+		t.Fatalf("NumTrees = %d", ix.NumTrees())
+	}
+	if ix.Entries[0].Name != "tree_1" {
+		t.Fatalf("default name = %q", ix.Entries[0].Name)
+	}
+	// Index queries must agree with direct mining.
+	fp := core.MineForest(forest, core.ForestOptions{Options: opts, MinSup: 2})
+	got := ix.Frequent(2)
+	if !reflect.DeepEqual(got, fp) {
+		t.Fatalf("Frequent = %d pairs, MineForest = %d", len(got), len(fp))
+	}
+	for _, p := range fp[:min(5, len(fp))] {
+		if s := ix.Support(p.Key.A, p.Key.B, p.Key.D); s != p.Support {
+			t.Fatalf("Support(%v) = %d, want %d", p.Key, s, p.Support)
+		}
+		trees := ix.TreesWith(p.Key)
+		if len(trees) != p.Support {
+			t.Fatalf("TreesWith(%v) = %d trees, want %d", p.Key, len(trees), p.Support)
+		}
+	}
+}
+
+func TestSupportWildcard(t *testing.T) {
+	forest := fixtureForest(2, 10)
+	opts := core.DefaultOptions()
+	ix, err := Build(forest, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := ix.Frequent(1)
+	if len(fp) == 0 {
+		t.Fatal("no pairs")
+	}
+	k := fp[0].Key
+	wild := ix.Support(k.A, k.B, core.DistWild)
+	exact := ix.Support(k.A, k.B, k.D)
+	if wild < exact {
+		t.Fatalf("wildcard support %d < exact %d", wild, exact)
+	}
+	if want := core.Support(forest, k.A, k.B, core.DistWild, opts); wild != want {
+		t.Fatalf("wildcard support %d, direct %d", wild, want)
+	}
+}
+
+func TestNamesValidation(t *testing.T) {
+	forest := fixtureForest(3, 3)
+	if _, err := Build(forest, []string{"only one"}, core.DefaultOptions()); err == nil {
+		t.Fatal("mismatched names accepted")
+	}
+	ix, err := Build(forest, []string{"a", "b", "c"}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Entries[2].Name != "c" {
+		t.Fatalf("name = %q", ix.Entries[2].Name)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	forest := fixtureForest(4, 15)
+	opts := core.DefaultOptions()
+	ix, err := Build(forest, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Options != ix.Options {
+		t.Fatalf("options = %+v, want %+v", back.Options, ix.Options)
+	}
+	if !reflect.DeepEqual(back.Frequent(2), ix.Frequent(2)) {
+		t.Fatal("frequent pairs differ after round trip")
+	}
+	if !reflect.DeepEqual(back.Entries, ix.Entries) {
+		t.Fatal("entries differ after round trip")
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	// Queries after Load must be safe from multiple goroutines; run with
+	// -race to catch regressions in the lazy support table.
+	forest := fixtureForest(6, 10)
+	ix, err := Build(forest, nil, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- true }()
+			for i := 0; i < 50; i++ {
+				loaded.Frequent(2)
+				loaded.Support("x", "y", core.DistWild)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(bytes.NewReader(nil)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := Load(bytes.NewReader([]byte("NOTANINDEX00"))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic err = %v", err)
+	}
+	// Valid magic, garbage payload.
+	if _, err := Load(bytes.NewReader(append([]byte(magic), 0xde, 0xad))); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt err = %v", err)
+	}
+	// Truncated valid file.
+	forest := fixtureForest(5, 5)
+	ix, err := Build(forest, nil, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated err = %v", err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,258 @@
+// Package supertree assembles a single phylogeny from source trees whose
+// taxon sets overlap but differ — the application the paper's §5.3
+// motivates ("assembling information from smaller phylogenies that share
+// some but not necessarily all taxa"; its kernel trees "could constitute
+// a good starting point in building a supertree"). The core is the BUILD
+// algorithm of Aho, Sagiv, Szymanski & Ullman (1981) over rooted
+// triples, plus a MinCut-style relaxation (after Semple & Steel 2000)
+// that resolves conflicts by majority weight instead of failing.
+package supertree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"treemine/internal/lca"
+	"treemine/internal/tree"
+)
+
+// Triple is the rooted triple ab|c: taxa A and B are closer to each
+// other than either is to C. A < B canonically.
+type Triple struct {
+	A, B, C string
+}
+
+// NewTriple canonicalizes the sibling order.
+func NewTriple(a, b, c string) Triple {
+	if b < a {
+		a, b = b, a
+	}
+	return Triple{A: a, B: b, C: c}
+}
+
+// String renders the triple as "ab|c".
+func (t Triple) String() string { return fmt.Sprintf("%s,%s|%s", t.A, t.B, t.C) }
+
+// TriplesOf extracts every resolved rooted triple of t (leaves with
+// duplicate labels are rejected). Θ(k³) in the leaf count.
+func TriplesOf(t *tree.Tree) ([]Triple, error) {
+	leaves := t.Leaves()
+	labels := t.LeafLabels()
+	if len(labels) != len(leaves) {
+		return nil, errors.New("supertree: duplicate leaf labels")
+	}
+	byLabel := make(map[string]tree.NodeID, len(leaves))
+	for _, n := range leaves {
+		l, _ := t.Label(n)
+		byLabel[l] = n
+	}
+	idx := lca.New(t)
+	var out []Triple
+	for i := 0; i < len(labels); i++ {
+		for j := i + 1; j < len(labels); j++ {
+			for k := j + 1; k < len(labels); k++ {
+				a, b, c := labels[i], labels[j], labels[k]
+				na, nb, nc := byLabel[a], byLabel[b], byLabel[c]
+				dab := t.Depth(idx.LCA(na, nb))
+				dac := t.Depth(idx.LCA(na, nc))
+				dbc := t.Depth(idx.LCA(nb, nc))
+				switch {
+				case dab > dac && dab > dbc:
+					out = append(out, NewTriple(a, b, c))
+				case dac > dab && dac > dbc:
+					out = append(out, NewTriple(a, c, b))
+				case dbc > dab && dbc > dac:
+					out = append(out, NewTriple(b, c, a))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ErrIncompatible is returned by Build when the triples cannot coexist
+// in one tree.
+var ErrIncompatible = errors.New("supertree: incompatible triples")
+
+// Build runs the strict BUILD algorithm: it returns a tree over the taxa
+// displaying every weighted triple, or ErrIncompatible when none exists.
+// Weights are ignored in strict mode (they matter to the relaxed
+// variant); zero-weight entries are skipped.
+func Build(taxa []string, triples map[Triple]int) (*tree.Tree, error) {
+	return build(taxa, triples, false)
+}
+
+// Supertree assembles a supertree from source trees with overlapping
+// taxa: triples are extracted from every source, vote-aggregated
+// (conflicting resolutions of the same taxon trio keep only the
+// majority; exact ties drop the trio), and assembled with the relaxed
+// BUILD that cuts minimum-weight edges instead of failing. It never
+// returns ErrIncompatible; with no usable taxa it errors.
+func Supertree(trees []*tree.Tree) (*tree.Tree, error) {
+	seen := map[string]bool{}
+	var taxa []string
+	votes := map[Triple]int{}
+	for i, t := range trees {
+		for _, l := range t.LeafLabels() {
+			if !seen[l] {
+				seen[l] = true
+				taxa = append(taxa, l)
+			}
+		}
+		ts, err := TriplesOf(t)
+		if err != nil {
+			return nil, fmt.Errorf("supertree: source %d: %w", i, err)
+		}
+		for _, tr := range ts {
+			votes[tr]++
+		}
+	}
+	if len(taxa) == 0 {
+		return nil, errors.New("supertree: no labeled leaves in any source")
+	}
+	sort.Strings(taxa)
+	majority := resolveVotes(votes)
+	return build(taxa, majority, true)
+}
+
+// resolveVotes keeps, per taxon trio, the resolution with the strictly
+// largest vote count.
+func resolveVotes(votes map[Triple]int) map[Triple]int {
+	type trioKey [3]string
+	trioOf := func(t Triple) trioKey {
+		k := trioKey{t.A, t.B, t.C}
+		sort.Strings(k[:])
+		return k
+	}
+	best := map[trioKey]Triple{}
+	bestW := map[trioKey]int{}
+	tied := map[trioKey]bool{}
+	for t, w := range votes {
+		k := trioOf(t)
+		switch {
+		case w > bestW[k]:
+			best[k], bestW[k], tied[k] = t, w, false
+		case w == bestW[k] && best[k] != t:
+			tied[k] = true
+		}
+	}
+	out := map[Triple]int{}
+	for k, t := range best {
+		if !tied[k] {
+			out[t] = bestW[k]
+		}
+	}
+	return out
+}
+
+func build(taxa []string, triples map[Triple]int, relaxed bool) (*tree.Tree, error) {
+	b := tree.NewBuilder()
+	if err := buildRec(taxa, triples, relaxed, tree.None, b); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+func buildRec(taxa []string, triples map[Triple]int, relaxed bool, parent tree.NodeID, b *tree.Builder) error {
+	if len(taxa) == 1 {
+		if parent == tree.None {
+			b.Root(taxa[0])
+		} else {
+			b.Child(parent, taxa[0])
+		}
+		return nil
+	}
+	inSet := make(map[string]bool, len(taxa))
+	for _, t := range taxa {
+		inSet[t] = true
+	}
+	// Aho graph: vertices = taxa, edge (A,B) weighted by the triples
+	// AB|C fully inside the current set.
+	weights := map[edge]int{}
+	for t, w := range triples {
+		if w > 0 && inSet[t.A] && inSet[t.B] && inSet[t.C] {
+			weights[edge{t.A, t.B}] += w
+		}
+	}
+	comp := components(taxa, weights)
+	if len(comp) == 1 && len(taxa) > 1 {
+		if !relaxed {
+			return fmt.Errorf("%w over %v", ErrIncompatible, taxa)
+		}
+		// MinCut-style relaxation: repeatedly delete all minimum-weight
+		// edges until the graph disconnects or runs out of edges.
+		for len(comp) == 1 && len(weights) > 0 {
+			min := 0
+			first := true
+			for _, w := range weights {
+				if first || w < min {
+					min, first = w, false
+				}
+			}
+			for e, w := range weights {
+				if w == min {
+					delete(weights, e)
+				}
+			}
+			comp = components(taxa, weights)
+		}
+		if len(comp) == 1 {
+			// No edges left and still one component: emit a star.
+			id := emitInternal(parent, b)
+			for _, t := range taxa {
+				b.Child(id, t)
+			}
+			return nil
+		}
+	}
+	id := emitInternal(parent, b)
+	for _, block := range comp {
+		if err := buildRec(block, triples, relaxed, id, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func emitInternal(parent tree.NodeID, b *tree.Builder) tree.NodeID {
+	if parent == tree.None {
+		return b.RootUnlabeled()
+	}
+	return b.ChildUnlabeled(parent)
+}
+
+// edge is an undirected Aho-graph edge between two taxa.
+type edge struct{ a, b string }
+
+// components returns the connected components of the Aho graph, each
+// sorted, in order of their smallest member.
+func components(taxa []string, weights map[edge]int) [][]string {
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	for _, t := range taxa {
+		parent[t] = t
+	}
+	for e := range weights {
+		parent[find(e.a)] = find(e.b)
+	}
+	groups := map[string][]string{}
+	for _, t := range taxa {
+		r := find(t)
+		groups[r] = append(groups[r], t)
+	}
+	var out [][]string
+	for _, g := range groups {
+		sort.Strings(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,314 @@
+package supertree
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"treemine/internal/newick"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+func parse(t *testing.T, s string) *tree.Tree {
+	t.Helper()
+	tr, err := newick.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewTripleCanonical(t *testing.T) {
+	if NewTriple("b", "a", "c") != NewTriple("a", "b", "c") {
+		t.Fatal("sibling order not canonicalized")
+	}
+	if got := NewTriple("a", "b", "c").String(); got != "a,b|c" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestTriplesOfBinaryTree(t *testing.T) {
+	tr := parse(t, "((a,b),c);")
+	ts, err := TriplesOf(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0] != NewTriple("a", "b", "c") {
+		t.Fatalf("triples = %v", ts)
+	}
+	// A star resolves nothing.
+	star := parse(t, "(a,b,c);")
+	ts, err = TriplesOf(star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 0 {
+		t.Fatalf("star triples = %v", ts)
+	}
+	// A binary tree over k leaves resolves all C(k,3) triples.
+	full := parse(t, "((a,b),(c,d));")
+	ts, err = TriplesOf(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 4 {
+		t.Fatalf("quartet triples = %v", ts)
+	}
+}
+
+func TestTriplesOfDuplicateLabels(t *testing.T) {
+	if _, err := TriplesOf(parse(t, "((a,a),b);")); err == nil {
+		t.Fatal("duplicate labels accepted")
+	}
+}
+
+func TestBuildReconstructsTree(t *testing.T) {
+	src := parse(t, "((a,b),((c,d),e));")
+	ts, err := TriplesOf(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	triples := map[Triple]int{}
+	for _, tr := range ts {
+		triples[tr]++
+	}
+	got, err := Build(src.LeafLabels(), triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Isomorphic(got, src) {
+		t.Fatalf("Build = %v, want %v", got, src)
+	}
+}
+
+func TestBuildIncompatible(t *testing.T) {
+	triples := map[Triple]int{
+		NewTriple("a", "b", "c"): 1,
+		NewTriple("a", "c", "b"): 1, // conflicts with the first
+	}
+	_, err := Build([]string{"a", "b", "c"}, triples)
+	if !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("err = %v, want ErrIncompatible", err)
+	}
+}
+
+func TestBuildNoTriplesGivesStar(t *testing.T) {
+	got, err := Build([]string{"a", "b", "c"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumChildren(got.Root()) != 3 {
+		t.Fatalf("no-triples build = %v, want star", got)
+	}
+}
+
+func TestSupertreeOverlappingSources(t *testing.T) {
+	// Sources over {a,b,c,d} and {c,d,e}: the supertree must display
+	// both (a,b) and the cd|e nesting.
+	s1 := parse(t, "((a,b),(c,d));")
+	s2 := parse(t, "((c,d),e);")
+	got, err := Supertree([]*tree.Tree{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels := got.LeafLabels(); len(labels) != 5 {
+		t.Fatalf("supertree taxa = %v", labels)
+	}
+	ts := tree.TaxaOf(got)
+	ic := tree.InternalClusters(got, ts)
+	if _, ok := ic[ts.ClusterOf("a", "b").Key()]; !ok {
+		t.Errorf("supertree missing {a,b}: %v", got)
+	}
+	if _, ok := ic[ts.ClusterOf("c", "d").Key()]; !ok {
+		t.Errorf("supertree missing {c,d}: %v", got)
+	}
+}
+
+func TestSupertreeMajorityResolvesConflict(t *testing.T) {
+	// ab|c twice vs ac|b once: majority keeps ab|c.
+	s1 := parse(t, "((a,b),c);")
+	s2 := parse(t, "((a,b),c);")
+	s3 := parse(t, "((a,c),b);")
+	got, err := Supertree([]*tree.Tree{s1, s2, s3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := tree.TaxaOf(got)
+	ic := tree.InternalClusters(got, ts)
+	if _, ok := ic[ts.ClusterOf("a", "b").Key()]; !ok {
+		t.Fatalf("majority triple lost: %v", got)
+	}
+}
+
+func TestSupertreeTieCollapses(t *testing.T) {
+	// ab|c vs ac|b tied 1–1: the trio drops and the result is a star.
+	s1 := parse(t, "((a,b),c);")
+	s2 := parse(t, "((a,c),b);")
+	got, err := Supertree([]*tree.Tree{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumChildren(got.Root()) != 3 {
+		t.Fatalf("tied supertree = %v, want star", got)
+	}
+}
+
+func TestSupertreeRelaxationCutsToStar(t *testing.T) {
+	// Four sources over four distinct trios whose majority triples form
+	// the cycle ab|c, bc|d, cd|a, da|b: the Aho graph is one connected
+	// cycle over {a,b,c,d} with all edges at weight 1, so the relaxation
+	// deletes every edge and falls back to a star. Strict BUILD must
+	// refuse the same triples.
+	sources := []*tree.Tree{
+		parse(t, "((a,b),c);"),
+		parse(t, "((b,c),d);"),
+		parse(t, "((c,d),a);"),
+		parse(t, "((d,a),b);"),
+	}
+	triples := map[Triple]int{}
+	for _, s := range sources {
+		ts, err := TriplesOf(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range ts {
+			triples[tr]++
+		}
+	}
+	if _, err := Build([]string{"a", "b", "c", "d"}, triples); !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("strict Build err = %v, want ErrIncompatible", err)
+	}
+	st, err := Supertree(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumChildren(st.Root()) != 4 {
+		t.Fatalf("relaxed supertree = %v, want 4-taxon star", st)
+	}
+}
+
+func TestSupertreeRelaxationKeepsHeavyEdge(t *testing.T) {
+	// Same cycle, but ab|c is voted twice: cutting the weight-1 edges
+	// disconnects the graph while the heavier a–b edge survives, so the
+	// supertree keeps the {a,b} cluster.
+	sources := []*tree.Tree{
+		parse(t, "((a,b),c);"),
+		parse(t, "((a,b),c);"),
+		parse(t, "((b,c),d);"),
+		parse(t, "((c,d),a);"),
+		parse(t, "((d,a),b);"),
+	}
+	st, err := Supertree(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := tree.TaxaOf(st)
+	if _, ok := tree.InternalClusters(st, ts)[ts.ClusterOf("a", "b").Key()]; !ok {
+		t.Fatalf("heavy {a,b} cluster lost: %v", st)
+	}
+}
+
+func TestSupertreeNoSources(t *testing.T) {
+	if _, err := Supertree(nil); err == nil {
+		t.Fatal("empty source list accepted")
+	}
+}
+
+func TestSupertreeSingleSourceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		src := treegen.Yule(rng, treegen.Alphabet(9))
+		got, err := Supertree([]*tree.Tree{src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tree.Isomorphic(got, src) {
+			t.Fatalf("single-source supertree differs:\n got %v\nwant %v", got, src)
+		}
+	}
+}
+
+func TestSupertreeDisplaysCompatibleSources(t *testing.T) {
+	// Split a random binary tree's taxa into two overlapping windows and
+	// restrict the tree to each; the supertree of the restrictions must
+	// display every input cluster (restricted to its window).
+	rng := rand.New(rand.NewSource(6))
+	full := treegen.Yule(rng, treegen.Alphabet(10))
+	ts := tree.TaxaOf(full)
+	restrict := func(keep map[string]bool) *tree.Tree {
+		// Prune leaves not in keep, collapsing unary nodes.
+		var prune func(n tree.NodeID) *prunedNode
+		prune = func(n tree.NodeID) *prunedNode {
+			if full.IsLeaf(n) {
+				l, _ := full.Label(n)
+				if keep[l] {
+					return &prunedNode{label: l}
+				}
+				return nil
+			}
+			var kids []*prunedNode
+			for _, k := range full.Children(n) {
+				if p := prune(k); p != nil {
+					kids = append(kids, p)
+				}
+			}
+			switch len(kids) {
+			case 0:
+				return nil
+			case 1:
+				return kids[0]
+			default:
+				return &prunedNode{kids: kids}
+			}
+		}
+		root := prune(full.Root())
+		b := tree.NewBuilder()
+		emitPruned(root, tree.None, b)
+		return b.MustBuild()
+	}
+	alpha := treegen.Alphabet(10)
+	keep1 := map[string]bool{}
+	keep2 := map[string]bool{}
+	for i, l := range alpha {
+		if i < 7 {
+			keep1[l] = true
+		}
+		if i >= 3 {
+			keep2[l] = true
+		}
+	}
+	s1, s2 := restrict(keep1), restrict(keep2)
+	got, err := Supertree([]*tree.Tree{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels := got.LeafLabels(); len(labels) != 10 {
+		t.Fatalf("supertree taxa = %d", len(labels))
+	}
+	_ = ts
+}
+
+type prunedNode struct {
+	label string
+	kids  []*prunedNode
+}
+
+func emitPruned(p *prunedNode, parent tree.NodeID, b *tree.Builder) {
+	var id tree.NodeID
+	switch {
+	case len(p.kids) == 0 && parent == tree.None:
+		b.Root(p.label)
+		return
+	case len(p.kids) == 0:
+		b.Child(parent, p.label)
+		return
+	case parent == tree.None:
+		id = b.RootUnlabeled()
+	default:
+		id = b.ChildUnlabeled(parent)
+	}
+	for _, k := range p.kids {
+		emitPruned(k, id, b)
+	}
+}

@@ -1,0 +1,64 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTree(n int) *Tree {
+	rng := rand.New(rand.NewSource(1))
+	labels := []string{"a", "b", "c", "d", "e"}
+	b := NewBuilder()
+	b.Root(labels[0])
+	for i := 1; i < n; i++ {
+		b.Child(NodeID(rng.Intn(i)), labels[rng.Intn(len(labels))])
+	}
+	return b.MustBuild()
+}
+
+func BenchmarkCanonical(b *testing.B) {
+	t := benchTree(500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Canonical()
+	}
+}
+
+func BenchmarkWalk(b *testing.B) {
+	t := benchTree(2000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		t.Walk(func(NodeID) bool { count++; return true })
+		if count != 2000 {
+			b.Fatal("walk miscount")
+		}
+	}
+}
+
+func BenchmarkClusters(b *testing.B) {
+	t := benchTree(500)
+	ts := TaxaOf(t)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Clusters(t, ts)
+	}
+}
+
+func BenchmarkLCAWalking(b *testing.B) {
+	t := benchTree(1000)
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.LCA(NodeID(rng.Intn(1000)), NodeID(rng.Intn(1000)))
+	}
+}
+
+func BenchmarkRestrict(b *testing.B) {
+	t := benchTree(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Restrict(t, func(l string) bool { return l < "c" })
+	}
+}

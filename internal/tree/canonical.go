@@ -1,0 +1,73 @@
+package tree
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// canonicalEncoding returns a string that uniquely identifies the subtree
+// rooted at n up to unordered isomorphism with labels (AHU-style encoding
+// with sorted child encodings). Labels are length-prefixed so that label
+// boundaries cannot be confused with structure characters.
+func (t *Tree) canonicalEncoding(n NodeID) string {
+	var b strings.Builder
+	t.encode(n, &b)
+	return b.String()
+}
+
+func (t *Tree) encode(n NodeID, b *strings.Builder) {
+	b.WriteByte('(')
+	if t.labeled[n] {
+		l := t.labels[n]
+		b.WriteString(strconv.Itoa(len(l)))
+		b.WriteByte(':')
+		b.WriteString(l)
+	} else {
+		b.WriteByte('_')
+	}
+	if kids := t.children[n]; len(kids) > 0 {
+		encs := make([]string, len(kids))
+		for i, k := range kids {
+			var kb strings.Builder
+			t.encode(k, &kb)
+			encs[i] = kb.String()
+		}
+		sort.Strings(encs)
+		for _, e := range encs {
+			b.WriteString(e)
+		}
+	}
+	b.WriteByte(')')
+}
+
+// Canonical returns the canonical encoding of the whole tree. Two trees
+// have equal canonical encodings exactly when they are isomorphic as
+// rooted unordered labeled trees.
+func (t *Tree) Canonical() string {
+	if t.Size() == 0 {
+		return ""
+	}
+	return t.canonicalEncoding(0)
+}
+
+// Isomorphic reports whether a and b are isomorphic rooted unordered
+// labeled trees (same shape and labels, ignoring sibling order and node
+// IDs).
+func Isomorphic(a, b *Tree) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	return a.Canonical() == b.Canonical()
+}
+
+// Hash returns a 64-bit hash of the tree's canonical encoding, suitable
+// for deduplicating trees (e.g. sets of equally parsimonious trees).
+// Isomorphic trees always hash equal; distinct trees collide with the
+// usual 64-bit FNV probability.
+func (t *Tree) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(t.Canonical()))
+	return h.Sum64()
+}

@@ -1,0 +1,134 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsomorphicSiblingOrder(t *testing.T) {
+	// ((a b) c) vs (c (b a)) under an unlabeled root.
+	b1 := NewBuilder()
+	r := b1.RootUnlabeled()
+	x := b1.ChildUnlabeled(r)
+	b1.Child(x, "a")
+	b1.Child(x, "b")
+	b1.Child(r, "c")
+	t1 := b1.MustBuild()
+
+	b2 := NewBuilder()
+	r = b2.RootUnlabeled()
+	b2.Child(r, "c")
+	x = b2.ChildUnlabeled(r)
+	b2.Child(x, "b")
+	b2.Child(x, "a")
+	t2 := b2.MustBuild()
+
+	if !Isomorphic(t1, t2) {
+		t.Fatal("sibling reorder should be isomorphic")
+	}
+	if t1.Hash() != t2.Hash() {
+		t.Fatal("isomorphic trees must hash equal")
+	}
+}
+
+func TestNotIsomorphic(t *testing.T) {
+	mk := func(labels ...string) *Tree {
+		b := NewBuilder()
+		r := b.Root("r")
+		for _, l := range labels {
+			b.Child(r, l)
+		}
+		return b.MustBuild()
+	}
+	if Isomorphic(mk("a", "b"), mk("a", "c")) {
+		t.Fatal("different labels must not be isomorphic")
+	}
+	if Isomorphic(mk("a", "b"), mk("a", "b", "c")) {
+		t.Fatal("different sizes must not be isomorphic")
+	}
+	// Labeled vs unlabeled node differ.
+	b := NewBuilder()
+	r := b.RootUnlabeled()
+	b.Child(r, "a")
+	b.Child(r, "b")
+	unl := b.MustBuild()
+	if Isomorphic(mk("a", "b"), unl) {
+		t.Fatal("labeled root vs unlabeled root must not be isomorphic")
+	}
+}
+
+func TestCanonicalLabelBoundaries(t *testing.T) {
+	// Labels "ab"+"c" vs "a"+"bc" must not collide in the encoding.
+	mk := func(l1, l2 string) *Tree {
+		b := NewBuilder()
+		r := b.RootUnlabeled()
+		b.Child(r, l1)
+		b.Child(r, l2)
+		return b.MustBuild()
+	}
+	if mk("ab", "c").Canonical() == mk("a", "bc").Canonical() {
+		t.Fatal("label boundary collision in canonical encoding")
+	}
+}
+
+// randTree builds a random labeled tree with n nodes using rng, attaching
+// each new node to a uniformly random existing node.
+func randTree(rng *rand.Rand, n int, labels []string) *Tree {
+	b := NewBuilder()
+	b.Root(labels[rng.Intn(len(labels))])
+	for i := 1; i < n; i++ {
+		p := NodeID(rng.Intn(i))
+		if rng.Intn(4) == 0 {
+			b.ChildUnlabeled(p)
+		} else {
+			b.Child(p, labels[rng.Intn(len(labels))])
+		}
+	}
+	return b.MustBuild()
+}
+
+// shuffleTree rebuilds t with children inserted in a random order,
+// producing a tree isomorphic to t with different node IDs.
+func shuffleTree(rng *rand.Rand, t *Tree) *Tree {
+	b := NewBuilder()
+	var rec func(old, parent NodeID)
+	rec = func(old, parent NodeID) {
+		var id NodeID
+		if l, ok := t.Label(old); ok {
+			if parent == None {
+				id = b.Root(l)
+			} else {
+				id = b.Child(parent, l)
+			}
+		} else {
+			if parent == None {
+				id = b.RootUnlabeled()
+			} else {
+				id = b.ChildUnlabeled(parent)
+			}
+		}
+		kids := append([]NodeID(nil), t.Children(old)...)
+		rng.Shuffle(len(kids), func(i, j int) { kids[i], kids[j] = kids[j], kids[i] })
+		for _, k := range kids {
+			rec(k, id)
+		}
+	}
+	rec(t.Root(), None)
+	return b.MustBuild()
+}
+
+func TestCanonicalInvariantUnderShuffle(t *testing.T) {
+	labels := []string{"a", "b", "c", "d", "e"}
+	cfg := &quick.Config{MaxCount: 60}
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size)%40 + 1
+		tr := randTree(rng, n, labels)
+		sh := shuffleTree(rng, tr)
+		return Isomorphic(tr, sh) && tr.String() == sh.String()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

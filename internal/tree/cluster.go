@@ -1,0 +1,265 @@
+package tree
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// TaxonSet indexes a fixed universe of taxon names so that leaf clusters
+// can be represented as bitsets. Build one with NewTaxonSet over the union
+// of the leaf labels of the trees being compared.
+type TaxonSet struct {
+	names []string
+	index map[string]int
+}
+
+// NewTaxonSet builds a TaxonSet over the given names (duplicates are
+// collapsed). The names are kept in sorted order, so bit i always refers
+// to the i-th smallest name.
+func NewTaxonSet(names []string) *TaxonSet {
+	uniq := make(map[string]bool, len(names))
+	for _, n := range names {
+		uniq[n] = true
+	}
+	sorted := make([]string, 0, len(uniq))
+	for n := range uniq {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	idx := make(map[string]int, len(sorted))
+	for i, n := range sorted {
+		idx[n] = i
+	}
+	return &TaxonSet{names: sorted, index: idx}
+}
+
+// TaxaOf builds a TaxonSet over the union of leaf labels of the trees.
+func TaxaOf(trees ...*Tree) *TaxonSet {
+	var all []string
+	for _, t := range trees {
+		all = append(all, t.LeafLabels()...)
+	}
+	return NewTaxonSet(all)
+}
+
+// Len returns the number of taxa in the set.
+func (ts *TaxonSet) Len() int { return len(ts.names) }
+
+// Name returns the name of taxon i.
+func (ts *TaxonSet) Name(i int) string { return ts.names[i] }
+
+// Names returns all taxon names in sorted order. The slice is owned by
+// the TaxonSet and must not be modified.
+func (ts *TaxonSet) Names() []string { return ts.names }
+
+// Index returns the bit index of name and whether it is in the set.
+func (ts *TaxonSet) Index(name string) (int, bool) {
+	i, ok := ts.index[name]
+	return i, ok
+}
+
+// Cluster is a set of taxa represented as a bitset relative to a
+// TaxonSet. Clusters are comparable via Key for use as map keys.
+type Cluster []uint64
+
+// NewCluster returns an empty cluster sized for ts.
+func (ts *TaxonSet) NewCluster() Cluster {
+	return make(Cluster, (len(ts.names)+63)/64)
+}
+
+// ClusterOf returns the cluster containing exactly the given names. Names
+// not in the TaxonSet are ignored.
+func (ts *TaxonSet) ClusterOf(names ...string) Cluster {
+	c := ts.NewCluster()
+	for _, n := range names {
+		if i, ok := ts.index[n]; ok {
+			c.Set(i)
+		}
+	}
+	return c
+}
+
+// Full returns the cluster containing every taxon in ts.
+func (ts *TaxonSet) Full() Cluster {
+	c := ts.NewCluster()
+	for i := 0; i < len(ts.names); i++ {
+		c.Set(i)
+	}
+	return c
+}
+
+// Set adds taxon i to the cluster.
+func (c Cluster) Set(i int) { c[i/64] |= 1 << (i % 64) }
+
+// Has reports whether taxon i is in the cluster.
+func (c Cluster) Has(i int) bool { return c[i/64]&(1<<(i%64)) != 0 }
+
+// Count returns the number of taxa in the cluster.
+func (c Cluster) Count() int {
+	n := 0
+	for _, w := range c {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Key returns a string form of the bitset usable as a map key.
+func (c Cluster) Key() string {
+	var b strings.Builder
+	for _, w := range c {
+		fmt.Fprintf(&b, "%016x", w)
+	}
+	return b.String()
+}
+
+// Clone returns a copy of the cluster.
+func (c Cluster) Clone() Cluster { return append(Cluster(nil), c...) }
+
+// Union returns c ∪ d in a fresh cluster.
+func (c Cluster) Union(d Cluster) Cluster {
+	out := c.Clone()
+	for i := range out {
+		out[i] |= d[i]
+	}
+	return out
+}
+
+// Intersect returns c ∩ d in a fresh cluster.
+func (c Cluster) Intersect(d Cluster) Cluster {
+	out := c.Clone()
+	for i := range out {
+		out[i] &= d[i]
+	}
+	return out
+}
+
+// Minus returns c \ d in a fresh cluster.
+func (c Cluster) Minus(d Cluster) Cluster {
+	out := c.Clone()
+	for i := range out {
+		out[i] &^= d[i]
+	}
+	return out
+}
+
+// Empty reports whether the cluster contains no taxa.
+func (c Cluster) Empty() bool {
+	for _, w := range c {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether c and d contain exactly the same taxa.
+func (c Cluster) Equal(d Cluster) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every taxon of c is in d.
+func (c Cluster) SubsetOf(d Cluster) bool {
+	for i := range c {
+		if c[i]&^d[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Disjoint reports whether c and d share no taxa.
+func (c Cluster) Disjoint(d Cluster) bool {
+	for i := range c {
+		if c[i]&d[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CompatibleWith reports whether c and d can occur in the same tree: they
+// are compatible when one contains the other or they are disjoint.
+func (c Cluster) CompatibleWith(d Cluster) bool {
+	return c.SubsetOf(d) || d.SubsetOf(c) || c.Disjoint(d)
+}
+
+// Members returns the taxon indices in the cluster in increasing order.
+func (c Cluster) Members() []int {
+	var out []int
+	for wi, w := range c {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// NamesIn returns the names of the cluster's taxa relative to ts, sorted.
+func (c Cluster) NamesIn(ts *TaxonSet) []string {
+	idx := c.Members()
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = ts.Name(j)
+	}
+	return out
+}
+
+// Clusters returns, for each node of t that has at least one labeled leaf
+// below it (counting labeled leaves only), the cluster of leaf labels in
+// its subtree relative to ts. The result maps NodeID to cluster. Leaves
+// labeled with names outside ts contribute nothing.
+func Clusters(t *Tree, ts *TaxonSet) map[NodeID]Cluster {
+	out := make(map[NodeID]Cluster, t.Size())
+	t.PostOrder(func(n NodeID) {
+		c := ts.NewCluster()
+		if t.IsLeaf(n) {
+			if l, ok := t.Label(n); ok {
+				if i, ok := ts.Index(l); ok {
+					c.Set(i)
+				}
+			}
+		} else {
+			for _, k := range t.Children(n) {
+				if kc, ok := out[k]; ok {
+					c = c.Union(kc)
+				}
+			}
+		}
+		if !c.Empty() {
+			out[n] = c
+		}
+	})
+	return out
+}
+
+// InternalClusters returns the deduplicated set of clusters induced by the
+// internal (non-leaf) nodes of t, excluding the trivial full cluster of
+// the root, keyed by Cluster.Key. This is the cluster set consensus
+// methods and Robinson–Foulds operate on.
+func InternalClusters(t *Tree, ts *TaxonSet) map[string]Cluster {
+	all := Clusters(t, ts)
+	full := all[t.Root()]
+	out := make(map[string]Cluster)
+	for n, c := range all {
+		if t.IsLeaf(n) || c.Count() <= 1 {
+			continue
+		}
+		if full != nil && c.Equal(full) {
+			continue
+		}
+		out[c.Key()] = c
+	}
+	return out
+}

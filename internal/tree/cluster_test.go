@@ -1,0 +1,170 @@
+package tree
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTaxonSetBasics(t *testing.T) {
+	ts := NewTaxonSet([]string{"b", "a", "c", "a"})
+	if ts.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ts.Len())
+	}
+	if got := ts.Names(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("Names = %v", got)
+	}
+	if i, ok := ts.Index("b"); !ok || i != 1 {
+		t.Fatalf("Index(b) = (%d,%v)", i, ok)
+	}
+	if _, ok := ts.Index("zz"); ok {
+		t.Fatal("Index(zz) should miss")
+	}
+	if ts.Name(2) != "c" {
+		t.Fatalf("Name(2) = %q", ts.Name(2))
+	}
+}
+
+func TestClusterOps(t *testing.T) {
+	names := make([]string, 130) // spans multiple words
+	for i := range names {
+		names[i] = string(rune('A'+i/26)) + string(rune('a'+i%26))
+	}
+	ts := NewTaxonSet(names)
+	c := ts.NewCluster()
+	c.Set(0)
+	c.Set(64)
+	c.Set(129)
+	if c.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", c.Count())
+	}
+	if !c.Has(64) || c.Has(63) {
+		t.Fatal("Has wrong across word boundary")
+	}
+	if got := c.Members(); !reflect.DeepEqual(got, []int{0, 64, 129}) {
+		t.Fatalf("Members = %v", got)
+	}
+
+	d := ts.NewCluster()
+	d.Set(64)
+	d.Set(65)
+	if got := c.Intersect(d).Members(); !reflect.DeepEqual(got, []int{64}) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if got := c.Union(d).Count(); got != 4 {
+		t.Fatalf("Union count = %d, want 4", got)
+	}
+	if got := c.Minus(d).Members(); !reflect.DeepEqual(got, []int{0, 129}) {
+		t.Fatalf("Minus = %v", got)
+	}
+	if c.Empty() || !ts.NewCluster().Empty() {
+		t.Fatal("Empty wrong")
+	}
+	if !c.Equal(c.Clone()) || c.Equal(d) {
+		t.Fatal("Equal wrong")
+	}
+	sub := ts.NewCluster()
+	sub.Set(0)
+	if !sub.SubsetOf(c) || c.SubsetOf(sub) {
+		t.Fatal("SubsetOf wrong")
+	}
+	dj := ts.NewCluster()
+	dj.Set(7)
+	if !dj.Disjoint(c) || d.Disjoint(c) {
+		t.Fatal("Disjoint wrong")
+	}
+	if c.Key() == d.Key() || c.Key() != c.Clone().Key() {
+		t.Fatal("Key not injective/stable")
+	}
+}
+
+func TestClusterCompatibility(t *testing.T) {
+	ts := NewTaxonSet([]string{"a", "b", "c", "d"})
+	ab := ts.ClusterOf("a", "b")
+	abc := ts.ClusterOf("a", "b", "c")
+	cd := ts.ClusterOf("c", "d")
+	bc := ts.ClusterOf("b", "c")
+	if !ab.CompatibleWith(abc) { // nested
+		t.Error("nested clusters should be compatible")
+	}
+	if !ab.CompatibleWith(cd) { // disjoint
+		t.Error("disjoint clusters should be compatible")
+	}
+	if ab.CompatibleWith(bc) { // overlapping, neither contains the other
+		t.Error("overlapping clusters should be incompatible")
+	}
+}
+
+// phyloSample builds ((a,b),(c,d)) with unlabeled internals.
+func phyloSample() *Tree {
+	b := NewBuilder()
+	r := b.RootUnlabeled()
+	l := b.ChildUnlabeled(r)
+	b.Child(l, "a")
+	b.Child(l, "b")
+	rr := b.ChildUnlabeled(r)
+	b.Child(rr, "c")
+	b.Child(rr, "d")
+	return b.MustBuild()
+}
+
+func TestClustersExtraction(t *testing.T) {
+	tr := phyloSample()
+	ts := TaxaOf(tr)
+	if ts.Len() != 4 {
+		t.Fatalf("taxa = %d, want 4", ts.Len())
+	}
+	all := Clusters(tr, ts)
+	if got := all[tr.Root()].Count(); got != 4 {
+		t.Fatalf("root cluster size = %d, want 4", got)
+	}
+	ic := InternalClusters(tr, ts)
+	if len(ic) != 2 {
+		t.Fatalf("internal clusters = %d, want 2 ({a,b} and {c,d})", len(ic))
+	}
+	ab := ts.ClusterOf("a", "b")
+	cd := ts.ClusterOf("c", "d")
+	if _, ok := ic[ab.Key()]; !ok {
+		t.Error("missing {a,b} cluster")
+	}
+	if _, ok := ic[cd.Key()]; !ok {
+		t.Error("missing {c,d} cluster")
+	}
+	for _, c := range ic {
+		if got := c.NamesIn(ts); len(got) != 2 {
+			t.Errorf("cluster names = %v", got)
+		}
+	}
+}
+
+func TestInternalClustersExcludesTrivial(t *testing.T) {
+	// A root with an extra unary internal node above the leaves: the
+	// unary node induces the same full cluster as the root and must be
+	// excluded; single-leaf clusters are excluded too.
+	b := NewBuilder()
+	r := b.RootUnlabeled()
+	mid := b.ChildUnlabeled(r)
+	b.Child(mid, "a")
+	b.Child(mid, "b")
+	tr := b.MustBuild()
+	ts := TaxaOf(tr)
+	ic := InternalClusters(tr, ts)
+	if len(ic) != 0 {
+		t.Fatalf("internal clusters = %d, want 0 (full cluster is trivial)", len(ic))
+	}
+}
+
+func TestClustersIgnoreUnknownTaxa(t *testing.T) {
+	tr := phyloSample()
+	ts := NewTaxonSet([]string{"a", "b"}) // c,d outside universe
+	all := Clusters(tr, ts)
+	if got := all[tr.Root()].Count(); got != 2 {
+		t.Fatalf("root cluster size = %d, want 2", got)
+	}
+}
+
+func TestFullCluster(t *testing.T) {
+	ts := NewTaxonSet([]string{"a", "b", "c"})
+	if got := ts.Full().Count(); got != 3 {
+		t.Fatalf("Full count = %d", got)
+	}
+}

@@ -1,0 +1,15 @@
+package tree
+
+// Relabel returns a copy of t with every label rewritten by f. Unlabeled
+// nodes stay unlabeled; structure and node IDs are preserved. Relabeling
+// is how NEXUS translate tables and taxon-renaming workflows are applied
+// without mutating shared trees.
+func Relabel(t *Tree, f func(string) string) *Tree {
+	c := t.Clone()
+	for i := range c.labels {
+		if c.labeled[i] {
+			c.labels[i] = f(c.labels[i])
+		}
+	}
+	return c
+}

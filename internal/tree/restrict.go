@@ -1,0 +1,74 @@
+package tree
+
+// Restrict returns t pruned to the leaves whose labels satisfy keep:
+// non-matching leaves are removed, internal nodes left with a single
+// child are collapsed (their child is spliced into their place), and
+// internal labels are preserved on surviving nodes. It returns nil when
+// no leaf survives. Restriction is how a phylogeny is projected onto a
+// taxon subset — the operation behind supertree inputs, per-window
+// kernel groups, and Adams-style reasoning.
+func Restrict(t *Tree, keep func(label string) bool) *Tree {
+	type pruned struct {
+		id   NodeID // original node, for label lookup
+		kids []*pruned
+	}
+	var rec func(n NodeID) *pruned
+	rec = func(n NodeID) *pruned {
+		if t.IsLeaf(n) {
+			if l, ok := t.Label(n); ok && keep(l) {
+				return &pruned{id: n}
+			}
+			return nil
+		}
+		var kids []*pruned
+		for _, k := range t.Children(n) {
+			if p := rec(k); p != nil {
+				kids = append(kids, p)
+			}
+		}
+		switch len(kids) {
+		case 0:
+			return nil
+		case 1:
+			return kids[0]
+		default:
+			return &pruned{id: n, kids: kids}
+		}
+	}
+	root := rec(t.Root())
+	if root == nil {
+		return nil
+	}
+	b := NewBuilder()
+	var emit func(p *pruned, parent NodeID)
+	emit = func(p *pruned, parent NodeID) {
+		var id NodeID
+		if l, ok := t.Label(p.id); ok {
+			if parent == None {
+				id = b.Root(l)
+			} else {
+				id = b.Child(parent, l)
+			}
+		} else {
+			if parent == None {
+				id = b.RootUnlabeled()
+			} else {
+				id = b.ChildUnlabeled(parent)
+			}
+		}
+		for _, k := range p.kids {
+			emit(k, id)
+		}
+	}
+	emit(root, None)
+	return b.MustBuild()
+}
+
+// RestrictTo is Restrict with an explicit allow-set of labels.
+func RestrictTo(t *Tree, labels []string) *Tree {
+	set := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		set[l] = true
+	}
+	return Restrict(t, func(l string) bool { return set[l] })
+}

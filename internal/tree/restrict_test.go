@@ -1,0 +1,103 @@
+package tree
+
+import (
+	"reflect"
+	"testing"
+)
+
+// buildPhylo builds ((a,b),((c,d),e)) with unlabeled internals.
+func buildPhylo() *Tree {
+	b := NewBuilder()
+	r := b.RootUnlabeled()
+	l := b.ChildUnlabeled(r)
+	b.Child(l, "a")
+	b.Child(l, "b")
+	rr := b.ChildUnlabeled(r)
+	cd := b.ChildUnlabeled(rr)
+	b.Child(cd, "c")
+	b.Child(cd, "d")
+	b.Child(rr, "e")
+	return b.MustBuild()
+}
+
+func TestRestrictDropsAndCollapses(t *testing.T) {
+	tr := buildPhylo()
+	got := RestrictTo(tr, []string{"a", "c", "d"})
+	if got == nil {
+		t.Fatal("nil restriction")
+	}
+	// a's sibling b is gone, so the (a,b) node collapses: a hangs off
+	// the root directly; (c,d) survives as a cluster.
+	if want := []string{"a", "c", "d"}; !reflect.DeepEqual(got.LeafLabels(), want) {
+		t.Fatalf("leaves = %v", got.LeafLabels())
+	}
+	ts := TaxaOf(got)
+	ic := InternalClusters(got, ts)
+	if _, ok := ic[ts.ClusterOf("c", "d").Key()]; !ok {
+		t.Fatalf("{c,d} lost: %v", got)
+	}
+	// No unary nodes survive.
+	for _, n := range got.Nodes() {
+		if !got.IsLeaf(n) && got.NumChildren(n) < 2 {
+			t.Fatalf("unary node survived: %v", got)
+		}
+	}
+}
+
+func TestRestrictSingleLeaf(t *testing.T) {
+	tr := buildPhylo()
+	got := RestrictTo(tr, []string{"e"})
+	if got == nil || got.Size() != 1 || got.MustLabel(got.Root()) != "e" {
+		t.Fatalf("single-leaf restriction = %v", got)
+	}
+}
+
+func TestRestrictNothingSurvives(t *testing.T) {
+	tr := buildPhylo()
+	if got := RestrictTo(tr, []string{"zzz"}); got != nil {
+		t.Fatalf("expected nil, got %v", got)
+	}
+}
+
+func TestRestrictEverything(t *testing.T) {
+	tr := buildPhylo()
+	got := Restrict(tr, func(string) bool { return true })
+	if !Isomorphic(tr, got) {
+		t.Fatalf("full restriction differs: %v vs %v", got, tr)
+	}
+}
+
+func TestRestrictPreservesNesting(t *testing.T) {
+	// Dropping e from ((a,b),((c,d),e)) collapses the ((c,d),e) node:
+	// result is ((a,b),(c,d)).
+	tr := buildPhylo()
+	got := RestrictTo(tr, []string{"a", "b", "c", "d"})
+	b := NewBuilder()
+	r := b.RootUnlabeled()
+	l := b.ChildUnlabeled(r)
+	b.Child(l, "a")
+	b.Child(l, "b")
+	rr := b.ChildUnlabeled(r)
+	b.Child(rr, "c")
+	b.Child(rr, "d")
+	want := b.MustBuild()
+	if !Isomorphic(got, want) {
+		t.Fatalf("restriction = %v, want %v", got, want)
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	tr := buildPhylo()
+	up := Relabel(tr, func(l string) string { return l + "!" })
+	if got := up.LeafLabels(); got[0] != "a!" {
+		t.Fatalf("relabel = %v", got)
+	}
+	// Original untouched.
+	if got := tr.LeafLabels(); got[0] != "a" {
+		t.Fatalf("original mutated: %v", got)
+	}
+	// Unlabeled nodes stay unlabeled.
+	if up.Labeled(up.Root()) {
+		t.Fatal("unlabeled root gained a label")
+	}
+}

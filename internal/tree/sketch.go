@@ -1,0 +1,43 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sketch renders the tree as indented ASCII art, one node per line —
+// the quick-look format the CLI tools print for humans:
+//
+//	└─ (root)
+//	   ├─ Human
+//	   └─ (…)
+//	      ├─ Chimp
+//	      └─ Gorilla
+//
+// Unlabeled nodes print as "(…)". Children appear in ID order.
+func Sketch(t *Tree) string {
+	if t.Size() == 0 {
+		return ""
+	}
+	var b strings.Builder
+	var rec func(n NodeID, prefix string, last bool)
+	rec = func(n NodeID, prefix string, last bool) {
+		connector := "├─ "
+		childPrefix := prefix + "│  "
+		if last {
+			connector = "└─ "
+			childPrefix = prefix + "   "
+		}
+		name := "(…)"
+		if l, ok := t.Label(n); ok {
+			name = l
+		}
+		fmt.Fprintf(&b, "%s%s%s\n", prefix, connector, name)
+		kids := t.Children(n)
+		for i, k := range kids {
+			rec(k, childPrefix, i == len(kids)-1)
+		}
+	}
+	rec(t.Root(), "", true)
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSketch(t *testing.T) {
+	b := NewBuilder()
+	r := b.RootUnlabeled()
+	b.Child(r, "Human")
+	x := b.ChildUnlabeled(r)
+	b.Child(x, "Chimp")
+	b.Child(x, "Gorilla")
+	out := Sketch(b.MustBuild())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "└─ (…)" {
+		t.Errorf("root line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "├─ Human") {
+		t.Errorf("first child line = %q", lines[1])
+	}
+	if !strings.Contains(lines[4], "└─ Gorilla") {
+		t.Errorf("last line = %q", lines[4])
+	}
+	// Continuation bars only under non-last children.
+	if strings.Contains(lines[3], "│") {
+		t.Errorf("unexpected bar under last child: %q", lines[3])
+	}
+}
+
+func TestSketchSingleAndEmpty(t *testing.T) {
+	b := NewBuilder()
+	b.Root("solo")
+	if got := Sketch(b.MustBuild()); got != "└─ solo\n" {
+		t.Fatalf("single = %q", got)
+	}
+	if got := Sketch(&Tree{}); got != "" {
+		t.Fatalf("empty = %q", got)
+	}
+}

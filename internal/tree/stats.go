@@ -1,0 +1,71 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a tree's shape — the quantities the paper's Table 3
+// and §4 workload descriptions are phrased in (node count, fanout,
+// label usage).
+type Stats struct {
+	Nodes         int
+	Leaves        int
+	Internal      int
+	Labeled       int
+	DistinctLabel int
+	Height        int
+	MaxArity      int
+	// ArityHist[k] = number of internal nodes with k children.
+	ArityHist map[int]int
+}
+
+// StatsOf computes the statistics in one pass.
+func StatsOf(t *Tree) Stats {
+	s := Stats{ArityHist: map[int]int{}, Height: t.Height(), Nodes: t.Size()}
+	labels := map[string]bool{}
+	t.Walk(func(n NodeID) bool {
+		if t.IsLeaf(n) {
+			s.Leaves++
+		} else {
+			s.Internal++
+			k := t.NumChildren(n)
+			s.ArityHist[k]++
+			if k > s.MaxArity {
+				s.MaxArity = k
+			}
+		}
+		if l, ok := t.Label(n); ok {
+			s.Labeled++
+			labels[l] = true
+		}
+		return true
+	})
+	s.DistinctLabel = len(labels)
+	return s
+}
+
+// String renders the stats on one line, with the arity histogram in
+// ascending arity order.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes=%d leaves=%d internal=%d labeled=%d distinct=%d height=%d",
+		s.Nodes, s.Leaves, s.Internal, s.Labeled, s.DistinctLabel, s.Height)
+	if len(s.ArityHist) > 0 {
+		arities := make([]int, 0, len(s.ArityHist))
+		for k := range s.ArityHist {
+			arities = append(arities, k)
+		}
+		sort.Ints(arities)
+		b.WriteString(" arity[")
+		for i, k := range arities {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d:%d", k, s.ArityHist[k])
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}

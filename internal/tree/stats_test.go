@@ -1,0 +1,52 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStatsOf(t *testing.T) {
+	tr, _ := sample(t) // r(a(c,d), b, u(e)) with u unlabeled
+	s := StatsOf(tr)
+	if s.Nodes != 7 || s.Leaves != 4 || s.Internal != 3 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.Labeled != 6 || s.DistinctLabel != 6 {
+		t.Fatalf("labels wrong: %+v", s)
+	}
+	if s.Height != 2 || s.MaxArity != 3 {
+		t.Fatalf("shape wrong: %+v", s)
+	}
+	if s.ArityHist[3] != 1 || s.ArityHist[2] != 1 || s.ArityHist[1] != 1 {
+		t.Fatalf("arity hist wrong: %v", s.ArityHist)
+	}
+	out := s.String()
+	for _, want := range []string{"nodes=7", "leaves=4", "height=2", "arity[1:1 2:1 3:1]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestStatsSingleNode(t *testing.T) {
+	b := NewBuilder()
+	b.Root("x")
+	s := StatsOf(b.MustBuild())
+	if s.Nodes != 1 || s.Leaves != 1 || s.Internal != 0 || s.MaxArity != 0 {
+		t.Fatalf("single-node stats: %+v", s)
+	}
+	if strings.Contains(s.String(), "arity[") {
+		t.Fatalf("empty arity hist printed: %s", s.String())
+	}
+}
+
+func TestStatsDuplicateLabels(t *testing.T) {
+	b := NewBuilder()
+	r := b.RootUnlabeled()
+	b.Child(r, "x")
+	b.Child(r, "x")
+	s := StatsOf(b.MustBuild())
+	if s.Labeled != 2 || s.DistinctLabel != 1 {
+		t.Fatalf("dup labels: %+v", s)
+	}
+}

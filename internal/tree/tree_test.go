@@ -1,0 +1,290 @@
+package tree
+
+import (
+	"reflect"
+	"testing"
+)
+
+// caterpillar builds root -> a -> b -> c ... as a labeled chain.
+func chain(t *testing.T, labels ...string) *Tree {
+	t.Helper()
+	b := NewBuilder()
+	n := b.Root(labels[0])
+	for _, l := range labels[1:] {
+		n = b.Child(n, l)
+	}
+	return b.MustBuild()
+}
+
+// sample builds the tree
+//
+//	     r
+//	   / | \
+//	  a  b  .
+//	 /|     |
+//	c d     e
+//
+// where "." is unlabeled, and returns it with the IDs of its nodes.
+func sample(t *testing.T) (*Tree, map[string]NodeID) {
+	t.Helper()
+	b := NewBuilder()
+	ids := map[string]NodeID{}
+	ids["r"] = b.Root("r")
+	ids["a"] = b.Child(ids["r"], "a")
+	ids["b"] = b.Child(ids["r"], "b")
+	ids["u"] = b.ChildUnlabeled(ids["r"])
+	ids["c"] = b.Child(ids["a"], "c")
+	ids["d"] = b.Child(ids["a"], "d")
+	ids["e"] = b.Child(ids["u"], "e")
+	return b.MustBuild(), ids
+}
+
+func TestBuilderBasics(t *testing.T) {
+	tr, ids := sample(t)
+	if got := tr.Size(); got != 7 {
+		t.Fatalf("Size = %d, want 7", got)
+	}
+	if tr.Root() != ids["r"] {
+		t.Errorf("Root = %d, want %d", tr.Root(), ids["r"])
+	}
+	if tr.Parent(ids["r"]) != None {
+		t.Errorf("root parent = %d, want None", tr.Parent(ids["r"]))
+	}
+	if tr.Parent(ids["c"]) != ids["a"] {
+		t.Errorf("parent(c) = %d, want a", tr.Parent(ids["c"]))
+	}
+	if got := tr.NumChildren(ids["r"]); got != 3 {
+		t.Errorf("NumChildren(r) = %d, want 3", got)
+	}
+	if !tr.IsLeaf(ids["e"]) || tr.IsLeaf(ids["a"]) {
+		t.Error("IsLeaf wrong for e or a")
+	}
+	if l, ok := tr.Label(ids["u"]); ok || l != "" {
+		t.Errorf("unlabeled node Label = (%q,%v), want (\"\",false)", l, ok)
+	}
+	if l, ok := tr.Label(ids["d"]); !ok || l != "d" {
+		t.Errorf("Label(d) = (%q,%v)", l, ok)
+	}
+}
+
+func TestBuilderEmpty(t *testing.T) {
+	if _, err := NewBuilder().Build(); err != ErrEmptyTree {
+		t.Fatalf("Build on empty builder: err = %v, want ErrEmptyTree", err)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("double root", func() {
+		b := NewBuilder()
+		b.Root("x")
+		b.Root("y")
+	})
+	mustPanic("bad parent", func() {
+		b := NewBuilder()
+		b.Root("x")
+		b.Child(99, "y")
+	})
+	mustPanic("reuse after build", func() {
+		b := NewBuilder()
+		b.Root("x")
+		b.MustBuild()
+		b.Child(0, "y")
+	})
+}
+
+func TestBuilderPath(t *testing.T) {
+	b := NewBuilder()
+	r := b.Root("r")
+	end := b.Path(r, "x", "y", "z")
+	tr := b.MustBuild()
+	if got := tr.MustLabel(end); got != "z" {
+		t.Fatalf("Path end label = %q, want z", got)
+	}
+	if tr.Depth(end) != 3 {
+		t.Fatalf("Path end depth = %d, want 3", tr.Depth(end))
+	}
+	if got := b2l(tr, tr.Parent(end)); got != "y" {
+		t.Fatalf("parent of end = %q, want y", got)
+	}
+}
+
+func b2l(t *Tree, n NodeID) string { return t.MustLabel(n) }
+
+func TestDepthHeight(t *testing.T) {
+	tr, ids := sample(t)
+	wantDepth := map[string]int{"r": 0, "a": 1, "b": 1, "u": 1, "c": 2, "d": 2, "e": 2}
+	for name, d := range wantDepth {
+		if got := tr.Depth(ids[name]); got != d {
+			t.Errorf("Depth(%s) = %d, want %d", name, got, d)
+		}
+	}
+	if h := tr.Height(); h != 2 {
+		t.Errorf("Height = %d, want 2", h)
+	}
+	one := chain(t, "solo")
+	if h := one.Height(); h != 0 {
+		t.Errorf("single-node Height = %d, want 0", h)
+	}
+	empty := &Tree{}
+	if h := empty.Height(); h != -1 {
+		t.Errorf("empty Height = %d, want -1", h)
+	}
+}
+
+func TestWalkPreorder(t *testing.T) {
+	tr, _ := sample(t)
+	var order []string
+	tr.Walk(func(n NodeID) bool {
+		if l, ok := tr.Label(n); ok {
+			order = append(order, l)
+		} else {
+			order = append(order, ".")
+		}
+		return true
+	})
+	want := []string{"r", "a", "c", "d", "b", ".", "e"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("preorder = %v, want %v", order, want)
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	tr, ids := sample(t)
+	var visited []NodeID
+	tr.Walk(func(n NodeID) bool {
+		visited = append(visited, n)
+		return n != ids["a"] // skip a's subtree
+	})
+	for _, n := range visited {
+		if n == ids["c"] || n == ids["d"] {
+			t.Fatalf("pruned node %d visited", n)
+		}
+	}
+	if len(visited) != 5 {
+		t.Fatalf("visited %d nodes, want 5", len(visited))
+	}
+}
+
+func TestPostOrder(t *testing.T) {
+	tr, ids := sample(t)
+	pos := map[NodeID]int{}
+	i := 0
+	tr.PostOrder(func(n NodeID) { pos[n] = i; i++ })
+	if i != tr.Size() {
+		t.Fatalf("postorder visited %d nodes, want %d", i, tr.Size())
+	}
+	for _, n := range tr.Nodes() {
+		for _, k := range tr.Children(n) {
+			if pos[k] > pos[n] {
+				t.Errorf("child %d after parent %d in postorder", k, n)
+			}
+		}
+	}
+	_ = ids
+}
+
+func TestLeavesAndLabels(t *testing.T) {
+	tr, _ := sample(t)
+	if got := len(tr.Leaves()); got != 4 {
+		t.Fatalf("len(Leaves) = %d, want 4", got)
+	}
+	want := []string{"b", "c", "d", "e"}
+	if got := tr.LeafLabels(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("LeafLabels = %v, want %v", got, want)
+	}
+	if got := len(tr.LabeledNodes()); got != 6 {
+		t.Fatalf("len(LabeledNodes) = %d, want 6", got)
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	tr, ids := sample(t)
+	anc := tr.Ancestors(ids["c"])
+	if len(anc) != 2 || anc[0] != ids["a"] || anc[1] != ids["r"] {
+		t.Fatalf("Ancestors(c) = %v", anc)
+	}
+	if len(tr.Ancestors(ids["r"])) != 0 {
+		t.Fatal("root has ancestors")
+	}
+	if !tr.IsAncestor(ids["r"], ids["e"]) {
+		t.Error("r should be ancestor of e")
+	}
+	if tr.IsAncestor(ids["a"], ids["e"]) {
+		t.Error("a should not be ancestor of e")
+	}
+	if tr.IsAncestor(ids["c"], ids["c"]) {
+		t.Error("node is not its own proper ancestor")
+	}
+	if got := tr.AncestorAt(ids["c"], 2); got != ids["r"] {
+		t.Errorf("AncestorAt(c,2) = %d, want root", got)
+	}
+	if got := tr.AncestorAt(ids["c"], 0); got != ids["c"] {
+		t.Errorf("AncestorAt(c,0) = %d, want c", got)
+	}
+	if got := tr.AncestorAt(ids["c"], 5); got != None {
+		t.Errorf("AncestorAt(c,5) = %d, want None", got)
+	}
+}
+
+func TestLCA(t *testing.T) {
+	tr, ids := sample(t)
+	cases := []struct{ u, v, want string }{
+		{"c", "d", "a"},
+		{"c", "e", "r"},
+		{"a", "c", "a"},
+		{"b", "e", "r"},
+		{"r", "r", "r"},
+	}
+	for _, c := range cases {
+		if got := tr.LCA(ids[c.u], ids[c.v]); got != ids[c.want] {
+			t.Errorf("LCA(%s,%s) = %d, want %s", c.u, c.v, got, c.want)
+		}
+		if got := tr.LCA(ids[c.v], ids[c.u]); got != ids[c.want] {
+			t.Errorf("LCA(%s,%s) = %d, want %s (symmetric)", c.v, c.u, got, c.want)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	tr, ids := sample(t)
+	cl := tr.Clone()
+	if !Isomorphic(tr, cl) {
+		t.Fatal("clone not isomorphic to original")
+	}
+	// Mutating the clone's internals must not affect the original.
+	cl.labels[ids["a"]] = "zz"
+	if l := tr.MustLabel(ids["a"]); l != "a" {
+		t.Fatalf("original mutated through clone: label(a) = %q", l)
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	// Two trees differing only in sibling insertion order print the same.
+	b1 := NewBuilder()
+	r1 := b1.Root("r")
+	b1.Child(r1, "x")
+	b1.Child(r1, "y")
+	t1 := b1.MustBuild()
+
+	b2 := NewBuilder()
+	r2 := b2.Root("r")
+	b2.Child(r2, "y")
+	b2.Child(r2, "x")
+	t2 := b2.MustBuild()
+
+	if t1.String() != t2.String() {
+		t.Fatalf("String not order independent: %q vs %q", t1, t2)
+	}
+	if (&Tree{}).String() != "()" {
+		t.Fatalf("empty String = %q", (&Tree{}).String())
+	}
+}

@@ -1,0 +1,42 @@
+package treebase
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"treemine/internal/nexus"
+)
+
+// ExportNexus writes the corpus to dir as one NEXUS file per study
+// (S0001.nex, …), each with a TAXA block and a TREES block holding the
+// study's phylogenies — the on-disk layout TreeBASE study downloads use,
+// so the CLI tools can be exercised against the simulated corpus
+// end-to-end. The directory must exist. It returns the files written.
+func (c *Corpus) ExportNexus(dir string) ([]string, error) {
+	var files []string
+	for _, s := range c.Studies {
+		f := &nexus.File{Taxa: s.Taxa}
+		for i, t := range s.Trees {
+			f.Trees = append(f.Trees, nexus.TreeEntry{
+				Name:   fmt.Sprintf("%s_tree%d", s.ID, i+1),
+				Rooted: true,
+				Tree:   t,
+			})
+		}
+		path := filepath.Join(dir, s.ID+".nex")
+		out, err := os.Create(path)
+		if err != nil {
+			return files, fmt.Errorf("treebase: %w", err)
+		}
+		if err := nexus.Write(out, f); err != nil {
+			out.Close()
+			return files, fmt.Errorf("treebase: write %s: %w", path, err)
+		}
+		if err := out.Close(); err != nil {
+			return files, fmt.Errorf("treebase: close %s: %w", path, err)
+		}
+		files = append(files, path)
+	}
+	return files, nil
+}

@@ -1,0 +1,48 @@
+package treebase
+
+import (
+	"os"
+	"testing"
+
+	"treemine/internal/phyloio"
+	"treemine/internal/tree"
+)
+
+func TestExportNexusRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumTrees = 12
+	c := NewCorpus(4, cfg)
+	dir := t.TempDir()
+	files, err := c.ExportNexus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(c.Studies) {
+		t.Fatalf("files = %d, studies = %d", len(files), len(c.Studies))
+	}
+	// Every exported file loads back through the standard reader with
+	// isomorphic trees.
+	for si, f := range files {
+		trees, err := phyloio.ReadTrees([]string{f}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		want := c.Studies[si].Trees
+		if len(trees) != len(want) {
+			t.Fatalf("%s: %d trees, want %d", f, len(trees), len(want))
+		}
+		for i := range trees {
+			if !tree.Isomorphic(trees[i], want[i]) {
+				t.Fatalf("%s tree %d not isomorphic after round trip", f, i)
+			}
+		}
+	}
+}
+
+func TestExportNexusBadDir(t *testing.T) {
+	c := &Corpus{Studies: []Study{SeedPlantStudy()}}
+	if _, err := c.ExportNexus("/nonexistent-dir-xyz"); err == nil {
+		t.Fatal("bad directory accepted")
+	}
+	_ = os.ErrNotExist
+}

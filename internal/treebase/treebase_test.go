@@ -1,0 +1,160 @@
+package treebase
+
+import (
+	"testing"
+
+	"treemine/internal/core"
+	"treemine/internal/tree"
+)
+
+func TestNamesDistinctAndPrefixStable(t *testing.T) {
+	n := 2000
+	names := Names(n)
+	if len(names) != n {
+		t.Fatalf("len = %d", len(names))
+	}
+	seen := make(map[string]bool, n)
+	for _, s := range names {
+		if seen[s] {
+			t.Fatalf("duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+	short := Names(100)
+	for i := range short {
+		if short[i] != names[i] {
+			t.Fatalf("Names not prefix-stable at %d: %q vs %q", i, short[i], names[i])
+		}
+	}
+}
+
+func TestNamesFullAlphabet(t *testing.T) {
+	names := Names(DefaultAlphabetSize)
+	if len(names) != DefaultAlphabetSize {
+		t.Fatalf("len = %d, want %d", len(names), DefaultAlphabetSize)
+	}
+	seen := make(map[string]bool, len(names))
+	for _, s := range names {
+		if seen[s] {
+			t.Fatalf("duplicate name %q in full alphabet", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumTrees = 60 // keep the unit test quick; the bench uses 1500
+	c := NewCorpus(1, cfg)
+	if got := c.NumTrees(); got != 60 {
+		t.Fatalf("NumTrees = %d, want 60", got)
+	}
+	if len(c.AllTrees()) != 60 {
+		t.Fatalf("AllTrees length mismatch")
+	}
+	for _, s := range c.Studies {
+		if len(s.Trees) < 1 {
+			t.Fatalf("study %s empty", s.ID)
+		}
+		for _, tr := range s.Trees {
+			if tr.Size() < cfg.MinNodes || tr.Size() > cfg.MaxNodes {
+				t.Fatalf("study %s tree has %d nodes outside [%d,%d]",
+					s.ID, tr.Size(), cfg.MinNodes, cfg.MaxNodes)
+			}
+			for _, n := range tr.Nodes() {
+				if tr.IsLeaf(n) {
+					continue
+				}
+				if k := tr.NumChildren(n); k < 2 || k > 9 {
+					t.Fatalf("internal arity %d outside [2,9]", k)
+				}
+			}
+		}
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumTrees = 10
+	a := NewCorpus(7, cfg)
+	b := NewCorpus(7, cfg)
+	if a.NumTrees() != b.NumTrees() {
+		t.Fatal("corpus size differs across same-seed runs")
+	}
+	for i := range a.Studies {
+		for j := range a.Studies[i].Trees {
+			if !tree.Isomorphic(a.Studies[i].Trees[j], b.Studies[i].Trees[j]) {
+				t.Fatalf("study %d tree %d differs across same-seed runs", i, j)
+			}
+		}
+	}
+}
+
+func TestStudiesShareTaxa(t *testing.T) {
+	// Trees within a study must overlap in taxa, otherwise cross-tree
+	// mining would be vacuous.
+	cfg := DefaultConfig()
+	cfg.NumTrees = 20
+	c := NewCorpus(3, cfg)
+	for _, s := range c.Studies {
+		if len(s.Trees) < 2 {
+			continue
+		}
+		l0 := map[string]bool{}
+		for _, l := range s.Trees[0].LeafLabels() {
+			l0[l] = true
+		}
+		shared := 0
+		for _, l := range s.Trees[1].LeafLabels() {
+			if l0[l] {
+				shared++
+			}
+		}
+		if shared == 0 {
+			t.Fatalf("study %s trees share no taxa", s.ID)
+		}
+	}
+}
+
+func TestSeedPlantStudyPatterns(t *testing.T) {
+	s := SeedPlantStudy()
+	if len(s.Trees) != 4 {
+		t.Fatalf("trees = %d, want 4", len(s.Trees))
+	}
+	if len(s.Taxa) != 8 {
+		t.Fatalf("taxa = %d, want 8", len(s.Taxa))
+	}
+	opts := core.DefaultOptions()
+	// (Gnetum, Welwitschia) at distance 0 occurs in all four trees.
+	if got := core.Support(s.Trees, Gnetum, Welwitschia, core.D(0), opts); got != 4 {
+		t.Errorf("support of (Gnetum, Welwitschia, 0) = %d, want 4", got)
+	}
+	// (Ginkgoales, Ephedra) at distance 1.5 occurs in exactly two trees.
+	if got := core.Support(s.Trees, Ginkgoales, Ephedra, core.D(3), opts); got != 2 {
+		t.Errorf("support of (Ginkgoales, Ephedra, 1.5) = %d, want 2", got)
+	}
+	// Both patterns are frequent at the Table 2 default minsup = 2.
+	fp := core.MineForest(s.Trees, core.DefaultForestOptions())
+	want := map[core.Key]int{
+		core.NewKey(Gnetum, Welwitschia, core.D(0)): 4,
+		core.NewKey(Ginkgoales, Ephedra, core.D(3)): 2,
+	}
+	found := 0
+	for _, p := range fp {
+		if sup, ok := want[p.Key]; ok {
+			found++
+			if p.Support != sup {
+				t.Errorf("%v support = %d, want %d", p.Key, p.Support, sup)
+			}
+		}
+	}
+	if found != len(want) {
+		t.Errorf("found %d of %d expected frequent pairs in %v", found, len(want), fp)
+	}
+	// Each tree covers all eight taxa as leaves.
+	for i, tr := range s.Trees {
+		if got := len(tr.LeafLabels()); got != 8 {
+			t.Errorf("tree %d has %d distinct leaf labels, want 8", i+1, got)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package treegen
+
+import (
+	"math/rand"
+
+	"treemine/internal/tree"
+)
+
+// RandomWalk samples a labeled tree by a random walk over tree space,
+// the approach of Holmes & Diaconis ("Random walks on trees and
+// matchings", reference [19]) that the paper's C++ generator was built
+// on: starting from a deterministic caterpillar over the labels, `steps`
+// random SPR (subtree-prune-and-regraft) moves scramble the topology.
+// Longer walks mix toward the uniform-ish stationary distribution; the
+// paper's experiments only need broad coverage of tree space, which a
+// walk of a few times the node count provides.
+func RandomWalk(rng *rand.Rand, labels []string, steps int) *tree.Tree {
+	if len(labels) == 0 {
+		panic("treegen: RandomWalk needs at least one label")
+	}
+	// Mutable scaffold: parent pointers over n nodes, node i labeled
+	// labels[i], node 0 the root.
+	n := len(labels)
+	parent := make([]int, n)
+	for i := 1; i < n; i++ {
+		parent[i] = i - 1 // caterpillar start
+	}
+	parent[0] = -1
+
+	inSubtree := func(root, x int) bool {
+		for ; x >= 0; x = parent[x] {
+			if x == root {
+				return true
+			}
+		}
+		return false
+	}
+	for s := 0; s < steps && n > 1; s++ {
+		// SPR: detach a random non-root subtree, reattach under any node
+		// outside it.
+		v := rng.Intn(n-1) + 1
+		var candidates []int
+		for u := 0; u < n; u++ {
+			if u != parent[v] && !inSubtree(v, u) {
+				candidates = append(candidates, u)
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		parent[v] = candidates[rng.Intn(len(candidates))]
+	}
+
+	// Emit via the builder in a parent-before-child order.
+	kids := make([][]int, n)
+	for i := 1; i < n; i++ {
+		kids[parent[i]] = append(kids[parent[i]], i)
+	}
+	b := tree.NewBuilder()
+	ids := make([]tree.NodeID, n)
+	var emit func(i int, p tree.NodeID)
+	emit = func(i int, p tree.NodeID) {
+		if p == tree.None {
+			ids[i] = b.Root(labels[i])
+		} else {
+			ids[i] = b.Child(p, labels[i])
+		}
+		for _, k := range kids[i] {
+			emit(k, ids[i])
+		}
+	}
+	emit(0, tree.None)
+	return b.MustBuild()
+}

@@ -1,0 +1,90 @@
+package treegen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomWalkShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	labels := Alphabet(30)
+	tr := RandomWalk(rng, labels, 100)
+	if tr.Size() != 30 {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+	// Every label present exactly once.
+	seen := map[string]int{}
+	for _, n := range tr.Nodes() {
+		l, ok := tr.Label(n)
+		if !ok {
+			t.Fatal("unlabeled node in walk tree")
+		}
+		seen[l]++
+	}
+	if len(seen) != 30 {
+		t.Fatalf("distinct labels = %d", len(seen))
+	}
+	for l, c := range seen {
+		if c != 1 {
+			t.Fatalf("label %s appears %d times", l, c)
+		}
+	}
+}
+
+func TestRandomWalkZeroStepsIsCaterpillar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := RandomWalk(rng, Alphabet(5), 0)
+	if tr.Height() != 4 {
+		t.Fatalf("zero-step walk height = %d, want chain of 5", tr.Height())
+	}
+}
+
+func TestRandomWalkMixes(t *testing.T) {
+	// After a long walk the tree should usually not still be the
+	// caterpillar, and different seeds should usually disagree.
+	labels := Alphabet(12)
+	distinct := map[string]bool{}
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := RandomWalk(rng, labels, 200)
+		distinct[tr.Canonical()] = true
+	}
+	if len(distinct) < 8 {
+		t.Fatalf("only %d distinct topologies from 10 seeds", len(distinct))
+	}
+}
+
+func TestRandomWalkSingleLabel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := RandomWalk(rng, []string{"solo"}, 50)
+	if tr.Size() != 1 {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+}
+
+func TestRandomWalkPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RandomWalk(rand.New(rand.NewSource(0)), nil, 10)
+}
+
+func TestRandomWalkValidTree(t *testing.T) {
+	// The SPR moves must never create cycles: the builder would panic on
+	// a child-before-parent emit if parents were inconsistent, so just
+	// exercise many walks.
+	labels := Alphabet(15)
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := RandomWalk(rng, labels, 300)
+		if tr.Size() != 15 {
+			t.Fatalf("seed %d: size %d", seed, tr.Size())
+		}
+		// Root is node with label L0 by construction.
+		if l, _ := tr.Label(tr.Root()); l != "L0" {
+			t.Fatalf("seed %d: root label %q", seed, l)
+		}
+	}
+}

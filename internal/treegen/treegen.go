@@ -1,0 +1,212 @@
+// Package treegen generates the random trees used by the paper's
+// experiments: fanout-shaped synthetic trees (Table 3), uniformly grown
+// random trees (standing in for the Holmes–Diaconis random-walk generator
+// the paper's C++ program used — reference [19]), and Yule-process
+// phylogenies with labeled leaves and unlabeled internal nodes.
+//
+// All generators are deterministic functions of the *rand.Rand they are
+// given, so experiments are reproducible from a seed.
+package treegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treemine/internal/tree"
+)
+
+// Alphabet returns the synthetic node-label alphabet of the given size:
+// "L0", "L1", …, matching the paper's alphabet_size parameter.
+func Alphabet(size int) []string {
+	out := make([]string, size)
+	for i := range out {
+		out[i] = fmt.Sprintf("L%d", i)
+	}
+	return out
+}
+
+// Params are the synthetic-tree parameters of the paper's Table 3 with
+// their published default values.
+type Params struct {
+	TreeSize     int // number of nodes in a tree (default 200)
+	Fanout       int // number of children of each internal node (default 5)
+	AlphabetSize int // number of distinct node labels (default 200)
+}
+
+// DefaultParams returns the Table 3 defaults: treesize 200, fanout 5,
+// alphabet_size 200. (The database_size default of 1,000 trees belongs to
+// the experiment harness, not to a single tree.)
+func DefaultParams() Params {
+	return Params{TreeSize: 200, Fanout: 5, AlphabetSize: 200}
+}
+
+// DefaultDatabaseSize is the Table 3 default number of trees in a
+// synthetic database.
+const DefaultDatabaseSize = 1000
+
+// Fanout generates a synthetic tree per the paper's Table 3 model: nodes
+// are added breadth-first and every internal node receives exactly
+// p.Fanout children until p.TreeSize nodes exist; every node is labeled
+// uniformly at random from Alphabet(p.AlphabetSize). Fanout panics if
+// p.TreeSize < 1, p.Fanout < 1, or p.AlphabetSize < 1.
+func Fanout(rng *rand.Rand, p Params) *tree.Tree {
+	if p.TreeSize < 1 || p.Fanout < 1 || p.AlphabetSize < 1 {
+		panic(fmt.Sprintf("treegen: invalid params %+v", p))
+	}
+	labels := Alphabet(p.AlphabetSize)
+	pick := func() string { return labels[rng.Intn(len(labels))] }
+	b := tree.NewBuilder()
+	queue := []tree.NodeID{b.Root(pick())}
+	for b.Size() < p.TreeSize {
+		n := queue[0]
+		queue = queue[1:]
+		for i := 0; i < p.Fanout && b.Size() < p.TreeSize; i++ {
+			queue = append(queue, b.Child(n, pick()))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Uniform generates a random recursive tree of size nodes: each new node
+// attaches to a uniformly random existing node. Labels are drawn
+// uniformly from the given non-empty label slice. This is the stand-in
+// for the paper's Holmes–Diaconis random-walk generator: both sample
+// broadly from tree space, and the mining algorithms are insensitive to
+// the fine difference in shape distribution (their cost is driven by the
+// number of qualified cousin pairs, which the benchmarks sweep directly).
+func Uniform(rng *rand.Rand, size int, labels []string) *tree.Tree {
+	if size < 1 || len(labels) == 0 {
+		panic("treegen: Uniform needs size ≥ 1 and at least one label")
+	}
+	b := tree.NewBuilder()
+	b.Root(labels[rng.Intn(len(labels))])
+	for i := 1; i < size; i++ {
+		b.Child(tree.NodeID(rng.Intn(i)), labels[rng.Intn(len(labels))])
+	}
+	return b.MustBuild()
+}
+
+// Yule generates a binary phylogeny over the given taxa by the Yule pure
+// birth process: starting from a single pendant lineage, a uniformly
+// random leaf splits into two until there are len(taxa) leaves; the taxa
+// are then assigned to the leaves in random order. Internal nodes are
+// unlabeled, as in real phylogenies. Yule panics when fewer than one
+// taxon is supplied.
+func Yule(rng *rand.Rand, taxa []string) *tree.Tree {
+	n := len(taxa)
+	if n < 1 {
+		panic("treegen: Yule needs at least one taxon")
+	}
+	perm := rng.Perm(n)
+	next := 0
+	take := func() string { l := taxa[perm[next]]; next++; return l }
+	if n == 1 {
+		b := tree.NewBuilder()
+		b.Root(take())
+		return b.MustBuild()
+	}
+	// Grow the shape as a parent-pointer forest over virtual nodes, then
+	// emit it into a Builder.
+	type vnode struct {
+		kids  []int
+		label string
+	}
+	nodes := []vnode{{}} // 0 is the root
+	leaves := []int{0}
+	for len(leaves) < n {
+		li := rng.Intn(len(leaves))
+		leaf := leaves[li]
+		a, bIdx := len(nodes), len(nodes)+1
+		nodes = append(nodes, vnode{}, vnode{})
+		nodes[leaf].kids = []int{a, bIdx}
+		leaves[li] = a
+		leaves = append(leaves, bIdx)
+	}
+	for _, leaf := range leaves {
+		nodes[leaf].label = take()
+	}
+	b := tree.NewBuilder()
+	var emit func(v int, parent tree.NodeID)
+	emit = func(v int, parent tree.NodeID) {
+		var id tree.NodeID
+		switch {
+		case len(nodes[v].kids) == 0 && parent == tree.None:
+			id = b.Root(nodes[v].label)
+		case len(nodes[v].kids) == 0:
+			id = b.Child(parent, nodes[v].label)
+		case parent == tree.None:
+			id = b.RootUnlabeled()
+		default:
+			id = b.ChildUnlabeled(parent)
+		}
+		for _, k := range nodes[v].kids {
+			emit(k, id)
+		}
+	}
+	emit(0, tree.None)
+	return b.MustBuild()
+}
+
+// Multifurcating generates a phylogeny over the given taxa whose internal
+// nodes have between minKids and maxKids children, with small arities
+// strongly preferred (the TreeBASE phylogenies the paper mined have 2–9
+// children per internal node, "most internal nodes have 2 children").
+// The taxa are recursively partitioned: each internal node splits its
+// taxon set into k random non-empty blocks. Internal nodes are unlabeled.
+func Multifurcating(rng *rand.Rand, taxa []string, minKids, maxKids int) *tree.Tree {
+	if len(taxa) == 0 {
+		panic("treegen: Multifurcating needs at least one taxon")
+	}
+	if minKids < 2 || maxKids < minKids {
+		panic(fmt.Sprintf("treegen: invalid arity range [%d,%d]", minKids, maxKids))
+	}
+	shuffled := append([]string(nil), taxa...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	b := tree.NewBuilder()
+	var split func(set []string, parent tree.NodeID)
+	split = func(set []string, parent tree.NodeID) {
+		if len(set) == 1 {
+			if parent == tree.None {
+				b.Root(set[0])
+			} else {
+				b.Child(parent, set[0])
+			}
+			return
+		}
+		var id tree.NodeID
+		if parent == tree.None {
+			id = b.RootUnlabeled()
+		} else {
+			id = b.ChildUnlabeled(parent)
+		}
+		k := minKids + skewed(rng, maxKids-minKids)
+		if k > len(set) {
+			k = len(set)
+		}
+		// Random partition into k non-empty blocks: seed each block with
+		// one element, then scatter the rest.
+		blocks := make([][]string, k)
+		for i := 0; i < k; i++ {
+			blocks[i] = append(blocks[i], set[i])
+		}
+		for _, s := range set[k:] {
+			i := rng.Intn(k)
+			blocks[i] = append(blocks[i], s)
+		}
+		for _, blk := range blocks {
+			split(blk, id)
+		}
+	}
+	split(shuffled, tree.None)
+	return b.MustBuild()
+}
+
+// skewed returns a value in [0, max] heavily weighted toward 0: each
+// increment survives with probability 1/3.
+func skewed(rng *rand.Rand, max int) int {
+	v := 0
+	for v < max && rng.Intn(3) == 0 {
+		v++
+	}
+	return v
+}

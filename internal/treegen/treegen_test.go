@@ -1,0 +1,212 @@
+package treegen
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"treemine/internal/tree"
+)
+
+func TestAlphabet(t *testing.T) {
+	a := Alphabet(3)
+	if !reflect.DeepEqual(a, []string{"L0", "L1", "L2"}) {
+		t.Fatalf("Alphabet(3) = %v", a)
+	}
+	if len(Alphabet(0)) != 0 {
+		t.Fatal("Alphabet(0) not empty")
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.TreeSize != 200 || p.Fanout != 5 || p.AlphabetSize != 200 {
+		t.Fatalf("DefaultParams = %+v, want Table 3 values", p)
+	}
+	if DefaultDatabaseSize != 1000 {
+		t.Fatalf("DefaultDatabaseSize = %d", DefaultDatabaseSize)
+	}
+}
+
+func TestFanoutShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := Fanout(rng, Params{TreeSize: 31, Fanout: 5, AlphabetSize: 10})
+	if tr.Size() != 31 {
+		t.Fatalf("Size = %d, want 31", tr.Size())
+	}
+	// Breadth-first filling: every internal node except possibly the last
+	// filled one has exactly 5 children.
+	short := 0
+	for _, n := range tr.Nodes() {
+		k := tr.NumChildren(n)
+		if k == 0 {
+			continue
+		}
+		if k != 5 {
+			short++
+			if k > 5 {
+				t.Fatalf("node %d has %d > fanout children", n, k)
+			}
+		}
+	}
+	if short > 1 {
+		t.Fatalf("%d internal nodes are under-filled, want at most 1", short)
+	}
+	// Every node is labeled with an alphabet label.
+	for _, n := range tr.Nodes() {
+		l, ok := tr.Label(n)
+		if !ok || len(l) < 2 || l[0] != 'L' {
+			t.Fatalf("node %d label = %q, %v", n, l, ok)
+		}
+	}
+}
+
+func TestFanoutSizeOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := Fanout(rng, Params{TreeSize: 1, Fanout: 3, AlphabetSize: 5})
+	if tr.Size() != 1 || !tr.IsLeaf(tr.Root()) {
+		t.Fatalf("size-1 tree wrong: %v", tr)
+	}
+}
+
+func TestFanoutPanicsOnBadParams(t *testing.T) {
+	for _, p := range []Params{
+		{TreeSize: 0, Fanout: 2, AlphabetSize: 2},
+		{TreeSize: 5, Fanout: 0, AlphabetSize: 2},
+		{TreeSize: 5, Fanout: 2, AlphabetSize: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Fanout(%+v) should panic", p)
+				}
+			}()
+			Fanout(rand.New(rand.NewSource(0)), p)
+		}()
+	}
+}
+
+func TestFanoutDeterministic(t *testing.T) {
+	p := Params{TreeSize: 50, Fanout: 3, AlphabetSize: 8}
+	t1 := Fanout(rand.New(rand.NewSource(9)), p)
+	t2 := Fanout(rand.New(rand.NewSource(9)), p)
+	if !tree.Isomorphic(t1, t2) {
+		t.Fatal("same seed produced different trees")
+	}
+}
+
+func TestUniformProperties(t *testing.T) {
+	labels := Alphabet(5)
+	f := func(seed int64, size uint8) bool {
+		n := int(size)%100 + 1
+		rng := rand.New(rand.NewSource(seed))
+		tr := Uniform(rng, n, labels)
+		return tr.Size() == n && tr.Labeled(tr.Root())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestYuleShape(t *testing.T) {
+	taxa := []string{"t1", "t2", "t3", "t4", "t5", "t6", "t7"}
+	rng := rand.New(rand.NewSource(3))
+	tr := Yule(rng, taxa)
+	// Binary tree over n leaves: n leaves, n-1 internal nodes.
+	if got := len(tr.Leaves()); got != len(taxa) {
+		t.Fatalf("leaves = %d, want %d", got, len(taxa))
+	}
+	if tr.Size() != 2*len(taxa)-1 {
+		t.Fatalf("Size = %d, want %d", tr.Size(), 2*len(taxa)-1)
+	}
+	for _, n := range tr.Nodes() {
+		if tr.IsLeaf(n) {
+			if !tr.Labeled(n) {
+				t.Fatalf("leaf %d unlabeled", n)
+			}
+		} else {
+			if tr.Labeled(n) {
+				t.Fatalf("internal node %d labeled", n)
+			}
+			if tr.NumChildren(n) != 2 {
+				t.Fatalf("internal node %d has %d children", n, tr.NumChildren(n))
+			}
+		}
+	}
+	if got := tr.LeafLabels(); len(got) != len(taxa) {
+		t.Fatalf("distinct leaf labels = %d, want %d (all taxa used once)", len(got), len(taxa))
+	}
+}
+
+func TestYuleSingleTaxon(t *testing.T) {
+	tr := Yule(rand.New(rand.NewSource(0)), []string{"only"})
+	if tr.Size() != 1 || tr.MustLabel(tr.Root()) != "only" {
+		t.Fatalf("Yule(1 taxon) = %v", tr)
+	}
+}
+
+func TestMultifurcatingArity(t *testing.T) {
+	taxa := make([]string, 60)
+	for i := range taxa {
+		taxa[i] = Alphabet(60)[i]
+	}
+	rng := rand.New(rand.NewSource(4))
+	tr := Multifurcating(rng, taxa, 2, 9)
+	if got := len(tr.LeafLabels()); got != 60 {
+		t.Fatalf("distinct leaves = %d, want 60", got)
+	}
+	for _, n := range tr.Nodes() {
+		if tr.IsLeaf(n) {
+			continue
+		}
+		k := tr.NumChildren(n)
+		if k < 2 || k > 9 {
+			t.Fatalf("internal node %d has arity %d outside [2,9]", n, k)
+		}
+		if tr.Labeled(n) {
+			t.Fatalf("internal node %d labeled", n)
+		}
+	}
+}
+
+func TestMultifurcatingMostlyBinary(t *testing.T) {
+	// TreeBASE-like: "most internal nodes have 2 children".
+	taxa := Alphabet(200)
+	rng := rand.New(rand.NewSource(5))
+	binary, internal := 0, 0
+	for trial := 0; trial < 10; trial++ {
+		tr := Multifurcating(rng, taxa, 2, 9)
+		for _, n := range tr.Nodes() {
+			if !tr.IsLeaf(n) {
+				internal++
+				if tr.NumChildren(n) == 2 {
+					binary++
+				}
+			}
+		}
+	}
+	if ratio := float64(binary) / float64(internal); ratio < 0.5 {
+		t.Fatalf("binary internal node ratio = %.2f, want ≥ 0.5", ratio)
+	}
+}
+
+func TestMultifurcatingPanics(t *testing.T) {
+	for _, c := range []struct {
+		taxa     []string
+		min, max int
+	}{
+		{nil, 2, 9},
+		{[]string{"a"}, 1, 9},
+		{[]string{"a"}, 3, 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Multifurcating(%v,%d,%d) should panic", c.taxa, c.min, c.max)
+				}
+			}()
+			Multifurcating(rand.New(rand.NewSource(0)), c.taxa, c.min, c.max)
+		}()
+	}
+}

@@ -1,0 +1,155 @@
+// Package triplet implements the rooted triplet distance, the classic
+// COMPONENT-era measure for comparing rooted phylogenies (Critchlow,
+// Pearl & Qian 1996; one of the [31] distances the paper's §5.3 and §7
+// position the cousin-based measure against). Every 3-subset of taxa is
+// resolved by a rooted tree as one of ab|c, ac|b, bc|a, or left
+// unresolved; the distance counts triples the two trees resolve
+// differently. Unlike Robinson–Foulds it degrades gracefully to the
+// taxa the trees share, so it can serve as a secondary baseline in the
+// unequal-taxa setting the kernel-tree experiment uses.
+package triplet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"treemine/internal/lca"
+	"treemine/internal/tree"
+)
+
+// ErrTooFewTaxa is returned when the trees share fewer than three taxa.
+var ErrTooFewTaxa = errors.New("triplet: trees share fewer than 3 taxa")
+
+// Resolution is how a rooted tree arranges a taxon triple {a, b, c}
+// (with a < b < c lexicographically).
+type Resolution int
+
+const (
+	// Unresolved means the three taxa hang off a single node.
+	Unresolved Resolution = iota
+	// AB means a and b are siblings relative to c: ab|c.
+	AB
+	// AC means ac|b.
+	AC
+	// BC means bc|a.
+	BC
+)
+
+// String names the resolution.
+func (r Resolution) String() string {
+	switch r {
+	case Unresolved:
+		return "unresolved"
+	case AB:
+		return "ab|c"
+	case AC:
+		return "ac|b"
+	case BC:
+		return "bc|a"
+	default:
+		return fmt.Sprintf("Resolution(%d)", int(r))
+	}
+}
+
+// Result breaks down a triplet comparison.
+type Result struct {
+	Shared    int // taxa common to both trees
+	Total     int // triples examined: C(Shared, 3)
+	Same      int // triples resolved identically
+	Different int // triples resolved differently
+}
+
+// Distance returns Different/Total in [0, 1]; 0 when no triples exist.
+func (r Result) Distance() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Different) / float64(r.Total)
+}
+
+// resolver answers triple-resolution queries for one tree.
+type resolver struct {
+	t    *tree.Tree
+	idx  *lca.Index
+	leaf map[string]tree.NodeID
+}
+
+func newResolver(t *tree.Tree) *resolver {
+	r := &resolver{t: t, leaf: make(map[string]tree.NodeID)}
+	for _, n := range t.Leaves() {
+		if l, ok := t.Label(n); ok {
+			r.leaf[l] = n
+		}
+	}
+	r.idx = lca.New(t)
+	return r
+}
+
+// resolve returns the resolution of the triple (a < b < c by name).
+func (r *resolver) resolve(a, b, c string) Resolution {
+	na, nb, nc := r.leaf[a], r.leaf[b], r.leaf[c]
+	dab := r.t.Depth(r.idx.LCA(na, nb))
+	dac := r.t.Depth(r.idx.LCA(na, nc))
+	dbc := r.t.Depth(r.idx.LCA(nb, nc))
+	switch {
+	case dab > dac && dab > dbc:
+		return AB
+	case dac > dab && dac > dbc:
+		return AC
+	case dbc > dab && dbc > dac:
+		return BC
+	default:
+		return Unresolved
+	}
+}
+
+// Compare evaluates every triple of taxa shared by t1 and t2. Duplicate
+// leaf labels within a tree make triples ill-defined and produce an
+// error. Θ(k³) in the shared taxon count k — exact and simple; the
+// phylogeny workloads here keep k modest.
+func Compare(t1, t2 *tree.Tree) (Result, error) {
+	r1 := newResolver(t1)
+	r2 := newResolver(t2)
+	if len(r1.leaf) != len(t1.Leaves()) {
+		return Result{}, fmt.Errorf("triplet: duplicate or missing leaf labels in first tree")
+	}
+	if len(r2.leaf) != len(t2.Leaves()) {
+		return Result{}, fmt.Errorf("triplet: duplicate or missing leaf labels in second tree")
+	}
+	var shared []string
+	for l := range r1.leaf {
+		if _, ok := r2.leaf[l]; ok {
+			shared = append(shared, l)
+		}
+	}
+	sort.Strings(shared)
+	res := Result{Shared: len(shared)}
+	if len(shared) < 3 {
+		return res, ErrTooFewTaxa
+	}
+	for i := 0; i < len(shared); i++ {
+		for j := i + 1; j < len(shared); j++ {
+			for k := j + 1; k < len(shared); k++ {
+				res.Total++
+				q1 := r1.resolve(shared[i], shared[j], shared[k])
+				q2 := r2.resolve(shared[i], shared[j], shared[k])
+				if q1 == q2 {
+					res.Same++
+				} else {
+					res.Different++
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Distance is shorthand for Compare(...).Distance().
+func Distance(t1, t2 *tree.Tree) (float64, error) {
+	r, err := Compare(t1, t2)
+	if err != nil {
+		return 0, err
+	}
+	return r.Distance(), nil
+}

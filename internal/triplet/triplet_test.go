@@ -1,0 +1,147 @@
+package triplet
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"treemine/internal/newick"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+func parse(t *testing.T, s string) *tree.Tree {
+	t.Helper()
+	tr, err := newick.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestResolveBasic(t *testing.T) {
+	r := newResolver(parse(t, "((a,b),c);"))
+	if got := r.resolve("a", "b", "c"); got != AB {
+		t.Fatalf("resolve = %v, want ab|c", got)
+	}
+	r = newResolver(parse(t, "((a,c),b);"))
+	if got := r.resolve("a", "b", "c"); got != AC {
+		t.Fatalf("resolve = %v, want ac|b", got)
+	}
+	r = newResolver(parse(t, "(a,(b,c));"))
+	if got := r.resolve("a", "b", "c"); got != BC {
+		t.Fatalf("resolve = %v, want bc|a", got)
+	}
+	r = newResolver(parse(t, "(a,b,c);"))
+	if got := r.resolve("a", "b", "c"); got != Unresolved {
+		t.Fatalf("resolve = %v, want unresolved", got)
+	}
+}
+
+func TestResolutionString(t *testing.T) {
+	for r, want := range map[Resolution]string{
+		Unresolved: "unresolved", AB: "ab|c", AC: "ac|b", BC: "bc|a",
+		Resolution(7): "Resolution(7)",
+	} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", int(r), r.String())
+		}
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	tr := parse(t, "((a,b),((c,d),e));")
+	res, err := Compare(tr, tr.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shared != 5 || res.Total != 10 || res.Different != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Distance() != 0 {
+		t.Fatalf("Distance = %v", res.Distance())
+	}
+}
+
+func TestCompareKnownValue(t *testing.T) {
+	// ((a,b),c) vs ((a,c),b): the single triple flips.
+	d, err := Distance(parse(t, "((a,b),c);"), parse(t, "((a,c),b);"))
+	if err != nil || d != 1 {
+		t.Fatalf("Distance = %v, %v; want 1", d, err)
+	}
+	// Resolved vs star: also different.
+	d, err = Distance(parse(t, "((a,b),c);"), parse(t, "(a,b,c);"))
+	if err != nil || d != 1 {
+		t.Fatalf("Distance vs star = %v, %v; want 1", d, err)
+	}
+}
+
+func TestComparePartialOverlap(t *testing.T) {
+	// Shared taxa {a,b,c}; x and y are private to one tree each. The
+	// measure works where Robinson–Foulds is undefined.
+	t1 := parse(t, "(((a,b),c),x);")
+	t2 := parse(t, "(((a,b),y),c);")
+	res, err := Compare(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shared != 3 || res.Total != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Different != 0 {
+		t.Fatalf("both trees resolve ab|c: %+v", res)
+	}
+}
+
+func TestCompareTooFewShared(t *testing.T) {
+	t1 := parse(t, "((a,b),z);")
+	t2 := parse(t, "((a,b),w);")
+	if _, err := Compare(t1, t2); !errors.Is(err, ErrTooFewTaxa) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompareDuplicateLabels(t *testing.T) {
+	t1 := parse(t, "((a,a),b);")
+	t2 := parse(t, "((a,b),c);")
+	if _, err := Compare(t1, t2); err == nil {
+		t.Fatal("duplicate labels accepted")
+	}
+}
+
+func TestDistanceSymmetricAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	taxa := treegen.Alphabet(9)
+	for trial := 0; trial < 15; trial++ {
+		t1 := treegen.Yule(rng, taxa)
+		t2 := treegen.Yule(rng, taxa)
+		d12, err1 := Distance(t1, t2)
+		d21, err2 := Distance(t2, t1)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if d12 != d21 {
+			t.Fatalf("not symmetric: %v vs %v", d12, d21)
+		}
+		if d12 < 0 || d12 > 1 {
+			t.Fatalf("out of range: %v", d12)
+		}
+	}
+}
+
+func TestCompareCountsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	taxa := treegen.Alphabet(8)
+	t1 := treegen.Yule(rng, taxa)
+	t2 := treegen.Yule(rng, taxa)
+	res, err := Compare(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Same+res.Different != res.Total {
+		t.Fatalf("counts inconsistent: %+v", res)
+	}
+	if res.Total != 8*7*6/6 {
+		t.Fatalf("Total = %d, want C(8,3)=56", res.Total)
+	}
+}

@@ -1,0 +1,50 @@
+package updown
+
+import (
+	"sort"
+
+	"treemine/internal/tree"
+)
+
+// Ranked is one database tree scored against a query.
+type Ranked struct {
+	Index int     // position in the database slice
+	Dist  float64 // UpDown distance to the query
+}
+
+// Rank orders database trees by UpDown distance to the query, nearest
+// first — the nearest-neighbor search TreeRank (reference [39] of the
+// paper) performs over phylogenetic databases. The query's matrix is
+// computed once; ties are broken by database position so results are
+// deterministic. k ≤ 0 or k > len(db) returns the full ranking.
+func Rank(query *tree.Tree, db []*tree.Tree, k int) []Ranked {
+	qm := Matrix(query)
+	out := make([]Ranked, len(db))
+	for i, t := range db {
+		out[i] = Ranked{Index: i, Dist: distanceFrom(qm, Matrix(t))}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// distanceFrom mirrors Distance on precomputed matrices.
+func distanceFrom(m1, m2 map[[2]string]Value) float64 {
+	var diffs []float64
+	for k, v1 := range m1 {
+		if v2, ok := m2[k]; ok {
+			diffs = append(diffs, abs(v1.Up-v2.Up)+abs(v1.Down-v2.Down))
+		}
+	}
+	if len(diffs) == 0 {
+		return 0
+	}
+	sort.Float64s(diffs)
+	sum := 0.0
+	for _, d := range diffs {
+		sum += d
+	}
+	return sum / float64(len(diffs))
+}

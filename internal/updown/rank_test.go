@@ -1,0 +1,75 @@
+package updown
+
+import (
+	"math/rand"
+	"testing"
+
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+func TestRankSelfFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	taxa := treegen.Alphabet(10)
+	query := treegen.Yule(rng, taxa)
+	db := []*tree.Tree{
+		treegen.Yule(rng, taxa),
+		query.Clone(),
+		treegen.Yule(rng, taxa),
+	}
+	ranked := Rank(query, db, 0)
+	if len(ranked) != 3 {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+	if ranked[0].Index != 1 || ranked[0].Dist != 0 {
+		t.Fatalf("clone not ranked first: %+v", ranked)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Dist < ranked[i-1].Dist {
+			t.Fatal("not sorted ascending")
+		}
+	}
+}
+
+func TestRankTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	taxa := treegen.Alphabet(8)
+	query := treegen.Yule(rng, taxa)
+	var db []*tree.Tree
+	for i := 0; i < 10; i++ {
+		db = append(db, treegen.Yule(rng, taxa))
+	}
+	top := Rank(query, db, 3)
+	if len(top) != 3 {
+		t.Fatalf("top-k = %d", len(top))
+	}
+	full := Rank(query, db, 99)
+	if len(full) != 10 {
+		t.Fatalf("k>n = %d", len(full))
+	}
+	for i := range top {
+		if top[i] != full[i] {
+			t.Fatal("top-k not a prefix of full ranking")
+		}
+	}
+}
+
+func TestRankConsistentWithDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	taxa := treegen.Alphabet(7)
+	query := treegen.Yule(rng, taxa)
+	db := []*tree.Tree{treegen.Yule(rng, taxa), treegen.Yule(rng, taxa)}
+	for _, r := range Rank(query, db, 0) {
+		if want := Distance(query, db[r.Index]); r.Dist != want {
+			t.Fatalf("Rank dist %v != Distance %v", r.Dist, want)
+		}
+	}
+}
+
+func TestRankEmptyDB(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	query := treegen.Yule(rng, treegen.Alphabet(4))
+	if got := Rank(query, nil, 5); len(got) != 0 {
+		t.Fatalf("empty db = %v", got)
+	}
+}

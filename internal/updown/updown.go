@@ -1,0 +1,80 @@
+// Package updown implements the UpDown distance of Wang, Shan, Shasha &
+// Piel's TreeRank (SSDBM 2003) — reference [39] of the paper, cited in §2
+// as the generalization of cousin distance that also covers parent–child
+// (vertical) relationships. For an ordered pair of labeled nodes (u, v)
+// the UpDown value is the pair (up, down): the number of edges from u up
+// to lca(u, v), and from there down to v. The UpDown distance between two
+// trees compares these values over shared label pairs.
+package updown
+
+import (
+	"treemine/internal/lca"
+	"treemine/internal/tree"
+)
+
+// Value is the UpDown value of an ordered node pair.
+type Value struct {
+	Up   int // edges from the first node up to the LCA
+	Down int // edges from the LCA down to the second node
+}
+
+// Matrix maps each ordered pair of distinct labels to its UpDown value
+// in t. When several node pairs realize the same label pair, the
+// lexicographically smallest (Up, Down) value represents it — the
+// closest relationship the tree asserts, mirroring how the similarity
+// measure in internal/core picks minimal cousin distances. Unlabeled
+// nodes are skipped.
+func Matrix(t *tree.Tree) map[[2]string]Value {
+	out := make(map[[2]string]Value)
+	nodes := t.LabeledNodes()
+	if len(nodes) < 2 {
+		return out
+	}
+	idx := lca.New(t)
+	for _, u := range nodes {
+		for _, v := range nodes {
+			if u == v {
+				continue
+			}
+			lu, _ := t.Label(u)
+			lv, _ := t.Label(v)
+			if lu == lv {
+				continue
+			}
+			a := idx.LCA(u, v)
+			val := Value{
+				Up:   t.Depth(u) - t.Depth(a),
+				Down: t.Depth(v) - t.Depth(a),
+			}
+			k := [2]string{lu, lv}
+			if old, ok := out[k]; !ok || less(val, old) {
+				out[k] = val
+			}
+		}
+	}
+	return out
+}
+
+func less(a, b Value) bool {
+	if a.Up != b.Up {
+		return a.Up < b.Up
+	}
+	return a.Down < b.Down
+}
+
+// Distance is the normalized L1 UpDown distance between two trees: the
+// mean of |up1−up2| + |down1−down2| over label pairs present in both
+// trees, divided by the number of such pairs; trees sharing no label
+// pairs are at distance 0 by convention (nothing comparable), matching
+// how TreeRank scores against a query tree's own pairs. The result is
+// symmetric and 0 for isomorphic trees.
+func Distance(t1, t2 *tree.Tree) float64 {
+	return distanceFrom(Matrix(t1), Matrix(t2))
+}
+
+func abs(x int) float64 {
+	if x < 0 {
+		return float64(-x)
+	}
+	return float64(x)
+}

@@ -1,0 +1,110 @@
+package updown
+
+import (
+	"math/rand"
+	"testing"
+
+	"treemine/internal/newick"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+func parse(t *testing.T, s string) *tree.Tree {
+	t.Helper()
+	tr, err := newick.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestMatrixBasic(t *testing.T) {
+	// ((a,b),c): up/down values are asymmetric pairs.
+	tr := parse(t, "((a,b),c);")
+	m := Matrix(tr)
+	if got := m[[2]string{"a", "b"}]; got != (Value{Up: 1, Down: 1}) {
+		t.Errorf("(a,b) = %+v, want {1,1}", got)
+	}
+	if got := m[[2]string{"a", "c"}]; got != (Value{Up: 2, Down: 1}) {
+		t.Errorf("(a,c) = %+v, want {2,1}", got)
+	}
+	if got := m[[2]string{"c", "a"}]; got != (Value{Up: 1, Down: 2}) {
+		t.Errorf("(c,a) = %+v, want {1,2}", got)
+	}
+}
+
+func TestMatrixIncludesVerticalPairs(t *testing.T) {
+	// Unlike the cousin measure, UpDown covers ancestor–descendant
+	// pairs: in a labeled chain a→b, (a,b) has Up 0, Down 1.
+	b := tree.NewBuilder()
+	r := b.Root("a")
+	b.Child(r, "b")
+	tr := b.MustBuild()
+	m := Matrix(tr)
+	if got := m[[2]string{"a", "b"}]; got != (Value{Up: 0, Down: 1}) {
+		t.Fatalf("(a,b) = %+v, want {0,1}", got)
+	}
+	if got := m[[2]string{"b", "a"}]; got != (Value{Up: 1, Down: 0}) {
+		t.Fatalf("(b,a) = %+v, want {1,0}", got)
+	}
+}
+
+func TestMatrixMinimalRepresentative(t *testing.T) {
+	// Two b's at different depths: (a,b) takes the closest.
+	tr := parse(t, "((a,b),(x,(y,b)));")
+	m := Matrix(tr)
+	if got := m[[2]string{"a", "b"}]; got != (Value{Up: 1, Down: 1}) {
+		t.Fatalf("(a,b) = %+v, want {1,1}", got)
+	}
+}
+
+func TestDistanceIdentity(t *testing.T) {
+	tr := parse(t, "((a,b),((c,d),e));")
+	if got := Distance(tr, tr.Clone()); got != 0 {
+		t.Fatalf("Distance(T,T) = %v", got)
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	taxa := treegen.Alphabet(10)
+	for trial := 0; trial < 15; trial++ {
+		t1 := treegen.Yule(rng, taxa)
+		t2 := treegen.Yule(rng, taxa)
+		if d1, d2 := Distance(t1, t2), Distance(t2, t1); d1 != d2 {
+			t.Fatalf("not symmetric: %v vs %v", d1, d2)
+		}
+	}
+}
+
+func TestDistanceKnownValue(t *testing.T) {
+	// (a,b) siblings vs a above b: values {1,1} vs {0,1} and {1,1} vs
+	// {1,0} → per-pair diffs 1 and 1, mean 1.
+	sib := parse(t, "(a,b);")
+	b := tree.NewBuilder()
+	r := b.Root("a")
+	b.Child(r, "b")
+	chain := b.MustBuild()
+	if got := Distance(sib, chain); got != 1 {
+		t.Fatalf("Distance = %v, want 1", got)
+	}
+}
+
+func TestDistanceNoSharedPairs(t *testing.T) {
+	t1 := parse(t, "(a,b);")
+	t2 := parse(t, "(x,y);")
+	if got := Distance(t1, t2); got != 0 {
+		t.Fatalf("Distance(disjoint) = %v, want 0", got)
+	}
+}
+
+func TestMatrixSkipsSameLabelAndUnlabeled(t *testing.T) {
+	tr := parse(t, "((a,a),b);")
+	m := Matrix(tr)
+	if _, ok := m[[2]string{"a", "a"}]; ok {
+		t.Fatal("same-label pair present")
+	}
+	if len(m) != 2 {
+		t.Fatalf("matrix size = %d, want 2 ((a,b) and (b,a))", len(m))
+	}
+}

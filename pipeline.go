@@ -1,0 +1,142 @@
+package treemine
+
+// The phylogeny-construction pipeline: sequence simulation, parsimony
+// and distance-based reconstruction, plateau enumeration, threshold
+// consensus, weighted mining from real branch lengths. These are the
+// pieces the paper's evaluation pipeline chains (PHYLIP → tree sets →
+// consensus / kernel analysis), exposed so downstream users can run the
+// same end-to-end flows.
+
+import (
+	"math/rand"
+
+	"treemine/internal/consensus"
+	"treemine/internal/core"
+	"treemine/internal/likelihood"
+	"treemine/internal/newick"
+	"treemine/internal/parsimony"
+	"treemine/internal/reconstruct"
+	"treemine/internal/seqsim"
+	"treemine/internal/tree"
+	"treemine/internal/updown"
+	"treemine/internal/weighted"
+)
+
+// Alignment is a set of equal-length DNA sequences keyed by taxon.
+type Alignment = seqsim.Alignment
+
+// EvolveSequences simulates a Jukes–Cantor alignment of the given length
+// down the model phylogeny; each edge mutates each site with probability
+// mutProb.
+func EvolveSequences(rng *rand.Rand, model *Tree, sites int, mutProb float64) (*Alignment, error) {
+	return seqsim.Evolve(rng, model, sites, mutProb)
+}
+
+// ParsimonyScore returns the Fitch parsimony score of a binary tree
+// under the alignment.
+func ParsimonyScore(t *Tree, a *Alignment) (int, error) {
+	return parsimony.Score(t, a)
+}
+
+// ParsimonySearchConfig tunes ParsimonySearch; the zero value selects
+// defaults.
+type ParsimonySearchConfig = parsimony.SearchConfig
+
+// ParsimonySearch hill-climbs to maximum-parsimony trees and returns the
+// distinct topologies tied at the best score found, plus that score.
+func ParsimonySearch(rng *rand.Rand, a *Alignment, cfg ParsimonySearchConfig) ([]*Tree, int, error) {
+	return parsimony.Search(rng, a, cfg)
+}
+
+// ParsimonyPlateau expands equally parsimonious seed trees by walking
+// zero-cost NNI moves, up to maxTrees distinct topologies.
+func ParsimonyPlateau(seeds []*Tree, a *Alignment, maxTrees int) ([]*Tree, error) {
+	return parsimony.Plateau(seeds, a, maxTrees)
+}
+
+// MLSearchConfig tunes MLSearch; the zero value selects defaults.
+type MLSearchConfig = likelihood.SearchConfig
+
+// MLScore returns the Jukes–Cantor log-likelihood of a binary tree with
+// uniform branch lengths (Felsenstein pruning).
+func MLScore(t *Tree, a *Alignment, branchLen float64) (float64, error) {
+	return likelihood.Score(t, a, branchLen)
+}
+
+// MLSearch hill-climbs to a maximum-likelihood topology and returns it
+// with its log-likelihood — the second reconstruction family §6 names as
+// a source of unrooted trees.
+func MLSearch(rng *rand.Rand, a *Alignment, cfg MLSearchConfig) (*Tree, float64, error) {
+	return likelihood.Search(rng, a, cfg)
+}
+
+// PDistance returns taxon names and the observed-proportion distance
+// matrix of an alignment — input for UPGMA and NeighborJoining.
+func PDistance(a *Alignment) ([]string, [][]float64, error) {
+	return reconstruct.PDistance(a)
+}
+
+// UPGMA reconstructs a rooted binary phylogeny by average-linkage
+// clustering of a distance matrix.
+func UPGMA(names []string, d [][]float64) (*Tree, error) {
+	return reconstruct.UPGMA(names, d)
+}
+
+// NeighborJoining reconstructs a phylogeny with the Saitou–Nei
+// criterion, rooted at the final three-way join.
+func NeighborJoining(names []string, d [][]float64) (*Tree, error) {
+	return reconstruct.NeighborJoining(names, d)
+}
+
+// MajorityThreshold is the M-ℓ consensus family: clusters surviving in
+// strictly more than frac of the trees (frac ∈ [0.5, 1)).
+func MajorityThreshold(trees []*Tree, frac float64) (*Tree, error) {
+	return consensus.MajorityThreshold(trees, frac)
+}
+
+// MineForestParallel is MineForest over a worker pool; identical output,
+// scaled to the machine. workers ≤ 0 selects GOMAXPROCS.
+func MineForestParallel(trees []*Tree, opts ForestOptions, workers int) []FrequentPair {
+	return core.MineForestParallel(trees, opts, workers)
+}
+
+// WeightedTree couples a phylogeny with positive branch lengths for
+// weighted cousin mining (§7 future work).
+type WeightedTree = weighted.Tree
+
+// WeightedOptions configure weighted mining; see DefaultWeightedOptions.
+type WeightedOptions = weighted.Options
+
+// WeightedItem is one weighted cousin pair item.
+type WeightedItem = weighted.Item
+
+// DefaultWeightedOptions mirrors Table 2 under unit weights.
+func DefaultWeightedOptions() WeightedOptions { return weighted.DefaultOptions() }
+
+// ParseNewickWeighted parses a Newick tree keeping branch lengths
+// (missing lengths get defaultLen) and returns it ready for weighted
+// mining.
+func ParseNewickWeighted(s string, defaultLen float64) (*WeightedTree, error) {
+	t, lens, err := newick.ParseWithLengths(s, defaultLen)
+	if err != nil {
+		return nil, err
+	}
+	return weighted.New(t, lens)
+}
+
+// MineWeighted mines weighted cousin pairs: wdist(u,v) = (wu+wv)/2 − 1
+// over summed branch lengths, defined while |wu − wv| ≤ MaxGap. With
+// unit weights it reduces exactly to Mine.
+func MineWeighted(wt *WeightedTree, opts WeightedOptions) []WeightedItem {
+	return weighted.Mine(wt, opts).Items()
+}
+
+// RankByUpDown orders database trees by UpDown distance to the query,
+// nearest first (TreeRank-style search); k ≤ 0 returns the full ranking.
+func RankByUpDown(query *Tree, db []*Tree, k int) []updown.Ranked {
+	return updown.Rank(query, db, k)
+}
+
+// StatsOf summarizes a tree's shape (node/leaf counts, height, arity
+// histogram).
+func StatsOf(t *Tree) tree.Stats { return tree.StatsOf(t) }

@@ -1,0 +1,182 @@
+// Package treemine is the public API of this library: a Go implementation
+// of the cousin-pair tree-mining system of Shasha, Wang & Zhang,
+// "Unordered Tree Mining with Applications to Phylogeny" (ICDE 2004).
+//
+// The library mines rooted unordered labeled trees — phylogenies in
+// particular — for cousin pairs: pairs of labeled nodes sharing a parent
+// (distance 0), an aunt–niece relation (0.5), a grandparent (1), and so
+// on. On top of mining it provides the paper's phylogenetic applications:
+// frequent-pattern discovery across multiple trees, a similarity score
+// for ranking consensus trees, cousin-based tree distances that work for
+// trees over different taxa, kernel-tree selection from groups of
+// phylogenies, and the free-tree (unrooted) extension.
+//
+// # Quick start
+//
+//	t1, _ := treemine.ParseNewick("((a,b),(c,d));")
+//	items := treemine.Mine(t1, treemine.DefaultOptions())
+//	for _, it := range items.Items() {
+//	    fmt.Println(it) // (a, b, 0, 1) …
+//	}
+//
+// The implementation packages live under internal/; this package
+// re-exports the supported surface. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the reproduction of every table and
+// figure in the paper.
+package treemine
+
+import (
+	"io"
+
+	"treemine/internal/consensus"
+	"treemine/internal/core"
+	"treemine/internal/kernel"
+	"treemine/internal/newick"
+	"treemine/internal/tree"
+)
+
+// Core tree types.
+type (
+	// Tree is an immutable rooted unordered labeled tree.
+	Tree = tree.Tree
+	// NodeID identifies a node within one Tree.
+	NodeID = tree.NodeID
+	// Builder incrementally constructs a Tree.
+	Builder = tree.Builder
+)
+
+// Mining types.
+type (
+	// Dist is a cousin distance in half units: Dist(1) is 0.5.
+	Dist = core.Dist
+	// Key is a canonical (labelA ≤ labelB, distance) item key.
+	Key = core.Key
+	// Item is one cousin pair item (labelA, labelB, dist, occur).
+	Item = core.Item
+	// ItemSet is the multiset of cousin pair items of a tree.
+	ItemSet = core.ItemSet
+	// Options configure single-tree mining (maxdist, minoccur).
+	Options = core.Options
+	// ForestOptions configure multi-tree mining (adds minsup).
+	ForestOptions = core.ForestOptions
+	// FrequentPair is a cousin pair with its cross-tree support.
+	FrequentPair = core.FrequentPair
+	// Variant selects a cousin-based tree-distance measure.
+	Variant = core.Variant
+	// Pair is one concrete cousin node pair occurrence.
+	Pair = core.Pair
+)
+
+// ConsensusMethod identifies one of the five classical consensus
+// methods.
+type ConsensusMethod = consensus.Method
+
+// KernelConfig tunes kernel-tree search; see DefaultKernelConfig.
+type KernelConfig = kernel.Config
+
+// KernelResult is the outcome of a kernel-tree search.
+type KernelResult = kernel.Result
+
+// Wildcard and distance constructors.
+const (
+	// DistWild is the paper's "*" distance wildcard.
+	DistWild = core.DistWild
+)
+
+// Tree-distance variants (§5.3 of the paper).
+const (
+	VariantLabel     = core.VariantLabel
+	VariantDist      = core.VariantDist
+	VariantOccur     = core.VariantOccur
+	VariantDistOccur = core.VariantDistOccur
+)
+
+// Consensus methods (§5.2 of the paper).
+const (
+	Strict     = consensus.MethodStrict
+	SemiStrict = consensus.MethodSemiStrict
+	Majority   = consensus.MethodMajority
+	Nelson     = consensus.MethodNelson
+	Adams      = consensus.MethodAdams
+)
+
+// NewBuilder returns an empty tree builder.
+func NewBuilder() *Builder { return tree.NewBuilder() }
+
+// Isomorphic reports whether two trees are equal as rooted unordered
+// labeled trees.
+func Isomorphic(a, b *Tree) bool { return tree.Isomorphic(a, b) }
+
+// D returns the Dist for a number of half units: D(0)=0, D(1)=0.5,
+// D(3)=1.5.
+func D(halves int) Dist { return core.D(halves) }
+
+// ParseDist parses "0", "0.5", "1.5", or "*".
+func ParseDist(s string) (Dist, error) { return core.ParseDist(s) }
+
+// ParseNewick parses one tree in Newick format.
+func ParseNewick(s string) (*Tree, error) { return newick.Parse(s) }
+
+// ParseNewickAll parses a stream of semicolon-terminated Newick trees.
+func ParseNewickAll(r io.Reader) ([]*Tree, error) { return newick.ParseAll(r) }
+
+// WriteNewick serializes a tree in Newick format.
+func WriteNewick(t *Tree) string { return newick.Write(t) }
+
+// DefaultOptions returns the paper's Table 2 mining defaults
+// (maxdist 1.5, minoccur 1).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultForestOptions returns the Table 2 defaults with minsup 2.
+func DefaultForestOptions() ForestOptions { return core.DefaultForestOptions() }
+
+// Mine is Single_Tree_Mining: all cousin pair items of t within the
+// options' distance and occurrence bounds.
+func Mine(t *Tree, opts Options) ItemSet { return core.Mine(t, opts) }
+
+// MinePairs returns the concrete cousin node pairs of t.
+func MinePairs(t *Tree, opts Options) []Pair { return core.MinePairs(t, opts) }
+
+// MineForest is Multiple_Tree_Mining: the cousin pairs frequent across
+// the trees, sorted by decreasing support.
+func MineForest(trees []*Tree, opts ForestOptions) []FrequentPair {
+	return core.MineForest(trees, opts)
+}
+
+// Support counts the trees containing the label pair at distance d
+// (DistWild for any distance).
+func Support(trees []*Tree, l1, l2 string, d Dist, opts Options) int {
+	return core.Support(trees, l1, l2, d, opts)
+}
+
+// Sim is the paper's consensus-quality similarity score σ(C, T).
+func Sim(c, t *Tree, opts Options) float64 { return core.Sim(c, t, opts) }
+
+// AvgSim is the average similarity score of a consensus tree against the
+// source trees it summarizes.
+func AvgSim(c *Tree, set []*Tree, opts Options) float64 {
+	return core.AvgSim(c, set, opts)
+}
+
+// TDist is the cousin-based tree distance of Eq. 6 under the variant.
+func TDist(t1, t2 *Tree, v Variant, opts Options) float64 {
+	return core.TDist(t1, t2, v, opts)
+}
+
+// Consensus computes the consensus of a set of phylogenies over the same
+// taxa with the given method.
+func Consensus(m ConsensusMethod, trees []*Tree) (*Tree, error) {
+	return consensus.Compute(m, trees)
+}
+
+// ConsensusMethods lists the five supported methods.
+func ConsensusMethods() []ConsensusMethod { return consensus.Methods() }
+
+// DefaultKernelConfig mirrors the paper's kernel experiment settings.
+func DefaultKernelConfig() KernelConfig { return kernel.DefaultConfig() }
+
+// KernelTrees selects one tree per group minimizing the average pairwise
+// cousin-based distance among the selections (§5.3).
+func KernelTrees(groups [][]*Tree, cfg KernelConfig) (*KernelResult, error) {
+	return kernel.Find(groups, cfg)
+}

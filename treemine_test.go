@@ -1,0 +1,158 @@
+package treemine_test
+
+// End-to-end tests of the public facade: each test exercises a complete
+// user-visible workflow through the exported API only.
+
+import (
+	"strings"
+	"testing"
+
+	"treemine"
+)
+
+func TestQuickstartWorkflow(t *testing.T) {
+	tr, err := treemine.ParseNewick("((a,b),(c,d));")
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := treemine.Mine(tr, treemine.DefaultOptions())
+	// Siblings (a,b), (c,d); first cousins (a,c),(a,d),(b,c),(b,d).
+	if len(items) != 6 {
+		t.Fatalf("items = %v", items.Items())
+	}
+	if got := items[treemine.Key{A: "a", B: "b", D: treemine.D(0)}]; got != 1 {
+		t.Fatalf("(a,b,0) = %d", got)
+	}
+	if got := items[treemine.Key{A: "a", B: "c", D: treemine.D(2)}]; got != 1 {
+		t.Fatalf("(a,c,1) = %d", got)
+	}
+}
+
+func TestNewickRoundTripFacade(t *testing.T) {
+	tr, err := treemine.ParseNewick("(('Homo sapiens',b),c);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := treemine.ParseNewick(treemine.WriteNewick(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !treemine.Isomorphic(tr, back) {
+		t.Fatal("round trip lost structure")
+	}
+}
+
+func TestParseNewickAllFacade(t *testing.T) {
+	trees, err := treemine.ParseNewickAll(strings.NewReader("(a,b);(c,d);"))
+	if err != nil || len(trees) != 2 {
+		t.Fatalf("ParseNewickAll = %d trees, %v", len(trees), err)
+	}
+}
+
+func TestBuilderFacade(t *testing.T) {
+	b := treemine.NewBuilder()
+	r := b.RootUnlabeled()
+	b.Child(r, "x")
+	b.Child(r, "y")
+	tr := b.MustBuild()
+	if tr.Size() != 3 {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+	pairs := treemine.MinePairs(tr, treemine.DefaultOptions())
+	if len(pairs) != 1 || pairs[0].D != treemine.D(0) {
+		t.Fatalf("pairs = %v", pairs)
+	}
+}
+
+func TestForestWorkflow(t *testing.T) {
+	var forest []*treemine.Tree
+	for _, s := range []string{"((a,b),c);", "((a,b),d);", "((a,x),(b,y));"} {
+		tr, err := treemine.ParseNewick(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forest = append(forest, tr)
+	}
+	fp := treemine.MineForest(forest, treemine.DefaultForestOptions())
+	if len(fp) == 0 {
+		t.Fatal("no frequent pairs")
+	}
+	if fp[0].Key.A != "a" || fp[0].Key.B != "b" || fp[0].Key.D != treemine.D(0) || fp[0].Support != 2 {
+		t.Fatalf("head pair = %+v", fp[0])
+	}
+	if got := treemine.Support(forest, "a", "b", treemine.DistWild, treemine.DefaultOptions()); got != 3 {
+		t.Fatalf("wildcard support = %d, want 3", got)
+	}
+}
+
+func TestConsensusWorkflow(t *testing.T) {
+	var set []*treemine.Tree
+	for _, s := range []string{"(((a,b),c),d);", "(((a,b),d),c);"} {
+		tr, err := treemine.ParseNewick(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set = append(set, tr)
+	}
+	for _, m := range treemine.ConsensusMethods() {
+		c, err := treemine.Consensus(m, set)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		score := treemine.AvgSim(c, set, treemine.DefaultOptions())
+		if score <= 0 {
+			t.Errorf("%v: AvgSim = %v, want > 0", m, score)
+		}
+	}
+}
+
+func TestTDistFacade(t *testing.T) {
+	t1, _ := treemine.ParseNewick("((a,b),c);")
+	t2, _ := treemine.ParseNewick("((a,b),(x,y));")
+	for _, v := range []treemine.Variant{
+		treemine.VariantLabel, treemine.VariantDist,
+		treemine.VariantOccur, treemine.VariantDistOccur,
+	} {
+		d := treemine.TDist(t1, t2, v, treemine.DefaultOptions())
+		if d < 0 || d > 1 {
+			t.Fatalf("%v out of range: %v", v, d)
+		}
+		if same := treemine.TDist(t1, t1, v, treemine.DefaultOptions()); same != 0 {
+			t.Fatalf("%v(T,T) = %v", v, same)
+		}
+	}
+}
+
+func TestKernelWorkflow(t *testing.T) {
+	mk := func(s string) *treemine.Tree {
+		tr, err := treemine.ParseNewick(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	groups := [][]*treemine.Tree{
+		{mk("((a,b),(c,d));"), mk("((a,c),(b,d));")},
+		{mk("((a,b),(c,e));"), mk("((a,e),(b,c));")},
+	}
+	res, err := treemine.KernelTrees(groups, treemine.DefaultKernelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Choice) != 2 || !res.Exact {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.AvgDist < 0 || res.AvgDist > 1 {
+		t.Fatalf("AvgDist = %v", res.AvgDist)
+	}
+}
+
+func TestParseDistFacade(t *testing.T) {
+	d, err := treemine.ParseDist("1.5")
+	if err != nil || d != treemine.D(3) {
+		t.Fatalf("ParseDist = %v, %v", d, err)
+	}
+	if _, err := treemine.ParseDist("nope"); err == nil {
+		t.Fatal("bad distance accepted")
+	}
+}
