@@ -1,0 +1,26 @@
+# Standard checks for the treemine repo. `make check` is the tier-1
+# gate (vet + build + full tests); `make race` re-runs the concurrent
+# miners under the race detector; `make bench` regenerates the paper
+# figure benchmarks with allocation counts (see BENCH_1.json for the
+# recorded baseline).
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core -run 'Parallel|Forest'
+
+bench:
+	$(GO) test . -run xxx -bench 'Fig4|Fig5|Fig6MultiTree|Fig7|MineInterned' -benchmem -benchtime=2x

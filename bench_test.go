@@ -236,6 +236,67 @@ func BenchmarkAblationMiner(b *testing.B) {
 	})
 }
 
+// BenchmarkMineInterned is the ablation pair for the interned-label
+// core: the same workload mined through the packed-integer-key hot path
+// (Interned, what Mine does today) and through the pre-refactor
+// string-keyed accumulation (StringKeyed: enumerate pairs, build one
+// string Key per pair, hash into an ItemSet). The Forest sub-pair
+// repeats the comparison at forest scale, where the shared symbol table
+// and reused buffers matter most.
+func BenchmarkMineInterned(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	t := treegen.Fanout(rng, treegen.DefaultParams())
+	opts := core.DefaultOptions()
+	mineString := func(t *treemine.Tree, opts core.Options) core.ItemSet {
+		items := make(core.ItemSet)
+		for _, p := range core.MinePairs(t, opts) {
+			items[core.NewKey(t.MustLabel(p.U), t.MustLabel(p.V), p.D)]++
+		}
+		return items.FilterMinOccur(opts.MinOccur)
+	}
+	b.Run("Interned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.Mine(t, opts)
+		}
+	})
+	b.Run("StringKeyed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mineString(t, opts)
+		}
+	})
+	forest := make([]*treemine.Tree, 200)
+	frng := rand.New(rand.NewSource(2))
+	for i := range forest {
+		forest[i] = treegen.Fanout(frng, treegen.DefaultParams())
+	}
+	fopts := treemine.DefaultForestOptions()
+	b.Run("Forest/Interned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.MineForest(forest, fopts)
+		}
+	})
+	b.Run("Forest/StringKeyed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sup := make(map[core.Key]int)
+			for _, t := range forest {
+				items := mineString(t, fopts.Options)
+				for k := range items {
+					sup[k]++
+				}
+			}
+			for k, s := range sup {
+				if s < fopts.MinSup {
+					delete(sup, k)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkAblationNewick measures parse/serialize throughput on a
 // TreeBASE-sized phylogeny, the I/O path of every CLI.
 func BenchmarkAblationNewick(b *testing.B) {

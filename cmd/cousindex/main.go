@@ -6,8 +6,12 @@
 //
 //	cousindex build -o db.idx [flags] trees.nwk ...
 //	cousindex frequent -i db.idx [-minsup 2]
-//	cousindex query -i db.idx -pair "Gnetum,Welwitschia" [-dist 0|0.5|*]
+//	cousindex query -i db.idx -pair "Gnetum,Welwitschia" [-pair ...] [-dist 0|0.5|*]
 //	cousindex info -i db.idx
+//
+// -pair may repeat; all probes run against the item sets mined once at
+// build time (core.SupportOf), so querying many pairs costs one index
+// load, not one mining pass per pair.
 package main
 
 import (
@@ -127,18 +131,28 @@ func runFrequent(args []string, stdout io.Writer) error {
 	return nil
 }
 
+// pairList collects repeated -pair flags.
+type pairList []string
+
+func (p *pairList) String() string { return strings.Join(*p, " ") }
+
+func (p *pairList) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}
+
 func runQuery(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("cousindex query", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	in := fs.String("i", "", "index file")
-	pair := fs.String("pair", "", `label pair, comma separated: "a,b"`)
+	var pairs pairList
+	fs.Var(&pairs, "pair", `label pair, comma separated: "a,b" (repeatable)`)
 	distStr := fs.String("dist", "*", "cousin distance or * for any")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	parts := strings.SplitN(*pair, ",", 2)
-	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
-		return fmt.Errorf(`query: -pair must look like "labelA,labelB"`)
+	if len(pairs) == 0 {
+		return fmt.Errorf(`query: at least one -pair "labelA,labelB" is required`)
 	}
 	d, err := treemine.ParseDist(*distStr)
 	if err != nil {
@@ -148,15 +162,23 @@ func runQuery(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	l1, l2 := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
-	sup := ix.Support(l1, l2, d)
-	fmt.Fprintf(stdout, "support of (%s, %s) at distance %s: %d of %d trees\n",
-		l1, l2, d, sup, ix.NumTrees())
-	if !d.IsWild() {
-		for _, i := range ix.TreesWith(core.NewKey(l1, l2, d)) {
-			e := ix.Entries[i]
-			fmt.Fprintf(stdout, "  %s (%d nodes, %d occurrences)\n",
-				e.Name, e.Nodes, e.Items[core.NewKey(l1, l2, d)])
+	// All probes share the item sets mined at build time.
+	sets := ix.ItemSets()
+	for _, pair := range pairs {
+		parts := strings.SplitN(pair, ",", 2)
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			return fmt.Errorf(`query: -pair must look like "labelA,labelB"`)
+		}
+		l1, l2 := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+		sup := core.SupportOf(sets, l1, l2, d)
+		fmt.Fprintf(stdout, "support of (%s, %s) at distance %s: %d of %d trees\n",
+			l1, l2, d, sup, ix.NumTrees())
+		if !d.IsWild() {
+			for _, i := range ix.TreesWith(core.NewKey(l1, l2, d)) {
+				e := ix.Entries[i]
+				fmt.Fprintf(stdout, "  %s (%d nodes, %d occurrences)\n",
+					e.Name, e.Nodes, e.Items[core.NewKey(l1, l2, d)])
+			}
 		}
 	}
 	return nil

@@ -78,6 +78,22 @@ func TestQueryConsistentWithDirectMining(t *testing.T) {
 	}
 }
 
+func TestQueryMultiplePairs(t *testing.T) {
+	idx := buildIndex(t)
+	var out strings.Builder
+	// Repeated -pair probes reuse the pre-mined item sets: one load, two
+	// support answers.
+	if err := run([]string{"query", "-i", idx, "-pair", "a,b", "-pair", "a,c", "-dist", "*"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "support of (a, b) at distance *: 3 of 3 trees") {
+		t.Fatalf("first probe missing: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "support of (a, c)") {
+		t.Fatalf("second probe missing: %s", out.String())
+	}
+}
+
 func TestErrors(t *testing.T) {
 	idx := buildIndex(t)
 	cases := [][]string{

@@ -1,0 +1,95 @@
+package core
+
+// accum accumulates per-item counts over interned symbol pairs. For small
+// alphabets it is a flat dense table indexed by (symA, symB, dist) with a
+// touched-cell list, so one add is an array increment and draining or
+// resetting costs O(distinct items) rather than O(table). Larger
+// alphabets fall back to a map keyed by packed IKey. Both modes reuse
+// their storage across init calls, which is what lets a pooled miner do
+// near-zero allocation on repeat mining.
+type accum struct {
+	l, nd   int     // symbol count and distance-slot count of the dense table
+	dense   []int32 // len l*l*nd when dense, nil when in map mode
+	touched []int32 // dense cells that may hold a nonzero count
+	m       ISet    // map mode storage
+}
+
+// maxDenseCells caps the dense table size (4 MiB of int32 cells); beyond
+// it the accumulator switches to map mode.
+const maxDenseCells = 1 << 20
+
+// init prepares the accumulator for an alphabet of l symbols and nd
+// distance slots. Storage is reused when capacity allows. The dense table
+// relies on the invariant that drain zeroes every cell it visited, so a
+// reused buffer is already clear.
+func (ac *accum) init(l, nd int) {
+	ac.l, ac.nd = l, nd
+	ac.touched = ac.touched[:0]
+	cells := int64(l) * int64(l) * int64(nd)
+	if cells <= maxDenseCells {
+		if int64(cap(ac.dense)) < cells {
+			ac.dense = make([]int32, cells)
+		}
+		ac.dense = ac.dense[:cells]
+		ac.m = nil
+		return
+	}
+	ac.dense = nil
+	if ac.m == nil {
+		ac.m = make(ISet)
+	} else {
+		clear(ac.m)
+	}
+}
+
+// add accumulates n occurrences of the unordered symbol pair (a, b) at
+// distance slot dc. In map mode dc must be at most MaxPackedDist (as a
+// distance); dense mode has no such limit.
+func (ac *accum) add(a, b uint32, dc int, n int32) {
+	if ac.m != nil {
+		ac.m[NewIKey(a, b, Dist(dc))] += n
+		return
+	}
+	if b < a {
+		a, b = b, a
+	}
+	cell := (int(a)*ac.l+int(b))*ac.nd + dc
+	old := ac.dense[cell]
+	if old == 0 {
+		ac.touched = append(ac.touched, int32(cell))
+	}
+	ac.dense[cell] = old + n
+}
+
+// drain calls f once per item with a nonzero count and resets the
+// accumulator. The touched list may carry duplicates (a cell that dropped
+// back to zero and was re-added); consuming each cell as it is read makes
+// the duplicates harmless.
+func (ac *accum) drain(f func(a, b uint32, dc int, n int32)) {
+	if ac.m != nil {
+		for k, n := range ac.m {
+			if n != 0 {
+				a, b := k.Syms()
+				f(a, b, int(k.Dist()), n)
+			}
+		}
+		clear(ac.m)
+		return
+	}
+	for _, cell := range ac.touched {
+		n := ac.dense[cell]
+		if n == 0 {
+			continue
+		}
+		ac.dense[cell] = 0
+		c := int(cell)
+		pair := c / ac.nd
+		f(uint32(pair/ac.l), uint32(pair%ac.l), c%ac.nd, n)
+	}
+	ac.touched = ac.touched[:0]
+}
+
+// discard resets the accumulator without reporting its contents.
+func (ac *accum) discard() {
+	ac.drain(func(uint32, uint32, int, int32) {})
+}

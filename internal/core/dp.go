@@ -17,27 +17,35 @@ import (
 // ancestor chains, trading the O(pairs) enumeration for
 // O(n · maxLevel · |labels at a level|) histogram arithmetic; on trees
 // with many repeated labels (phylogenies mined at the Table 2 defaults)
-// it does strictly less work. The result is always identical to Mine's —
-// property-tested in dp_test.go.
+// it does strictly less work. The histograms run on interned symbol IDs
+// and the items accumulate under packed keys; distances beyond
+// MaxPackedDist fall back to Mine. The result is always identical to
+// Mine's — property-tested in dp_test.go.
 func MineDP(t *tree.Tree, opts Options) ItemSet {
-	items := make(ItemSet)
-	if opts.MaxDist >= 0 && t.Size() > 0 {
-		_, maxJ := opts.MaxDist.Levels()
-		d := &dpMiner{t: t, opts: opts, maxJ: maxJ, items: items}
-		d.visit(t.Root())
+	if !packable(opts.MaxDist) {
+		return Mine(t, opts)
 	}
-	return items.FilterMinOccur(opts.MinOccur)
+	if opts.MaxDist < 0 || t.Size() == 0 {
+		return make(ItemSet)
+	}
+	syms := NewSymbols()
+	syms.InternTree(t)
+	_, maxJ := opts.MaxDist.Levels()
+	d := &dpMiner{t: t, opts: opts, syms: syms, maxJ: maxJ, items: make(ISet)}
+	d.visit(t.Root())
+	return d.items.ToItemSet(syms, opts.MinOccur)
 }
 
-// depthHist[d] maps label → count of labeled descendants at relative
+// depthHist[d] maps symbol → count of labeled descendants at relative
 // depth d+1 (depth 0 of the slice is one edge below the owner).
-type depthHist []map[string]int
+type depthHist []map[uint32]int32
 
 type dpMiner struct {
 	t     *tree.Tree
 	opts  Options
+	syms  *Symbols
 	maxJ  int
-	items ItemSet
+	items ISet
 }
 
 // visit returns the depth histogram of n's subtree, relative to n,
@@ -54,9 +62,10 @@ func (d *dpMiner) visit(n tree.NodeID) depthHist {
 		sub := d.visit(k)
 		// Shift down one level: k itself lands at depth 1 below n.
 		h := make(depthHist, 0, d.maxJ)
-		top := map[string]int{}
+		top := map[uint32]int32{}
 		if l, ok := d.t.Label(k); ok {
-			top[l] = 1
+			id, _ := d.syms.Lookup(l)
+			top[id] = 1
 		}
 		h = append(h, top)
 		for depth := 0; depth < len(sub) && len(h) < d.maxJ; depth++ {
@@ -68,7 +77,7 @@ func (d *dpMiner) visit(n tree.NodeID) depthHist {
 	return d.merge(hists)
 }
 
-// combine counts, for every distance d ≤ maxdist, the label pairs formed
+// combine counts, for every distance d ≤ maxdist, the symbol pairs formed
 // between depth-i entries of one child histogram and depth-j entries of
 // another (i, j as Dist.Levels dictates).
 func (d *dpMiner) combine(hists []depthHist) {
@@ -94,9 +103,9 @@ func (d *dpMiner) combine(hists []depthHist) {
 				if h2 == nil {
 					continue
 				}
-				for l1, n1 := range h1 {
-					for l2, n2 := range h2 {
-						d.items[NewKey(l1, l2, dist)] += n1 * n2
+				for s1, n1 := range h1 {
+					for s2, n2 := range h2 {
+						d.items[NewIKey(s1, s2, dist)] += n1 * n2
 					}
 				}
 			}
@@ -106,7 +115,7 @@ func (d *dpMiner) combine(hists []depthHist) {
 
 // at returns the histogram at 1-based depth, or nil when out of range or
 // empty.
-func (h depthHist) at(depth int) map[string]int {
+func (h depthHist) at(depth int) map[uint32]int32 {
 	if depth < 1 || depth > len(h) || len(h[depth-1]) == 0 {
 		return nil
 	}
@@ -132,12 +141,12 @@ func (d *dpMiner) merge(hists []depthHist) depthHist {
 			if len(h[depth]) == 0 {
 				continue
 			}
-			if out[depth] == nil || len(out[depth]) == 0 {
+			if len(out[depth]) == 0 {
 				out[depth] = h[depth]
 				continue
 			}
-			for l, c := range h[depth] {
-				out[depth][l] += c
+			for s, c := range h[depth] {
+				out[depth][s] += c
 			}
 		}
 	}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"sync"
+
 	"treemine/internal/tree"
 )
 
@@ -33,9 +36,29 @@ func DefaultOptions() Options {
 // Step 9 check holds by construction). The running time is O(n²) in the
 // worst case, dominated — exactly as the paper observes in its Figure 4
 // discussion — by the number of qualified cousin pairs generated.
+//
+// Internally the pass runs on interned integer labels and a pooled
+// arena, so repeat calls allocate little beyond the returned ItemSet;
+// labels reappear as strings only in the result.
 func Mine(t *tree.Tree, opts Options) ItemSet {
-	m := newMiner(t, opts)
+	m := getMiner(t, opts, nil)
+	defer m.release()
 	items := make(ItemSet)
+	if m.maxJ == 0 {
+		return items
+	}
+	if m.packed() {
+		m.acc.init(m.syms.Len(), m.nd)
+		m.accumulate(&m.acc)
+		syms, minOccur := m.syms, opts.MinOccur
+		m.acc.drain(func(a, b uint32, dc int, n int32) {
+			if int(n) >= minOccur {
+				items[NewKey(syms.Label(a), syms.Label(b), Dist(dc))] = int(n)
+			}
+		})
+		return items
+	}
+	// Distances beyond MaxPackedDist: enumerate pairs on string keys.
 	m.forEachPair(func(u, v tree.NodeID, d Dist) {
 		items[NewKey(t.MustLabel(u), t.MustLabel(v), d)]++
 	})
@@ -54,7 +77,8 @@ type Pair struct {
 // appears exactly once. MinOccur does not apply (it is a property of
 // aggregated items).
 func MinePairs(t *tree.Tree, opts Options) []Pair {
-	m := newMiner(t, opts)
+	m := getMiner(t, opts, nil)
+	defer m.release()
 	var out []Pair
 	m.forEachPair(func(u, v tree.NodeID, d Dist) {
 		out = append(out, Pair{U: u, V: v, D: d})
@@ -62,99 +86,265 @@ func MinePairs(t *tree.Tree, opts Options) []Pair {
 	return out
 }
 
-// miner holds the per-tree state for one mining pass.
+// MineISet mines t into an interned item multiset over syms, which must
+// already contain every label of t (use Symbols.InternTree). It is the
+// forest-scale building block: callers holding one shared symbol table
+// mine many trees and compare the results without ever touching strings.
+// opts.MaxDist must be at most MaxPackedDist.
+func MineISet(t *tree.Tree, opts Options, syms *Symbols) ISet {
+	if !packable(opts.MaxDist) {
+		panic(fmt.Sprintf("core: MineISet at maxdist %s beyond MaxPackedDist", opts.MaxDist))
+	}
+	m := getMiner(t, opts, syms)
+	defer m.release()
+	out := make(ISet)
+	if m.maxJ == 0 {
+		return out
+	}
+	m.acc.init(syms.Len(), m.nd)
+	m.accumulate(&m.acc)
+	minOccur := opts.MinOccur
+	m.acc.drain(func(a, b uint32, dc int, n int32) {
+		if int(n) >= minOccur {
+			out[NewIKey(a, b, Dist(dc))] = n
+		}
+	})
+	return out
+}
+
+// miner holds the per-tree state for one mining pass: interned node
+// labels plus, for every non-root node c and depth k ≤ maxJ, the bucket
+// of labeled descendants of c that sit k edges below c's parent. Buckets
+// live in one flat slice indexed through prefix sums, so a pass over a
+// same-shaped tree reuses every buffer. Miners are pooled; use getMiner
+// and release.
 type miner struct {
 	t    *tree.Tree
 	opts Options
-	// groups[a] lists, for each child subtree of a, the labeled
-	// descendants by depth below a: groups[a][ci][depth-1] is the slice
-	// of labeled nodes at that depth inside child ci's subtree.
-	groups map[tree.NodeID][][][]tree.NodeID
-	maxJ   int
+	// syms is the symbol table in use: own (reset per tree) unless a
+	// shared forest table was supplied.
+	syms   *Symbols
+	own    *Symbols
+	shared bool
+	maxJ   int // deepest bucket level, clamped to the tree height
+	nd     int // number of valid distance slots (MaxDist+1, min 0)
+
+	nodeSym     []uint32      // symbol ID per labeled node
+	bucketStart []int32       // prefix offsets into flat, len size*maxJ+1
+	bucketFill  []int32       // per-bucket counting/fill cursors
+	flat        []tree.NodeID // bucket storage
+
+	acc  accum // item accumulator (also used per tree by forest mining)
+	wild accum // distance-wildcard scratch for IgnoreDist support
+
+	// MineCounts scratch, reused across LCAs.
+	histI, histJ, totalI, totalJ map[uint32]int32
+	same                         ISet
 }
 
-func newMiner(t *tree.Tree, opts Options) *miner {
-	m := &miner{t: t, opts: opts, groups: make(map[tree.NodeID][][][]tree.NodeID)}
-	if opts.MaxDist >= 0 {
-		_, m.maxJ = opts.MaxDist.Levels() // deepest level any pair reaches
-	}
-	m.build()
+var minerPool = sync.Pool{New: func() any { return new(miner) }}
+
+// getMiner fetches a pooled miner and builds its buckets for t. A nil
+// syms gives the miner its own per-tree symbol table; a non-nil one is
+// treated as shared and read-only (every label of t must already be
+// interned in it).
+func getMiner(t *tree.Tree, opts Options, syms *Symbols) *miner {
+	m := minerPool.Get().(*miner)
+	m.reset(t, opts, syms)
 	return m
 }
 
-// build populates groups in O(n · maxJ): every labeled node v is recorded
-// under each of its ≤ maxJ nearest ancestors.
-func (m *miner) build() {
-	if m.maxJ == 0 {
+// release returns the miner to the pool, dropping tree references but
+// keeping buffers for reuse.
+func (m *miner) release() {
+	m.acc.discard()
+	m.wild.discard()
+	m.t = nil
+	m.syms = nil
+	minerPool.Put(m)
+}
+
+// packed reports whether this pass can accumulate into packed integer
+// keys.
+func (m *miner) packed() bool { return packable(m.opts.MaxDist) }
+
+// reset points the miner at t and rebuilds the buckets in O(n · maxJ):
+// every labeled node v is recorded under each of its ≤ maxJ nearest
+// ancestors.
+func (m *miner) reset(t *tree.Tree, opts Options, syms *Symbols) {
+	m.t, m.opts = t, opts
+	m.maxJ, m.nd = 0, 0
+	if opts.MaxDist < 0 || t.Size() == 0 {
 		return
 	}
-	t := m.t
-	// childIndex[v] = position of v within its parent's child list, so a
-	// node can be routed to the right child-subtree slot of an ancestor.
-	childIndex := make([]int, t.Size())
-	for _, n := range t.Nodes() {
-		for i, c := range t.Children(n) {
-			childIndex[c] = i
-		}
+	m.nd = int(opts.MaxDist) + 1
+	_, maxJ := opts.MaxDist.Levels()
+	if h := t.Height(); maxJ > h {
+		maxJ = h // no bucket can be deeper than the tree
 	}
-	for _, v := range t.Nodes() {
+	m.maxJ = maxJ
+	if maxJ == 0 {
+		return
+	}
+
+	if syms != nil {
+		m.syms, m.shared = syms, true
+	} else {
+		if m.own == nil {
+			m.own = NewSymbols()
+		}
+		m.own.reset()
+		m.syms, m.shared = m.own, false
+	}
+
+	n := t.Size()
+	m.nodeSym = growU32(m.nodeSym, n)
+	nb := n * maxJ
+	m.bucketStart = grow32(m.bucketStart, nb+1)
+	m.bucketFill = grow32(m.bucketFill, nb)
+	counts := m.bucketFill
+	for i := range counts {
+		counts[i] = 0
+	}
+
+	// Counting pass: how many nodes land in each (path-child, depth)
+	// bucket; symbols are interned alongside.
+	total := int32(0)
+	for v := tree.NodeID(0); v < tree.NodeID(n); v++ {
 		if !t.Labeled(v) {
 			continue
 		}
-		child := v
-		a := t.Parent(v)
-		for depth := 1; depth <= m.maxJ && a != tree.None; depth++ {
-			g := m.groups[a]
-			if g == nil {
-				g = make([][][]tree.NodeID, t.NumChildren(a))
-				m.groups[a] = g
+		label := t.MustLabel(v)
+		if m.shared {
+			id, ok := m.syms.Lookup(label)
+			if !ok {
+				panic(fmt.Sprintf("core: label %q missing from shared symbol table", label))
 			}
-			ci := childIndex[child]
-			for len(g[ci]) < depth {
-				g[ci] = append(g[ci], nil)
-			}
-			g[ci][depth-1] = append(g[ci][depth-1], v)
-			child = a
-			a = t.Parent(a)
+			m.nodeSym[v] = id
+		} else {
+			m.nodeSym[v] = m.syms.Intern(label)
+		}
+		child, a := v, t.Parent(v)
+		for depth := 1; depth <= maxJ && a != tree.None; depth++ {
+			counts[int(child)*maxJ+depth-1]++
+			total++
+			child, a = a, t.Parent(a)
 		}
 	}
+
+	// Prefix sums, then the fill pass routes every node into its buckets.
+	m.bucketStart[0] = 0
+	for i := 0; i < nb; i++ {
+		m.bucketStart[i+1] = m.bucketStart[i] + counts[i]
+		m.bucketFill[i] = m.bucketStart[i]
+	}
+	m.flat = growNodeID(m.flat, int(total))
+	for v := tree.NodeID(0); v < tree.NodeID(n); v++ {
+		if !t.Labeled(v) {
+			continue
+		}
+		child, a := v, t.Parent(v)
+		for depth := 1; depth <= maxJ && a != tree.None; depth++ {
+			b := int(child)*maxJ + depth - 1
+			m.flat[m.bucketFill[b]] = v
+			m.bucketFill[b]++
+			child, a = a, t.Parent(a)
+		}
+	}
+}
+
+// bucket returns the labeled descendants of child c sitting depth edges
+// below c's parent (depth is 1-based and at most maxJ).
+func (m *miner) bucket(c tree.NodeID, depth int) []tree.NodeID {
+	b := int(c)*m.maxJ + depth - 1
+	return m.flat[m.bucketStart[b]:m.bucketStart[b+1]]
 }
 
 // forEachPair invokes visit once per qualified cousin node pair.
 func (m *miner) forEachPair(visit func(u, v tree.NodeID, d Dist)) {
-	for _, d := range ValidDistances(m.opts.MaxDist) {
-		i, j := d.Levels()
-		for _, g := range m.groups {
-			m.pairsAt(g, i, j, d, visit)
+	if m.maxJ == 0 {
+		return
+	}
+	t := m.t
+	for a := tree.NodeID(0); a < tree.NodeID(t.Size()); a++ {
+		kids := t.Children(a)
+		if len(kids) < 2 {
+			continue
+		}
+		for d := Dist(0); d <= m.opts.MaxDist; d++ {
+			i, j := d.Levels()
+			if j > m.maxJ {
+				break // j is nondecreasing in d
+			}
+			// For i == j each unordered child pair is visited once; for
+			// i != j the depth roles are distinct so all ordered child
+			// pairs are visited.
+			for x1, c1 := range kids {
+				us := m.bucket(c1, i)
+				if len(us) == 0 {
+					continue
+				}
+				start := 0
+				if i == j {
+					start = x1 + 1
+				}
+				for x2 := start; x2 < len(kids); x2++ {
+					if x2 == x1 {
+						continue
+					}
+					for _, u := range us {
+						for _, v := range m.bucket(kids[x2], j) {
+							visit(u, v, d)
+						}
+					}
+				}
+			}
 		}
 	}
 }
 
-// pairsAt emits pairs (u at depth i in one child subtree, v at depth j in
-// a different child subtree). For i == j each unordered child pair is
-// visited once; for i != j the depth roles are distinct so all ordered
-// child pairs are visited.
-func (m *miner) pairsAt(g [][][]tree.NodeID, i, j int, d Dist, visit func(u, v tree.NodeID, d Dist)) {
-	for c1 := range g {
-		if len(g[c1]) < i {
+// accumulate is forEachPair specialized to the interned hot path: every
+// qualified pair becomes one accumulator increment on symbol IDs, with no
+// callback and no string in sight.
+func (m *miner) accumulate(ac *accum) {
+	if m.maxJ == 0 {
+		return
+	}
+	t, nodeSym := m.t, m.nodeSym
+	for a := tree.NodeID(0); a < tree.NodeID(t.Size()); a++ {
+		kids := t.Children(a)
+		if len(kids) < 2 {
 			continue
 		}
-		us := g[c1][i-1]
-		if len(us) == 0 {
-			continue
-		}
-		start := 0
-		if i == j {
-			start = c1 + 1
-		}
-		for c2 := start; c2 < len(g); c2++ {
-			if c2 == c1 || len(g[c2]) < j {
-				continue
+		for d := Dist(0); d <= m.opts.MaxDist; d++ {
+			i, j := d.Levels()
+			if j > m.maxJ {
+				break
 			}
-			vs := g[c2][j-1]
-			for _, u := range us {
-				for _, v := range vs {
-					visit(u, v, d)
+			dc := int(d)
+			for x1, c1 := range kids {
+				us := m.bucket(c1, i)
+				if len(us) == 0 {
+					continue
+				}
+				start := 0
+				if i == j {
+					start = x1 + 1
+				}
+				for x2 := start; x2 < len(kids); x2++ {
+					if x2 == x1 {
+						continue
+					}
+					vs := m.bucket(kids[x2], j)
+					if len(vs) == 0 {
+						continue
+					}
+					for _, u := range us {
+						su := nodeSym[u]
+						for _, v := range vs {
+							ac.add(su, nodeSym[v], dc, 1)
+						}
+					}
 				}
 			}
 		}
@@ -169,102 +359,163 @@ func (m *miner) pairsAt(g [][][]tree.NodeID, i, j int, d Dist, visit func(u, v t
 // the number of pairs. On label-dense trees (a star of identical leaves,
 // the Table 3 workloads at high fanout) it does asymptotically less work
 // than Mine; the benchmark harness uses the two as an ablation pair. The
-// result is always identical to Mine's.
+// result is always identical to Mine's. The histograms run on interned
+// symbols; distances beyond MaxPackedDist fall back to pair enumeration.
 func MineCounts(t *tree.Tree, opts Options) ItemSet {
-	m := newMiner(t, opts)
+	m := getMiner(t, opts, nil)
+	defer m.release()
 	items := make(ItemSet)
-	for _, d := range ValidDistances(opts.MaxDist) {
-		i, j := d.Levels()
-		for _, g := range m.groups {
-			countsAt(t, g, i, j, d, items)
+	if m.maxJ == 0 {
+		return items
+	}
+	if !m.packed() {
+		m.forEachPair(func(u, v tree.NodeID, d Dist) {
+			items[NewKey(t.MustLabel(u), t.MustLabel(v), d)]++
+		})
+		return items.FilterMinOccur(opts.MinOccur)
+	}
+	m.initCountsScratch()
+	m.acc.init(m.syms.Len(), m.nd)
+	for a := tree.NodeID(0); a < tree.NodeID(t.Size()); a++ {
+		if t.NumChildren(a) < 2 {
+			continue
+		}
+		for d := Dist(0); d <= opts.MaxDist; d++ {
+			i, j := d.Levels()
+			if j > m.maxJ {
+				break
+			}
+			m.countsAt(a, i, j, d)
 		}
 	}
-	return items.FilterMinOccur(opts.MinOccur)
+	syms, minOccur := m.syms, opts.MinOccur
+	m.acc.drain(func(a, b uint32, dc int, n int32) {
+		if int(n) >= minOccur {
+			items[NewKey(syms.Label(a), syms.Label(b), Dist(dc))] = int(n)
+		}
+	})
+	return items
 }
 
-func countsAt(t *tree.Tree, g [][][]tree.NodeID, i, j int, d Dist, items ItemSet) {
-	hist := func(c, depth int) map[string]int {
-		if len(g[c]) < depth {
-			return nil
-		}
-		nodes := g[c][depth-1]
-		if len(nodes) == 0 {
-			return nil
-		}
-		h := make(map[string]int, len(nodes))
-		for _, n := range nodes {
-			h[t.MustLabel(n)]++
-		}
-		return h
+func (m *miner) initCountsScratch() {
+	if m.histI == nil {
+		m.histI = make(map[uint32]int32)
+		m.histJ = make(map[uint32]int32)
+		m.totalI = make(map[uint32]int32)
+		m.totalJ = make(map[uint32]int32)
+		m.same = make(ISet)
 	}
+}
+
+// hist fills dst with the symbol histogram of the bucket (c, depth) and
+// reports whether it is nonempty.
+func (m *miner) hist(dst map[uint32]int32, c tree.NodeID, depth int) bool {
+	clear(dst)
+	nodes := m.bucket(c, depth)
+	for _, n := range nodes {
+		dst[m.nodeSym[n]]++
+	}
+	return len(nodes) > 0
+}
+
+// countsAt aggregates, for LCA candidate a and distance d with levels
+// (i, j), the cross-child pair counts into m.acc via the totals-minus-
+// same-child identity.
+func (m *miner) countsAt(a tree.NodeID, i, j int, d Dist) {
+	kids := m.t.Children(a)
+	clear(m.totalI)
+	clear(m.totalJ)
 	// Totals across children at each depth, plus the same-child
 	// correction: pairs within one child subtree have a deeper LCA and
 	// must not be counted here.
-	totalI := map[string]int{}
-	totalJ := map[string]int{}
-	same := map[Key]int{}
-	for c := range g {
-		hi := hist(c, i)
-		if hi == nil && i == j {
+	for _, c := range kids {
+		okI := m.hist(m.histI, c, i)
+		if !okI && i == j {
 			continue
 		}
-		hj := hi
+		hi, hj := m.histI, m.histI
+		okJ := okI
 		if i != j {
-			hj = hist(c, j)
+			okJ = m.hist(m.histJ, c, j)
+			hj = m.histJ
 		}
-		for l, n := range hi {
-			totalI[l] += n
+		for s, n := range hi {
+			m.totalI[s] += n
 		}
 		if i != j {
-			for l, n := range hj {
-				totalJ[l] += n
+			for s, n := range hj {
+				m.totalJ[s] += n
 			}
 		}
-		if hi == nil || hj == nil {
+		if !okI || !okJ {
 			continue
 		}
-		for l1, n1 := range hi {
-			for l2, n2 := range hj {
+		for s1, n1 := range hi {
+			for s2, n2 := range hj {
 				if i == j {
-					// Count each unordered same-child label combination
+					// Count each unordered same-child symbol combination
 					// once; the cross-product below is also de-duplicated
 					// for i == j.
-					if l1 > l2 {
+					if s1 > s2 {
 						continue
 					}
 					prod := n1 * n2
-					if l1 == l2 {
+					if s1 == s2 {
 						prod = n1 * (n1 - 1) / 2
 					}
-					same[NewKey(l1, l2, d)] += prod
+					m.same[NewIKey(s1, s2, d)] += prod
 				} else {
-					same[NewKey(l1, l2, d)] += n1 * n2
+					m.same[NewIKey(s1, s2, d)] += n1 * n2
 				}
 			}
 		}
 	}
+	totalI, totalJ := m.totalI, m.totalJ
 	if i == j {
 		totalJ = totalI
 	}
-	for l1, n1 := range totalI {
-		for l2, n2 := range totalJ {
-			if i == j && l1 > l2 {
+	dc := int(d)
+	for s1, n1 := range totalI {
+		for s2, n2 := range totalJ {
+			if i == j && s1 > s2 {
 				continue
 			}
-			var cross int
-			if i == j && l1 == l2 {
+			var cross int32
+			if i == j && s1 == s2 {
 				cross = n1 * (n1 - 1) / 2
 			} else {
 				cross = n1 * n2
 			}
-			k := NewKey(l1, l2, d)
+			k := NewIKey(s1, s2, d)
 			// The same-child correction is keyed unordered and holds
 			// both label orientations; consume it exactly once (the
 			// second orientation's iteration then subtracts nothing).
-			if delta := cross - same[k]; delta != 0 {
-				items[k] += delta
+			if delta := cross - m.same[k]; delta != 0 {
+				m.acc.add(s1, s2, dc, delta)
 			}
-			delete(same, k)
+			delete(m.same, k)
 		}
 	}
+}
+
+// growU32 returns s resized to n, reusing capacity.
+func growU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}
+
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growNodeID(s []tree.NodeID, n int) []tree.NodeID {
+	if cap(s) < n {
+		return make([]tree.NodeID, n)
+	}
+	return s[:n]
 }

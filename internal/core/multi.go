@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"treemine/internal/tree"
 )
 
@@ -39,7 +37,98 @@ type FrequentPair struct {
 // decreasing support, then by key, so the strongest patterns come first.
 // Its running time is O(Σ|Ti|²), linear in the number of trees for
 // bounded tree size — the paper's Figures 6 and 7.
+//
+// One symbol table is interned over the whole forest in a read-only
+// pass; every per-tree pass and the support accumulation then run on
+// integer keys in reused buffers, so the cost per tree after the first
+// is pair generation plus O(distinct items) — no string hashing and
+// near-zero allocation. Labels come back as strings only in the result.
 func MineForest(trees []*tree.Tree, opts ForestOptions) []FrequentPair {
+	if !packable(opts.MaxDist) {
+		return mineForestGeneric(trees, opts)
+	}
+	syms := NewSymbols()
+	for _, t := range trees {
+		syms.InternTree(t)
+	}
+	var sup accum
+	sup.init(syms.Len(), supportSlots(opts))
+	m := minerPool.Get().(*miner)
+	defer m.release()
+	for _, t := range trees {
+		m.reset(t, opts.Options, syms)
+		mineTreeSupport(m, opts, &sup)
+	}
+	return drainSupport(&sup, syms, opts)
+}
+
+// supportSlots returns the number of distance slots support accumulation
+// needs: one per concrete distance, or a single wildcard slot under
+// IgnoreDist.
+func supportSlots(opts ForestOptions) int {
+	if opts.MaxDist < 0 {
+		return 0
+	}
+	if opts.IgnoreDist {
+		return 1
+	}
+	return int(opts.MaxDist) + 1
+}
+
+// mineTreeSupport mines the tree the miner is pointed at and folds its
+// qualifying items into sup: +1 per item the tree contains with
+// occurrence ≥ MinOccur, de-duplicated per label pair under IgnoreDist.
+func mineTreeSupport(m *miner, opts ForestOptions, sup *accum) {
+	if m.maxJ == 0 {
+		return
+	}
+	m.acc.init(m.syms.Len(), m.nd)
+	m.accumulate(&m.acc)
+	minOccur := opts.MinOccur
+	if opts.IgnoreDist {
+		// Collapse the tree's distances first so each label pair counts
+		// one support regardless of how many distances realize it.
+		m.wild.init(m.syms.Len(), 1)
+		wild := &m.wild
+		m.acc.drain(func(a, b uint32, dc int, n int32) {
+			if int(n) >= minOccur {
+				wild.add(a, b, 0, 1)
+			}
+		})
+		wild.drain(func(a, b uint32, dc int, n int32) {
+			sup.add(a, b, 0, 1)
+		})
+		return
+	}
+	m.acc.drain(func(a, b uint32, dc int, n int32) {
+		if int(n) >= minOccur {
+			sup.add(a, b, dc, 1)
+		}
+	})
+}
+
+// drainSupport converts accumulated support counts into the sorted
+// public result.
+func drainSupport(sup *accum, syms *Symbols, opts ForestOptions) []FrequentPair {
+	var out []FrequentPair
+	sup.drain(func(a, b uint32, dc int, n int32) {
+		if int(n) < opts.MinSup {
+			return
+		}
+		d := Dist(dc)
+		if opts.IgnoreDist {
+			d = DistWild
+		}
+		out = append(out, FrequentPair{Key: NewKey(syms.Label(a), syms.Label(b), d), Support: int(n)})
+	})
+	SortFrequentPairs(out)
+	return out
+}
+
+// mineForestGeneric is the string-keyed fallback (and the reference
+// implementation the interned path is property-tested against): mine
+// each tree to an ItemSet and count support in one map.
+func mineForestGeneric(trees []*tree.Tree, opts ForestOptions) []FrequentPair {
 	support := make(map[Key]int)
 	for _, t := range trees {
 		items := Mine(t, opts.Options)
@@ -56,34 +145,35 @@ func MineForest(trees []*tree.Tree, opts ForestOptions) []FrequentPair {
 			out = append(out, FrequentPair{Key: k, Support: s})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Support != out[j].Support {
-			return out[i].Support > out[j].Support
-		}
-		a, b := out[i].Key, out[j].Key
-		if a.A != b.A {
-			return a.A < b.A
-		}
-		if a.B != b.B {
-			return a.B < b.B
-		}
-		return a.D < b.D
-	})
+	SortFrequentPairs(out)
 	return out
 }
 
 // Support returns the support of a specific label pair at distance d
 // (or any distance if d is DistWild) across the forest, using the
-// per-tree options.
+// per-tree options. For several probes over the same forest, mine once
+// and use SupportOf instead.
 func Support(trees []*tree.Tree, l1, l2 string, d Dist, opts Options) int {
+	sets := make([]ItemSet, len(trees))
+	for i, t := range trees {
+		sets[i] = Mine(t, opts)
+	}
+	return SupportOf(sets, l1, l2, d)
+}
+
+// SupportOf counts the pre-mined item sets containing the label pair at
+// distance d; DistWild counts sets containing the pair at any concrete
+// distance. It does the per-probe work of Support without re-mining, so
+// callers probing several pairs over one forest mine each tree once.
+func SupportOf(sets []ItemSet, l1, l2 string, d Dist) int {
 	k := NewKey(l1, l2, d)
 	n := 0
-	for _, t := range trees {
-		items := Mine(t, opts)
+	for _, s := range sets {
 		if d.IsWild() {
-			items = items.IgnoreDist()
-		}
-		if _, ok := items[k]; ok {
+			if _, ok := s.MinDistOf(l1, l2); ok {
+				n++
+			}
+		} else if _, ok := s[k]; ok {
 			n++
 		}
 	}

@@ -26,6 +26,43 @@ func NewKey(l1, l2 string, d Dist) Key {
 // String formats the key like the paper's quadruples, e.g. "(a, c, 0.5)".
 func (k Key) String() string { return fmt.Sprintf("(%s, %s, %s)", k.A, k.B, k.D) }
 
+// CompareKeys orders keys lexicographically by (A, B, D) — the one key
+// ordering every sorted output in this package and its callers shares. It
+// returns -1, 0, or +1 in the manner of strings.Compare.
+func CompareKeys(a, b Key) int {
+	if a.A != b.A {
+		if a.A < b.A {
+			return -1
+		}
+		return 1
+	}
+	if a.B != b.B {
+		if a.B < b.B {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.D < b.D:
+		return -1
+	case a.D > b.D:
+		return 1
+	}
+	return 0
+}
+
+// SortFrequentPairs sorts by decreasing support, ties broken by key
+// order — the output order of MineForest, MineForestParallel, and the
+// persisted index's Frequent.
+func SortFrequentPairs(pairs []FrequentPair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Support != pairs[j].Support {
+			return pairs[i].Support > pairs[j].Support
+		}
+		return CompareKeys(pairs[i].Key, pairs[j].Key) < 0
+	})
+}
+
 // ItemSet is the multiset of cousin pair items of one tree: each key maps
 // to its number of occurrences (distinct node pairs realizing it). An
 // ItemSet corresponds to the paper's cpi(T).
@@ -39,14 +76,7 @@ func (s ItemSet) Items() []Item {
 		out = append(out, Item{Key: k, Occur: n})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Key, out[j].Key
-		if a.A != b.A {
-			return a.A < b.A
-		}
-		if a.B != b.B {
-			return a.B < b.B
-		}
-		return a.D < b.D
+		return CompareKeys(out[i].Key, out[j].Key) < 0
 	})
 	return out
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 
 	"treemine/internal/tree"
@@ -11,9 +10,12 @@ import (
 // MineForestParallel is MineForest with per-tree mining fanned out over
 // a worker pool. Mining is embarrassingly parallel across trees — each
 // tree's item set is independent — so support counting is the only
-// synchronization point; workers merge into shard maps keyed by label
-// hash and the shards are combined at the end. The result is identical
-// to MineForest's (deterministic, sorted), only faster on large forests.
+// synchronization point. One symbol table is built in a single read-only
+// pass up front and then shared lock-free by the workers (they only look
+// labels up, never intern); each worker mines its strided slice of the
+// forest through a pooled arena into a private support accumulator, and
+// the privates are merged at the end. The result is identical to
+// MineForest's (deterministic, sorted), only faster on large forests.
 //
 // workers ≤ 0 selects GOMAXPROCS.
 func MineForestParallel(trees []*tree.Tree, opts ForestOptions, workers int) []FrequentPair {
@@ -26,10 +28,48 @@ func MineForestParallel(trees []*tree.Tree, opts ForestOptions, workers int) []F
 	if workers <= 1 {
 		return MineForest(trees, opts)
 	}
+	if !packable(opts.MaxDist) {
+		return mineForestParallelGeneric(trees, opts, workers)
+	}
 
-	// Each worker accumulates private support counts over a strided
-	// slice of the forest; privates are merged afterwards. This avoids
-	// both a global lock and per-key sharding overhead.
+	syms := NewSymbols()
+	for _, t := range trees {
+		syms.InternTree(t)
+	}
+	slots := supportSlots(opts)
+	privates := make([]accum, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sup := &privates[w]
+			sup.init(syms.Len(), slots)
+			m := minerPool.Get().(*miner)
+			defer m.release()
+			for i := w; i < len(trees); i += workers {
+				m.reset(trees[i], opts.Options, syms)
+				mineTreeSupport(m, opts, sup)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Merge the worker-private accumulators; wg.Wait orders their writes
+	// before these reads.
+	sup := &privates[0]
+	for w := 1; w < workers; w++ {
+		privates[w].drain(func(a, b uint32, dc int, n int32) {
+			sup.add(a, b, dc, n)
+		})
+	}
+	return drainSupport(sup, syms, opts)
+}
+
+// mineForestParallelGeneric mirrors mineForestGeneric for option sets
+// the packed keys cannot represent: workers accumulate private
+// string-keyed support maps which are merged afterwards.
+func mineForestParallelGeneric(trees []*tree.Tree, opts ForestOptions, workers int) []FrequentPair {
 	privates := make([]map[Key]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -63,18 +103,6 @@ func MineForestParallel(trees []*tree.Tree, opts ForestOptions, workers int) []F
 			out = append(out, FrequentPair{Key: k, Support: s})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Support != out[j].Support {
-			return out[i].Support > out[j].Support
-		}
-		a, b := out[i].Key, out[j].Key
-		if a.A != b.A {
-			return a.A < b.A
-		}
-		if a.B != b.B {
-			return a.B < b.B
-		}
-		return a.D < b.D
-	})
+	SortFrequentPairs(out)
 	return out
 }

@@ -18,6 +18,12 @@ import (
 // paper's worked example uses each pair once; the minimum is the closest
 // kinship the tree asserts for the pair).
 func Sim(c, t *tree.Tree, opts Options) float64 {
+	if packable(opts.MaxDist) {
+		syms := NewSymbols()
+		syms.InternTree(c)
+		syms.InternTree(t)
+		return simISets(MineISet(c, opts, syms), MineISet(t, opts, syms))
+	}
 	ci := Mine(c, opts)
 	ti := Mine(t, opts)
 	return SimItems(ci, ti)
@@ -67,6 +73,50 @@ func minDistIndex(s ItemSet) map[[2]string]Dist {
 	return out
 }
 
+// simISets is SimItems on interned item sets sharing one symbol table:
+// the per-pair minimum distances and the matching run on packed keys, so
+// scoring allocates only the index maps and the term slice.
+func simISets(ci, ti ISet) float64 {
+	cMin := minDistISet(ci)
+	tMin := minDistISet(ti)
+	var terms []float64
+	for pair, dc := range cMin {
+		dt, ok := tMin[pair]
+		if !ok {
+			continue
+		}
+		diff := (dc - dt).Float()
+		if diff < 0 {
+			diff = -diff
+		}
+		terms = append(terms, 1/(1+diff))
+	}
+	sort.Float64s(terms)
+	sum := 0.0
+	for _, v := range terms {
+		sum += v
+	}
+	return sum
+}
+
+// minDistISet maps each symbol pair of s (keyed with the wildcard
+// distance) to its smallest concrete cousin distance.
+func minDistISet(s ISet) map[IKey]Dist {
+	out := make(map[IKey]Dist, len(s))
+	for k := range s {
+		kd := k.Dist()
+		if kd.IsWild() {
+			continue
+		}
+		a, b := k.Syms()
+		p := NewIKey(a, b, DistWild)
+		if d, ok := out[p]; !ok || kd < d {
+			out[p] = kd
+		}
+	}
+	return out
+}
+
 // AvgSim is the paper's average similarity score σ̄(C, S) of a consensus
 // tree C with respect to the set S of source trees it was derived from
 // (Eq. 5): the mean of σ(C, T) over T ∈ S. Higher is better; the paper
@@ -75,6 +125,19 @@ func minDistIndex(s ItemSet) map[[2]string]Dist {
 func AvgSim(c *tree.Tree, set []*tree.Tree, opts Options) float64 {
 	if len(set) == 0 {
 		return 0
+	}
+	if packable(opts.MaxDist) {
+		syms := NewSymbols()
+		syms.InternTree(c)
+		for _, t := range set {
+			syms.InternTree(t)
+		}
+		ci := MineISet(c, opts, syms)
+		sum := 0.0
+		for _, t := range set {
+			sum += simISets(ci, MineISet(t, opts, syms))
+		}
+		return sum / float64(len(set))
 	}
 	ci := Mine(c, opts)
 	sum := 0.0

@@ -70,6 +70,14 @@ func (v Variant) view(s ItemSet) ItemSet {
 // work. Two trees with empty item sets (e.g. single nodes) are at
 // distance 0.
 func TDist(t1, t2 *tree.Tree, v Variant, opts Options) float64 {
+	if packable(opts.MaxDist) {
+		// Intern both trees into one table so the whole computation —
+		// mining, projection, ∩/∪ — runs on integer keys.
+		syms := NewSymbols()
+		syms.InternTree(t1)
+		syms.InternTree(t2)
+		return TDistISets(MineISet(t1, opts, syms), MineISet(t2, opts, syms), v)
+	}
 	return TDistItems(Mine(t1, opts), Mine(t2, opts), v)
 }
 
@@ -77,10 +85,41 @@ func TDist(t1, t2 *tree.Tree, v Variant, opts Options) float64 {
 // when computing many pairwise distances over the same trees.
 func TDistItems(s1, s2 ItemSet, v Variant) float64 {
 	a, b := v.view(s1), v.view(s2)
-	union := a.Union(b).Total()
+	// Σ min over shared keys gives |∩|; |∪| follows from
+	// min(x,y) + max(x,y) = x + y without materializing either multiset.
+	inter := 0
+	for k, n := range a {
+		if m, ok := b[k]; ok {
+			if m < n {
+				n = m
+			}
+			inter += n
+		}
+	}
+	union := a.Total() + b.Total() - inter
 	if union == 0 {
 		return 0
 	}
-	inter := a.Intersect(b).Total()
+	return 1 - float64(inter)/float64(union)
+}
+
+// TDistISets is TDistItems over interned item sets (both projected from
+// the same Symbols table): the pairwise-distance hot path of the kernel
+// search runs here, on packed integer keys.
+func TDistISets(s1, s2 ISet, v Variant) float64 {
+	a, b := s1.view(v), s2.view(v)
+	var inter int64
+	for k, n := range a {
+		if m, ok := b[k]; ok {
+			if m < n {
+				n = m
+			}
+			inter += int64(n)
+		}
+	}
+	union := a.Total() + b.Total() - inter
+	if union == 0 {
+		return 0
+	}
 	return 1 - float64(inter)/float64(union)
 }

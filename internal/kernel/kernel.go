@@ -73,12 +73,37 @@ func Find(groups [][]*tree.Tree, cfg Config) (*Result, error) {
 			return nil, ErrEmptyGroup
 		}
 	}
-	// Pre-mine every tree.
-	items := make([][]core.ItemSet, s)
-	for gi, g := range groups {
-		items[gi] = make([]core.ItemSet, len(g))
-		for ti, t := range g {
-			items[gi][ti] = core.Mine(t, cfg.Options)
+	// Pre-mine every tree, on packed integer keys over one shared symbol
+	// table when the options allow it: the O(s²)-per-candidate pairwise
+	// distance loop then never hashes a string.
+	var rawDist func(gi, ti, gj, tj int) float64
+	if cfg.Options.MaxDist <= core.MaxPackedDist {
+		syms := core.NewSymbols()
+		for _, g := range groups {
+			for _, t := range g {
+				syms.InternTree(t)
+			}
+		}
+		isets := make([][]core.ISet, s)
+		for gi, g := range groups {
+			isets[gi] = make([]core.ISet, len(g))
+			for ti, t := range g {
+				isets[gi][ti] = core.MineISet(t, cfg.Options, syms)
+			}
+		}
+		rawDist = func(gi, ti, gj, tj int) float64 {
+			return core.TDistISets(isets[gi][ti], isets[gj][tj], cfg.Variant)
+		}
+	} else {
+		items := make([][]core.ItemSet, s)
+		for gi, g := range groups {
+			items[gi] = make([]core.ItemSet, len(g))
+			for ti, t := range g {
+				items[gi][ti] = core.Mine(t, cfg.Options)
+			}
+		}
+		rawDist = func(gi, ti, gj, tj int) float64 {
+			return core.TDistItems(items[gi][ti], items[gj][tj], cfg.Variant)
 		}
 	}
 	// dist returns the distance between tree ti of group gi and tree tj
@@ -93,7 +118,7 @@ func Find(groups [][]*tree.Tree, cfg Config) (*Result, error) {
 		if d, ok := memo[k]; ok {
 			return d
 		}
-		d := core.TDistItems(items[gi][ti], items[gj][tj], cfg.Variant)
+		d := rawDist(gi, ti, gj, tj)
 		memo[k] = d
 		return d
 	}

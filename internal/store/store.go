@@ -15,16 +15,21 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 
 	"treemine/internal/core"
 	"treemine/internal/tree"
 )
 
-// magic identifies index files; the trailing digit is the format
-// version.
-const magic = "TREEMINEIDX1"
+// Magic strings identifying index files; the trailing digit is the
+// format version. Version 2 stores one file-global symbol table and
+// integer-coded items (labels appear once in the file no matter how many
+// items share them); version 1 stored string-keyed item maps. Save
+// writes v2; Load reads both.
+const (
+	magicV1 = "TREEMINEIDX1"
+	magicV2 = "TREEMINEIDX2"
+)
 
 // Errors reported by Load.
 var (
@@ -53,6 +58,9 @@ type Index struct {
 
 	supportOnce sync.Once
 	support     map[core.Key]int // lazily built aggregate
+
+	setsOnce sync.Once
+	sets     []core.ItemSet // per-entry item sets, for SupportOf probes
 }
 
 // Build mines every tree and assembles the index. names may be nil (trees
@@ -93,6 +101,19 @@ func (ix *Index) supportTable() map[core.Key]int {
 	return ix.support
 }
 
+// ItemSets returns the per-tree item sets in index order (built once,
+// concurrency-safe). Pass the result to core.SupportOf to probe many
+// pairs without re-walking the entries.
+func (ix *Index) ItemSets() []core.ItemSet {
+	ix.setsOnce.Do(func() {
+		ix.sets = make([]core.ItemSet, len(ix.Entries))
+		for i, e := range ix.Entries {
+			ix.sets[i] = e.Items
+		}
+	})
+	return ix.sets
+}
+
 // Support returns the number of indexed trees containing the label pair
 // at distance d; DistWild counts trees containing the pair at any
 // distance.
@@ -100,13 +121,7 @@ func (ix *Index) Support(l1, l2 string, d core.Dist) int {
 	if !d.IsWild() {
 		return ix.supportTable()[core.NewKey(l1, l2, d)]
 	}
-	n := 0
-	for _, e := range ix.Entries {
-		if _, ok := e.Items.IgnoreDist()[core.NewKey(l1, l2, core.DistWild)]; ok {
-			n++
-		}
-	}
-	return n
+	return core.SupportOf(ix.ItemSets(), l1, l2, d)
 }
 
 // Frequent returns the pairs with support ≥ minSup, sorted like
@@ -118,19 +133,7 @@ func (ix *Index) Frequent(minSup int) []core.FrequentPair {
 			out = append(out, core.FrequentPair{Key: k, Support: s})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Support != out[j].Support {
-			return out[i].Support > out[j].Support
-		}
-		a, b := out[i].Key, out[j].Key
-		if a.A != b.A {
-			return a.A < b.A
-		}
-		if a.B != b.B {
-			return a.B < b.B
-		}
-		return a.D < b.D
-	})
+	core.SortFrequentPairs(out)
 	return out
 }
 
@@ -146,37 +149,104 @@ func (ix *Index) TreesWith(k core.Key) []int {
 	return out
 }
 
-// savedIndex is the gob payload; the transient support table stays out.
-type savedIndex struct {
+// savedIndexV1 is the version-1 gob payload: per-tree string-keyed item
+// maps. Kept for backward-compatible reads (and to author fixtures in
+// tests); Save no longer writes it.
+type savedIndexV1 struct {
 	Options core.Options
 	Entries []TreeEntry
 }
 
-// Save writes the index: magic header, then a gob stream.
+// savedItem is one cousin pair item coded against the file's symbol
+// table: two symbol IDs (order irrelevant; keys re-canonicalize on
+// load), a distance, and the occurrence count.
+type savedItem struct {
+	A, B uint32
+	D    core.Dist
+	N    int
+}
+
+// savedTreeV2 is one tree's mining result in the version-2 payload.
+type savedTreeV2 struct {
+	Name  string
+	Nodes int
+	Items []savedItem
+}
+
+// savedIndexV2 is the version-2 gob payload: one symbol table for the
+// whole file (Labels[id] is the label of symbol id) and integer-coded
+// items, so each label is stored once no matter how many trees and items
+// share it.
+type savedIndexV2 struct {
+	Options core.Options
+	Labels  []string
+	Trees   []savedTreeV2
+}
+
+// Save writes the index: magic header, then a gob stream of the
+// version-2 interned payload.
 func (ix *Index) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(magic); err != nil {
+	if _, err := bw.WriteString(magicV2); err != nil {
 		return fmt.Errorf("store: write header: %w", err)
 	}
-	if err := gob.NewEncoder(bw).Encode(savedIndex{Options: ix.Options, Entries: ix.Entries}); err != nil {
+	syms := core.NewSymbols()
+	saved := savedIndexV2{Options: ix.Options, Trees: make([]savedTreeV2, len(ix.Entries))}
+	for i, e := range ix.Entries {
+		st := savedTreeV2{Name: e.Name, Nodes: e.Nodes, Items: make([]savedItem, 0, len(e.Items))}
+		for k, n := range e.Items {
+			st.Items = append(st.Items, savedItem{
+				A: syms.Intern(k.A),
+				B: syms.Intern(k.B),
+				D: k.D,
+				N: n,
+			})
+		}
+		saved.Trees[i] = st
+	}
+	saved.Labels = make([]string, syms.Len())
+	for id := range saved.Labels {
+		saved.Labels[id] = syms.Label(uint32(id))
+	}
+	if err := gob.NewEncoder(bw).Encode(saved); err != nil {
 		return fmt.Errorf("store: encode: %w", err)
 	}
 	return bw.Flush()
 }
 
-// Load reads an index written by Save.
+// Load reads an index written by Save, accepting both the current
+// version-2 format and the original version-1 format.
 func Load(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
-	head := make([]byte, len(magic))
+	head := make([]byte, len(magicV2))
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
 	}
-	if string(head) != magic {
+	switch string(head) {
+	case magicV2:
+		var saved savedIndexV2
+		if err := gob.NewDecoder(br).Decode(&saved); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		ix := &Index{Options: saved.Options, Entries: make([]TreeEntry, len(saved.Trees))}
+		for i, st := range saved.Trees {
+			items := make(core.ItemSet, len(st.Items))
+			for _, it := range st.Items {
+				if int(it.A) >= len(saved.Labels) || int(it.B) >= len(saved.Labels) {
+					return nil, fmt.Errorf("%w: symbol id out of range", ErrCorrupt)
+				}
+				items[core.NewKey(saved.Labels[it.A], saved.Labels[it.B], it.D)] = it.N
+			}
+			ix.Entries[i] = TreeEntry{Name: st.Name, Nodes: st.Nodes, Items: items}
+		}
+		return ix, nil
+	case magicV1:
+		var saved savedIndexV1
+		if err := gob.NewDecoder(br).Decode(&saved); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		return &Index{Options: saved.Options, Entries: saved.Entries}, nil
+	default:
 		return nil, ErrBadMagic
 	}
-	var saved savedIndex
-	if err := gob.NewDecoder(br).Decode(&saved); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	return &Index{Options: saved.Options, Entries: saved.Entries}, nil
 }

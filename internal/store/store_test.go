@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"encoding/gob"
 	"errors"
 	"math/rand"
 	"reflect"
@@ -114,6 +115,79 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestLoadV1Fixture(t *testing.T) {
+	// Author a version-1 file the way the old Save did — magicV1 header
+	// followed by a gob of the string-keyed payload — and check the
+	// current Load reads it into an index equivalent to a fresh Build.
+	forest := fixtureForest(7, 12)
+	opts := core.DefaultOptions()
+	ix, err := Build(forest, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(magicV1)
+	if err := gob.NewEncoder(&buf).Encode(savedIndexV1{Options: ix.Options, Entries: ix.Entries}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load of v1 fixture: %v", err)
+	}
+	if back.Options != ix.Options {
+		t.Fatalf("options = %+v, want %+v", back.Options, ix.Options)
+	}
+	if !reflect.DeepEqual(back.Entries, ix.Entries) {
+		t.Fatal("entries differ after v1 read")
+	}
+	if !reflect.DeepEqual(back.Frequent(2), ix.Frequent(2)) {
+		t.Fatal("frequent pairs differ after v1 read")
+	}
+}
+
+func TestLoadV2RejectsBadSymbolID(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(magicV2)
+	payload := savedIndexV2{
+		Options: core.DefaultOptions(),
+		Labels:  []string{"a"},
+		Trees: []savedTreeV2{{
+			Name:  "t",
+			Nodes: 2,
+			Items: []savedItem{{A: 0, B: 7, D: core.D(0), N: 1}}, // B out of range
+		}},
+	}
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("out-of-range symbol err = %v", err)
+	}
+}
+
+func TestSaveSharesLabelsAcrossTrees(t *testing.T) {
+	// The v2 payload stores each label once for the whole file; with many
+	// trees over one small taxon set it must be smaller than a v1 payload
+	// of the same index.
+	forest := fixtureForest(8, 40)
+	ix, err := Build(forest, nil, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := ix.Save(&v2); err != nil {
+		t.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	v1.WriteString(magicV1)
+	if err := gob.NewEncoder(&v1).Encode(savedIndexV1{Options: ix.Options, Entries: ix.Entries}); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() >= v1.Len() {
+		t.Fatalf("v2 file (%d bytes) not smaller than v1 (%d bytes)", v2.Len(), v1.Len())
+	}
+}
+
 func TestConcurrentQueries(t *testing.T) {
 	// Queries after Load must be safe from multiple goroutines; run with
 	// -race to catch regressions in the lazy support table.
@@ -153,7 +227,7 @@ func TestLoadErrors(t *testing.T) {
 		t.Errorf("bad magic err = %v", err)
 	}
 	// Valid magic, garbage payload.
-	if _, err := Load(bytes.NewReader(append([]byte(magic), 0xde, 0xad))); !errors.Is(err, ErrCorrupt) {
+	if _, err := Load(bytes.NewReader(append([]byte(magicV2), 0xde, 0xad))); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("corrupt err = %v", err)
 	}
 	// Truncated valid file.
