@@ -1,12 +1,16 @@
 # Standard checks for the treemine repo. `make check` is the tier-1
 # gate (vet + build + full tests); `make race` re-runs the concurrent
-# miners under the race detector; `make bench` regenerates the paper
-# figure benchmarks with allocation counts (see BENCH_1.json for the
-# recorded baseline).
+# miners — parallel forest mining, shard merging, the streaming
+# pipeline — under the race detector (the CI gate runs `make check
+# race`); `make fuzz` gives each fuzz target a 30-second budget beyond
+# its checked-in seed corpus; `make bench` regenerates the paper figure
+# benchmarks with allocation counts (see BENCH_1.json and BENCH_2.json
+# for the recorded baselines).
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race fuzz bench
 
 check: vet build test
 
@@ -20,7 +24,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core -run 'Parallel|Forest'
+	$(GO) test -race ./internal/core -run 'Parallel|Forest|Shard|Stream|Differential'
+
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) -run '^$$' ./internal/newick
+	$(GO) test -fuzz=FuzzScanner -fuzztime=$(FUZZTIME) -run '^$$' ./internal/newick
+	$(GO) test -fuzz=FuzzStoreRead -fuzztime=$(FUZZTIME) -run '^$$' ./internal/store
 
 bench:
 	$(GO) test . -run xxx -bench 'Fig4|Fig5|Fig6MultiTree|Fig7|MineInterned' -benchmem -benchtime=2x

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	benchpaper -exp table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|all [flags]
+//	benchpaper -exp table1|fig4|fig5|fig6|fig6stream|fig7|fig8|fig9|fig10|all [flags]
 //
 // The -full flag runs the experiments at the paper's published scale
 // (e.g. one million trees for Figure 6); the default scale finishes in
@@ -53,6 +53,7 @@ func experiments() []experiment {
 		{"fig4", "Single_Tree_Mining time vs fanout", runFig4},
 		{"fig5", "Single_Tree_Mining time vs tree size for several maxdist", runFig5},
 		{"fig6", "Multiple_Tree_Mining time vs number of synthetic trees", runFig6},
+		{"fig6stream", "streamed Multiple_Tree_Mining at 10× the Figure 6 scale", runFig6Stream},
 		{"fig7", "Multiple_Tree_Mining time vs number of phylogenies", runFig7},
 		{"fig8", "co-occurring patterns in the seed-plant phylogenies", runFig8},
 		{"fig9", "consensus-method quality by average similarity score", runFig9},

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
+
+	"treemine"
 )
 
 // The experiment runners are exercised at reduced scale; the full sweeps
@@ -113,6 +116,31 @@ func TestMeasures(t *testing.T) {
 	}
 }
 
+// TestPoolIteratorMatchesForest: the streamed Figure 6 sweep must feed
+// the miner the exact tree sequence the materialized sweep builds.
+func TestPoolIteratorMatchesForest(t *testing.T) {
+	pool := make([]*treemine.Tree, 5)
+	for i := range pool {
+		b := treemine.NewBuilder()
+		r := b.Root("r")
+		b.Child(r, string(rune('a'+i)))
+		pool[i] = b.MustBuild()
+	}
+	it := &poolIterator{pool: pool, n: 12}
+	for i := 0; i < 12; i++ {
+		tr, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr != pool[i%len(pool)] {
+			t.Fatalf("tree %d: iterator diverges from pool cycling", i)
+		}
+	}
+	if _, err := it.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
 func TestCSVOutput(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-exp", "table1", "-csv"}, &out); err != nil {
@@ -141,7 +169,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 			t.Fatalf("experiment %s incomplete", e.name)
 		}
 	}
-	for _, want := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} {
+	for _, want := range []string{"table1", "fig4", "fig5", "fig6", "fig6stream", "fig7", "fig8", "fig9", "fig10"} {
 		if !names[want] {
 			t.Fatalf("experiment %s missing from registry", want)
 		}

@@ -5,7 +5,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"reflect"
 
 	"treemine"
 	"treemine/internal/benchutil"
@@ -136,6 +138,67 @@ func runFig6(cfg config) error {
 			fp = treemine.MineForest(forest, opts)
 		})
 		tb.AddRow(n, d, len(fp))
+	}
+	if err := cfg.emit(tb); err != nil {
+		return err
+	}
+	return nil
+}
+
+// poolIterator cycles n trees out of a fixed pool — the streamed
+// counterpart of Figure 6's forest construction, yielding the identical
+// tree sequence without building the forest slice.
+type poolIterator struct {
+	pool []*treemine.Tree
+	n, i int
+}
+
+func (it *poolIterator) Next() (*treemine.Tree, error) {
+	if it.i >= it.n {
+		return nil, io.EOF
+	}
+	t := it.pool[it.i%len(it.pool)]
+	it.i++
+	return t, nil
+}
+
+// runFig6Stream extends Figure 6 to 10× its default scale through the
+// streaming pipeline: the same synthetic trees flow through
+// MineForestStream in bounded batches instead of a materialized forest.
+// The table reports streamed and batch mining time side by side and
+// verifies the streamed output matches MineForest exactly at every
+// point — the paper's linear trend should hold through the 10× sweep.
+func runFig6Stream(cfg config) error {
+	maxTrees := 100_000 // 10× the Figure 6 default
+	if cfg.full {
+		maxTrees = 1_000_000
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	p := treegen.DefaultParams()
+	pool := make([]*treemine.Tree, 2000)
+	for i := range pool {
+		pool[i] = treegen.Fanout(rng, p)
+	}
+	opts := treemine.DefaultForestOptions()
+	tb := benchutil.NewTable("trees", "stream time", "batch time", "frequent pairs", "match")
+	for _, n := range benchutil.Sweep(5, maxTrees/5, maxTrees) {
+		var streamFP []treemine.FrequentPair
+		var streamErr error
+		ds := benchutil.Time(func() {
+			streamFP, streamErr = treemine.MineForestStream(&poolIterator{pool: pool, n: n}, opts, 0)
+		})
+		if streamErr != nil {
+			return streamErr
+		}
+		forest := make([]*treemine.Tree, n)
+		for i := range forest {
+			forest[i] = pool[i%len(pool)]
+		}
+		var batchFP []treemine.FrequentPair
+		db := benchutil.Time(func() {
+			batchFP = treemine.MineForest(forest, opts)
+		})
+		tb.AddRow(n, ds, db, len(streamFP), reflect.DeepEqual(streamFP, batchFP))
 	}
 	if err := cfg.emit(tb); err != nil {
 		return err

@@ -17,6 +17,14 @@
 // Flags mirror the paper's parameters: -maxdist (default 1.5), -minoccur
 // (default 1), -minsup (default 2, multi mode), -ignoredist (wildcard the
 // distance when counting support).
+//
+// Streaming (multi mode): -stream mines the inputs without materializing
+// the forest, so corpora larger than memory work; -shards sets the
+// worker count (0 = all CPUs); -checkpoint FILE persists the partial
+// support shard to FILE (atomically, every -checkpoint-every trees) and
+// resumes from it when the file already exists, skipping the trees it
+// has already folded in. The output is byte-identical to the
+// non-streamed run.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"treemine"
 	"treemine/internal/benchutil"
 	"treemine/internal/phyloio"
+	"treemine/internal/store"
 )
 
 func main() {
@@ -47,6 +56,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	minSup := fs.Int("minsup", 2, "minimum cross-tree support (multi mode)")
 	ignoreDist := fs.Bool("ignoredist", false, "count support ignoring cousin distance (multi mode)")
 	format := fs.String("format", "table", "output format: table or json")
+	stream := fs.Bool("stream", false, "mine without materializing the forest (multi mode)")
+	shards := fs.Int("shards", 0, "streaming worker count; 0 uses all CPUs")
+	checkpoint := fs.String("checkpoint", "", "shard checkpoint file: written during -stream runs, resumed from when present")
+	ckptEvery := fs.Int("checkpoint-every", 500, "trees mined between checkpoint writes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +75,25 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("-maxdist must be a concrete distance, not %q", *maxDist)
 	}
 	opts := treemine.Options{MaxDist: d, MinOccur: *minOccur}
+
+	if *stream {
+		if *mode != "multi" {
+			return fmt.Errorf("-stream requires -mode multi")
+		}
+		fopts := treemine.ForestOptions{
+			Options:    opts,
+			MinSup:     *minSup,
+			IgnoreDist: *ignoreDist,
+		}
+		fp, nTrees, err := mineStream(fs.Args(), stdin, fopts, *shards, *checkpoint, *ckptEvery)
+		if err != nil {
+			return err
+		}
+		if nTrees == 0 {
+			return fmt.Errorf("no input trees")
+		}
+		return emitMulti(stdout, *format, fp, nTrees)
+	}
 
 	trees, err := phyloio.ReadTrees(fs.Args(), stdin)
 	if err != nil {
@@ -103,19 +135,78 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			IgnoreDist: *ignoreDist,
 		}
 		fp := treemine.MineForest(trees, fopts)
-		if *format == "json" {
-			return writeJSON(stdout, fp)
-		}
-		tb := benchutil.NewTable("label1", "label2", "dist", "support")
-		for _, p := range fp {
-			tb.AddRow(p.Key.A, p.Key.B, p.Key.D.String(), p.Support)
-		}
-		tb.Fprint(stdout)
-		fmt.Fprintf(stdout, "\n%d frequent pairs across %d trees\n", len(fp), len(trees))
+		return emitMulti(stdout, *format, fp, len(trees))
 	default:
 		return fmt.Errorf("unknown mode %q (want single or multi)", *mode)
 	}
 	return nil
+}
+
+// emitMulti prints multi-mode results; the streamed and materialized
+// paths share it, so their outputs are byte-identical.
+func emitMulti(stdout io.Writer, format string, fp []treemine.FrequentPair, nTrees int) error {
+	if format == "json" {
+		return writeJSON(stdout, fp)
+	}
+	tb := benchutil.NewTable("label1", "label2", "dist", "support")
+	for _, p := range fp {
+		tb.AddRow(p.Key.A, p.Key.B, p.Key.D.String(), p.Support)
+	}
+	tb.Fprint(stdout)
+	fmt.Fprintf(stdout, "\n%d frequent pairs across %d trees\n", len(fp), nTrees)
+	return nil
+}
+
+// mineStream runs the bounded-memory pipeline over the inputs,
+// optionally checkpointing the partial shard to (and resuming it from)
+// the named file.
+func mineStream(files []string, stdin io.Reader, fopts treemine.ForestOptions, shards int, checkpoint string, every int) ([]treemine.FrequentPair, int, error) {
+	cfg := treemine.StreamConfig{Workers: shards}
+	if checkpoint != "" {
+		if f, err := os.Open(checkpoint); err == nil {
+			sh, lerr := store.LoadShard(f)
+			f.Close()
+			if lerr != nil {
+				return nil, 0, fmt.Errorf("resume %s: %w", checkpoint, lerr)
+			}
+			cfg.Resume = sh
+			cfg.SkipTrees = sh.Trees()
+		} else if !os.IsNotExist(err) {
+			return nil, 0, err
+		}
+		cfg.CheckpointEvery = every
+		cfg.Checkpoint = func(sh *treemine.SupportShard) error {
+			return writeShardAtomic(checkpoint, sh)
+		}
+	}
+
+	src := phyloio.OpenTrees(files, stdin)
+	defer src.Close()
+	sh, err := treemine.MineForestStreamShard(src, fopts, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sh.Finalize(fopts.MinSup), sh.Trees(), nil
+}
+
+// writeShardAtomic persists the shard via a temp file and rename, so a
+// crash mid-write never corrupts the previous checkpoint.
+func writeShardAtomic(path string, sh *treemine.SupportShard) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := store.SaveShard(f, sh); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func writeJSON(w io.Writer, v any) error {

@@ -22,6 +22,10 @@ func MineForestParallel(trees []*tree.Tree, opts ForestOptions, workers int) []F
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// More workers than trees would leave the excess idle; clamp, and on
+	// forests of ≤ 1 tree take the serial path outright. Either way the
+	// output is identical to MineForest's — pinned by the worker-clamp
+	// regression test in parallel_test.go.
 	if workers > len(trees) {
 		workers = len(trees)
 	}

@@ -31,6 +31,31 @@ func TestMineForestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestMineForestParallelWorkerClamp is the regression test for the
+// worker-count clamp: workers beyond len(trees) are clamped (and ≤ 1
+// workers, including a clamp all the way down on tiny forests, take the
+// serial path) — in every case the sorted output must be identical to
+// the serial miner's, for both the packed and the string-keyed fallback
+// option regions.
+func TestMineForestParallelWorkerClamp(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		forest := randomForest(int64(11+n), n, 30)
+		for _, opts := range []ForestOptions{
+			{Options: Options{MaxDist: D(3), MinOccur: 1}, MinSup: 1},
+			{Options: Options{MaxDist: MaxPackedDist + 2, MinOccur: 1}, MinSup: 1},
+		} {
+			serial := MineForest(forest, opts)
+			for _, workers := range []int{0, 1, len(forest), len(forest) + 7} {
+				got := MineForestParallel(forest, opts, workers)
+				if !reflect.DeepEqual(got, serial) {
+					t.Fatalf("n=%d maxdist=%s workers=%d: parallel differs (%d vs %d pairs)",
+						n, opts.MaxDist, workers, len(got), len(serial))
+				}
+			}
+		}
+	}
+}
+
 func TestMineForestParallelIgnoreDist(t *testing.T) {
 	forest := randomForest(5, 30, 30)
 	opts := DefaultForestOptions()

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"treemine/internal/tree"
+)
+
+// SupportShard is a mergeable partial result of Multiple_Tree_Mining: the
+// per-pair support counts of some subset of a forest, together with the
+// shard's own incrementally grown symbol table. Shards are the unit of
+// streamed and distributed forest mining — workers each fold their slice
+// of the stream into a private shard, shards merge pairwise (symbol IDs
+// are remapped through labels, so shards built over disjoint label sets
+// combine correctly), and Finalize renders the merged counts into the
+// same sorted FrequentPair output MineForest produces. Partial shards
+// serialize through internal/store's version-3 format, which is what
+// lets a long mining run checkpoint and resume.
+//
+// All methods are safe for concurrent use; AddTree from many goroutines
+// contends on one mutex, so for throughput prefer private shards merged
+// afterwards (what MineForestStream does internally).
+type SupportShard struct {
+	mu    sync.Mutex
+	opts  ForestOptions
+	trees int
+
+	// Packed mode (opts.MaxDist ≤ MaxPackedDist): counts keyed by IKey
+	// over the shard-local symbol table.
+	syms *Symbols
+	sup  map[IKey]int64
+
+	// Generic mode (beyond MaxPackedDist): counts keyed by string Key.
+	gsup map[Key]int64
+}
+
+// NewSupportShard returns an empty shard accumulating support under opts.
+// Every shard that will ever be merged with it must be built with equal
+// options.
+func NewSupportShard(opts ForestOptions) *SupportShard {
+	sh := &SupportShard{opts: opts}
+	if packable(opts.MaxDist) {
+		sh.syms = NewSymbols()
+		sh.sup = make(map[IKey]int64)
+	} else {
+		sh.gsup = make(map[Key]int64)
+	}
+	return sh
+}
+
+// Options returns the mining options the shard accumulates under.
+func (sh *SupportShard) Options() ForestOptions { return sh.opts }
+
+// Trees returns the number of trees folded into the shard so far,
+// including trees contributed by merged shards.
+func (sh *SupportShard) Trees() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.trees
+}
+
+// Len returns the number of distinct support entries currently held —
+// the quantity that bounds a shard's memory, independent of how many
+// trees streamed through it.
+func (sh *SupportShard) Len() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.sup != nil {
+		return len(sh.sup)
+	}
+	return len(sh.gsup)
+}
+
+// AddTree mines t under the shard's options and folds its qualifying
+// items into the support counts: +1 per item t contains with occurrence
+// ≥ MinOccur, de-duplicated per label pair when IgnoreDist is set. New
+// labels are interned into the shard's own symbol table as they appear —
+// no up-front whole-forest symbol pass is needed, which is what makes
+// shards streamable.
+func (sh *SupportShard) AddTree(t *tree.Tree) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.trees++
+	if sh.sup != nil {
+		sh.addTreePacked(t)
+		return
+	}
+	items := Mine(t, sh.opts.Options)
+	if sh.opts.IgnoreDist {
+		items = items.IgnoreDist()
+	}
+	for k := range items {
+		sh.gsup[k]++
+	}
+}
+
+// addTreePacked is the interned hot path: intern t's labels, mine through
+// a pooled miner sharing the shard's table, and fold the per-tree items
+// into sup.
+func (sh *SupportShard) addTreePacked(t *tree.Tree) {
+	sh.syms.InternTree(t)
+	m := getMiner(t, sh.opts.Options, sh.syms)
+	defer m.release()
+	if m.maxJ == 0 {
+		return
+	}
+	m.acc.init(sh.syms.Len(), m.nd)
+	m.accumulate(&m.acc)
+	minOccur := sh.opts.MinOccur
+	sup := sh.sup
+	if sh.opts.IgnoreDist {
+		// Collapse the tree's distances first so each label pair counts
+		// one support regardless of how many distances realize it.
+		m.wild.init(sh.syms.Len(), 1)
+		wild := &m.wild
+		m.acc.drain(func(a, b uint32, dc int, n int32) {
+			if int(n) >= minOccur {
+				wild.add(a, b, 0, 1)
+			}
+		})
+		wild.drain(func(a, b uint32, dc int, n int32) {
+			sup[NewIKey(a, b, DistWild)]++
+		})
+		return
+	}
+	m.acc.drain(func(a, b uint32, dc int, n int32) {
+		if int(n) >= minOccur {
+			sup[NewIKey(a, b, Dist(dc))]++
+		}
+	})
+}
+
+// Merge folds other's counts and tree tally into sh. The two shards'
+// options must be equal; symbol IDs are remapped through their labels,
+// so the shards may have been built over different (even disjoint) label
+// sets in any order — Merge is commutative and associative in the final
+// counts. other is read under its own lock and left unchanged; the two
+// locks are never held together, so concurrent AddTree and Merge calls
+// on any shard arrangement cannot deadlock.
+func (sh *SupportShard) Merge(other *SupportShard) error {
+	if other.opts != sh.opts {
+		return fmt.Errorf("core: merging shards with different options (%+v vs %+v)", other.opts, sh.opts)
+	}
+	_, otherTrees, labels, items := other.Snapshot()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.trees += otherTrees
+	if sh.sup != nil {
+		for _, it := range items {
+			a := sh.syms.Intern(labels[it.A])
+			b := sh.syms.Intern(labels[it.B])
+			sh.sup[NewIKey(a, b, it.D)] += it.N
+		}
+		return nil
+	}
+	for _, it := range items {
+		sh.gsup[NewKey(labels[it.A], labels[it.B], it.D)] += it.N
+	}
+	return nil
+}
+
+// Finalize renders the accumulated counts into the public result: the
+// pairs with support ≥ minsup, sorted by decreasing support then key —
+// exactly MineForest's output shape. The shard is left intact, so a
+// streaming pipeline can checkpoint intermediate results and keep
+// mining. minsup ≤ 1 reports every accumulated pair.
+func (sh *SupportShard) Finalize(minsup int) []FrequentPair {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var out []FrequentPair
+	if sh.sup != nil {
+		for k, n := range sh.sup {
+			if int(n) >= minsup {
+				out = append(out, FrequentPair{Key: k.Key(sh.syms), Support: int(n)})
+			}
+		}
+	} else {
+		for k, n := range sh.gsup {
+			if int(n) >= minsup {
+				out = append(out, FrequentPair{Key: k, Support: int(n)})
+			}
+		}
+	}
+	SortFrequentPairs(out)
+	return out
+}
+
+// ShardItem is one serialized support entry: two indices into the
+// snapshot's label table, a distance (DistWild under IgnoreDist), and
+// the tree count.
+type ShardItem struct {
+	A, B uint32
+	D    Dist
+	N    int64
+}
+
+// Snapshot exports the shard's state for serialization: its options,
+// tree tally, label table, and support entries coded against that table,
+// sorted by (A, B, D) so identical shards snapshot identically.
+func (sh *SupportShard) Snapshot() (opts ForestOptions, trees int, labels []string, items []ShardItem) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	opts, trees = sh.opts, sh.trees
+	if sh.sup != nil {
+		labels = make([]string, sh.syms.Len())
+		for id := range labels {
+			labels[id] = sh.syms.Label(uint32(id))
+		}
+		items = make([]ShardItem, 0, len(sh.sup))
+		for k, n := range sh.sup {
+			a, b := k.Syms()
+			items = append(items, ShardItem{A: a, B: b, D: k.Dist(), N: n})
+		}
+	} else {
+		// Generic mode has no symbol table; build one over the keys.
+		syms := NewSymbols()
+		items = make([]ShardItem, 0, len(sh.gsup))
+		for k, n := range sh.gsup {
+			items = append(items, ShardItem{A: syms.Intern(k.A), B: syms.Intern(k.B), D: k.D, N: n})
+		}
+		labels = make([]string, syms.Len())
+		for id := range labels {
+			labels[id] = syms.Label(uint32(id))
+		}
+	}
+	sortShardItems(items)
+	return opts, trees, labels, items
+}
+
+func sortShardItems(items []ShardItem) {
+	sort.Slice(items, func(i, j int) bool {
+		x, y := items[i], items[j]
+		if x.A != y.A {
+			return x.A < y.A
+		}
+		if x.B != y.B {
+			return x.B < y.B
+		}
+		return x.D < y.D
+	})
+}
+
+// RestoreShard rebuilds a shard from a Snapshot-shaped export, validating
+// every reference so corrupt serialized input surfaces as an error and
+// never as a panic or an invalid shard.
+func RestoreShard(opts ForestOptions, trees int, labels []string, items []ShardItem) (*SupportShard, error) {
+	if trees < 0 {
+		return nil, fmt.Errorf("core: restore shard: negative tree count %d", trees)
+	}
+	if len(labels) > MaxSymbols {
+		return nil, fmt.Errorf("core: restore shard: %d labels exceed the symbol space", len(labels))
+	}
+	sh := NewSupportShard(opts)
+	sh.trees = trees
+	if sh.sup != nil {
+		for i, l := range labels {
+			if id := sh.syms.Intern(l); id != uint32(i) {
+				return nil, fmt.Errorf("core: restore shard: duplicate label %q", l)
+			}
+		}
+	}
+	for _, it := range items {
+		if int(it.A) >= len(labels) || int(it.B) >= len(labels) {
+			return nil, fmt.Errorf("core: restore shard: symbol id out of range")
+		}
+		if it.N < 1 {
+			return nil, fmt.Errorf("core: restore shard: non-positive count %d", it.N)
+		}
+		if opts.IgnoreDist != it.D.IsWild() {
+			return nil, fmt.Errorf("core: restore shard: distance %s inconsistent with IgnoreDist=%v", it.D, opts.IgnoreDist)
+		}
+		if !it.D.IsWild() && (it.D < 0 || it.D > opts.MaxDist) {
+			return nil, fmt.Errorf("core: restore shard: distance %s beyond maxdist %s", it.D, opts.MaxDist)
+		}
+		if sh.sup != nil {
+			sh.sup[NewIKey(it.A, it.B, it.D)] += it.N
+		} else {
+			sh.gsup[NewKey(labels[it.A], labels[it.B], it.D)] += it.N
+		}
+	}
+	return sh, nil
+}

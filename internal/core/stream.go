@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"treemine/internal/tree"
+)
+
+// TreeIterator yields the trees of a forest one at a time. Next returns
+// io.EOF after the last tree; any other error aborts the consumer.
+// Iterators let forest mining run over corpora that never fit in memory
+// — a Newick stream on disk, a generator, a network feed.
+type TreeIterator interface {
+	Next() (*tree.Tree, error)
+}
+
+// sliceIterator adapts an in-memory forest to the TreeIterator interface.
+type sliceIterator struct {
+	trees []*tree.Tree
+	i     int
+}
+
+// NewSliceIterator returns a TreeIterator over an in-memory forest.
+func NewSliceIterator(trees []*tree.Tree) TreeIterator {
+	return &sliceIterator{trees: trees}
+}
+
+func (it *sliceIterator) Next() (*tree.Tree, error) {
+	if it.i >= len(it.trees) {
+		return nil, io.EOF
+	}
+	t := it.trees[it.i]
+	it.i++
+	return t, nil
+}
+
+// StreamConfig tunes MineForestStreamShard beyond the plain
+// MineForestStream entry point. The zero value is usable: GOMAXPROCS
+// workers, the default batch size, no checkpointing, a fresh shard.
+type StreamConfig struct {
+	// Workers is the number of concurrent mining goroutines; ≤ 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// BatchSize is the number of trees each worker receives per round;
+	// Workers × BatchSize trees are resident at a time, which (plus the
+	// support shard itself) is the pipeline's whole memory footprint.
+	// ≤ 0 selects the default of 64.
+	BatchSize int
+	// CheckpointEvery invokes Checkpoint after at least this many trees
+	// have been folded in since the last checkpoint (and once more at
+	// the end of the stream). 0 disables checkpointing.
+	CheckpointEvery int
+	// Checkpoint receives the master shard between rounds — typically to
+	// serialize it through internal/store. The shard is quiescent for
+	// the duration of the call. A non-nil error aborts the stream.
+	Checkpoint func(*SupportShard) error
+	// Resume, when non-nil, is the shard to continue into (e.g. one
+	// reloaded from a checkpoint file) instead of a fresh one. Its
+	// options must equal the mining options.
+	Resume *SupportShard
+	// SkipTrees discards this many leading trees from the iterator
+	// before mining — set it to Resume.Trees() when replaying the same
+	// stream a checkpointed run was consuming.
+	SkipTrees int
+}
+
+const defaultStreamBatch = 64
+
+// MineForestStream is Multiple_Tree_Mining over a tree stream: trees are
+// consumed from it in bounded batches, mined concurrently by workers
+// holding private SupportShards, and the shards are merged into one
+// result. The output is exactly MineForest's — same pairs, same counts,
+// same order — but peak memory is bounded by workers × batch trees plus
+// the support table, rather than by the corpus, so it scales to forests
+// that never fit in memory. workers ≤ 0 selects GOMAXPROCS.
+func MineForestStream(it TreeIterator, opts ForestOptions, workers int) ([]FrequentPair, error) {
+	sh, err := MineForestStreamShard(it, opts, StreamConfig{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	return sh.Finalize(opts.MinSup), nil
+}
+
+// MineForestStreamShard is the configurable streaming core: it returns
+// the accumulated SupportShard instead of finalizing, supports
+// checkpoint callbacks and resuming from a restored shard, and on error
+// returns the shard mined so far alongside the error (so a caller can
+// checkpoint even a failed run).
+func MineForestStreamShard(it TreeIterator, opts ForestOptions, cfg StreamConfig) (*SupportShard, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = defaultStreamBatch
+	}
+	master := cfg.Resume
+	if master == nil {
+		master = NewSupportShard(opts)
+	} else if master.Options() != opts {
+		return nil, fmt.Errorf("core: resume shard was mined with options %+v, stream wants %+v",
+			master.Options(), opts)
+	}
+
+	for skipped := 0; skipped < cfg.SkipTrees; skipped++ {
+		if _, err := it.Next(); err != nil {
+			if err == io.EOF {
+				return master, nil
+			}
+			return master, err
+		}
+	}
+
+	buf := make([]*tree.Tree, 0, workers*batch)
+	sinceCheckpoint := 0
+	for {
+		buf = buf[:0]
+		done := false
+		for len(buf) < cap(buf) {
+			t, err := it.Next()
+			if err == io.EOF {
+				done = true
+				break
+			}
+			if err != nil {
+				return master, err
+			}
+			if t == nil {
+				continue
+			}
+			buf = append(buf, t)
+		}
+
+		if len(buf) > 0 {
+			if err := mineRound(master, buf, opts, workers); err != nil {
+				return master, err
+			}
+			sinceCheckpoint += len(buf)
+			// Drop the tree references before any checkpoint GC so the
+			// round's trees are collectible — this is what keeps the live
+			// heap bounded by one round.
+			for i := range buf {
+				buf[i] = nil
+			}
+		}
+
+		if cfg.CheckpointEvery > 0 && cfg.Checkpoint != nil && sinceCheckpoint > 0 &&
+			(sinceCheckpoint >= cfg.CheckpointEvery || done) {
+			if err := cfg.Checkpoint(master); err != nil {
+				return master, err
+			}
+			sinceCheckpoint = 0
+		}
+		if done {
+			return master, nil
+		}
+	}
+}
+
+// mineRound mines one batch of trees into master: workers fold strided
+// slices into private shards, which merge into master in worker order.
+// Support counts are additive, so the result is independent of worker
+// scheduling — streamed output is deterministic.
+func mineRound(master *SupportShard, buf []*tree.Tree, opts ForestOptions, workers int) error {
+	if workers > len(buf) {
+		workers = len(buf)
+	}
+	if workers <= 1 {
+		for _, t := range buf {
+			master.AddTree(t)
+		}
+		return nil
+	}
+	privates := make([]*SupportShard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := NewSupportShard(opts)
+			for i := w; i < len(buf); i += workers {
+				sh.AddTree(buf[i])
+			}
+			privates[w] = sh
+		}(w)
+	}
+	wg.Wait()
+	for _, sh := range privates {
+		if err := master.Merge(sh); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+

@@ -1,6 +1,9 @@
 package newick
 
 import (
+	"errors"
+	"io"
+	"strings"
 	"testing"
 
 	"treemine/internal/tree"
@@ -41,6 +44,54 @@ func FuzzParse(f *testing.F) {
 		}
 		if !tree.Isomorphic(parsed, back) {
 			t.Fatalf("round trip changed tree: %q → %q", input, out)
+		}
+		// Write must be a fixed point: serializing the reparse yields the
+		// same bytes.
+		if again := Write(back); again != out {
+			t.Fatalf("Write not stable: %q then %q", out, again)
+		}
+	})
+}
+
+// FuzzScanner feeds arbitrary byte streams through the syntax-aware
+// chunker: it must terminate, never panic, fail only with ParseErrors
+// (or clean io.EOF), and every tree it does yield must survive the
+// Write round trip. Multi-tree streams with ';' hidden in quotes and
+// comments are the seeds — exactly the cases a naive byte split chunks
+// wrong.
+func FuzzScanner(f *testing.F) {
+	seeds := []string{
+		"(a,b);(c,d);",
+		"('a;b',c);[x;](d,e);",
+		"(a,b);garbage",
+		"'open quote(a,b);",
+		"[unclosed comment (a,b);",
+		"(a,b);((c,d);",
+		";;;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		sc := NewScanner(strings.NewReader(input))
+		for {
+			tr, err := sc.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if !errors.Is(err, ErrSyntax) {
+					t.Fatalf("non-syntax error from Scanner on %q: %v", input, err)
+				}
+				// Errors are terminal: the next call reports EOF.
+				if _, next := sc.Next(); next != io.EOF {
+					t.Fatalf("Scanner not terminal after error: %v", next)
+				}
+				return
+			}
+			if _, err := Parse(Write(tr)); err != nil {
+				t.Fatalf("scanned tree does not round-trip: %v", err)
+			}
 		}
 	})
 }

@@ -17,7 +17,6 @@
 package newick
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -66,33 +65,20 @@ func Parse(s string) (*tree.Tree, error) {
 // ParseAll parses a sequence of Newick trees from r, one per terminating
 // semicolon. Trees may span or share lines. It returns the trees parsed
 // before the first error, along with that error (nil on clean EOF).
+// ParseAll is the materializing convenience over Scanner — use Scanner
+// directly to mine streams that should not live in memory at once.
 func ParseAll(r io.Reader) ([]*tree.Tree, error) {
-	data, err := io.ReadAll(bufio.NewReader(r))
-	if err != nil {
-		return nil, fmt.Errorf("newick: read: %w", err)
-	}
+	sc := NewScanner(r)
 	var trees []*tree.Tree
-	s := string(data)
-	base := 0
 	for {
-		rest := s[base:]
-		if isBlank(rest) {
+		t, err := sc.Next()
+		if err == io.EOF {
 			return trees, nil
 		}
-		end := strings.IndexByte(rest, ';')
-		if end < 0 {
-			return trees, &ParseError{Offset: len(s), Msg: "missing ';'"}
-		}
-		t, err := Parse(rest[:end+1])
 		if err != nil {
-			var pe *ParseError
-			if errors.As(err, &pe) {
-				pe.Offset += base
-			}
 			return trees, err
 		}
 		trees = append(trees, t)
-		base += end + 1
 	}
 }
 

@@ -1,0 +1,95 @@
+package newick
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"treemine/internal/tree"
+)
+
+// Scanner reads a stream of semicolon-terminated Newick trees one tree
+// at a time, in bounded memory: only the bytes of the tree currently
+// being assembled are buffered. It is the streaming counterpart of
+// ParseAll (which is built on it) and plugs directly into the forest
+// miners' TreeIterator contract: Next returns io.EOF after the last
+// tree, and any other error is terminal.
+//
+// Chunking is syntax-aware: a ';' inside a quoted label ('Miller; 1988')
+// or inside a [nested [comment]] does not terminate a tree, which a
+// naive byte split would get wrong.
+type Scanner struct {
+	r      *bufio.Reader
+	offset int // bytes consumed from the stream so far
+	buf    []byte
+	done   bool
+}
+
+// NewScanner returns a Scanner reading from r.
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{r: bufio.NewReader(r)}
+}
+
+// Next parses and returns the next tree from the stream. It returns
+// io.EOF when the stream is exhausted (trailing whitespace and nothing
+// else), and a *ParseError with stream-absolute Offset on malformed
+// input. After any error the Scanner is done and keeps returning it
+// or io.EOF.
+func (s *Scanner) Next() (*tree.Tree, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	s.buf = s.buf[:0]
+	chunkStart := s.offset
+	inQuote := false
+	commentDepth := 0
+	for {
+		c, err := s.r.ReadByte()
+		if err == io.EOF {
+			s.done = true
+			if isBlank(string(s.buf)) {
+				return nil, io.EOF
+			}
+			return nil, &ParseError{Offset: s.offset, Msg: "missing ';'"}
+		}
+		if err != nil {
+			s.done = true
+			return nil, fmt.Errorf("newick: read: %w", err)
+		}
+		s.offset++
+		s.buf = append(s.buf, c)
+		// State order matters: comments may contain quote characters and
+		// quoted labels may contain brackets, mirroring the parser.
+		switch {
+		case commentDepth > 0:
+			if c == '[' {
+				commentDepth++
+			} else if c == ']' {
+				commentDepth--
+			}
+		case inQuote:
+			if c == '\'' {
+				inQuote = false
+			}
+		case c == '\'':
+			inQuote = true
+		case c == '[':
+			commentDepth++
+		case c == ';':
+			t, err := Parse(string(s.buf))
+			if err != nil {
+				s.done = true
+				var pe *ParseError
+				if errors.As(err, &pe) {
+					pe.Offset += chunkStart
+				}
+				return nil, err
+			}
+			return t, nil
+		}
+	}
+}
+
+// Offset returns the number of bytes consumed from the stream so far.
+func (s *Scanner) Offset() int { return s.offset }

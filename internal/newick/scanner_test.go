@@ -1,0 +1,145 @@
+package newick
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"treemine/internal/tree"
+)
+
+func scanAll(t *testing.T, input string) []*tree.Tree {
+	t.Helper()
+	sc := NewScanner(strings.NewReader(input))
+	var out []*tree.Tree
+	for {
+		tr, err := sc.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, tr)
+	}
+}
+
+func TestScannerMultipleTrees(t *testing.T) {
+	trees := scanAll(t, "(a,b);\n(c,(d,e));  ((f,g),h) ;")
+	if len(trees) != 3 {
+		t.Fatalf("got %d trees, want 3", len(trees))
+	}
+	if got := Write(trees[1]); got != "(c,(d,e));" {
+		t.Fatalf("tree 2 = %q", got)
+	}
+}
+
+// TestScannerQuotedSemicolon pins the syntax-aware chunking: a ';'
+// inside a quoted label must not terminate the tree.
+func TestScannerQuotedSemicolon(t *testing.T) {
+	trees := scanAll(t, "('Miller; 1988',b);('x''y;z',c);")
+	if len(trees) != 2 {
+		t.Fatalf("got %d trees, want 2", len(trees))
+	}
+	kids := trees[0].Children(trees[0].Root())
+	if l, _ := trees[0].Label(kids[0]); l != "Miller; 1988" {
+		t.Fatalf("label = %q", l)
+	}
+	kids = trees[1].Children(trees[1].Root())
+	if l, _ := trees[1].Label(kids[0]); l != "x'y;z" {
+		t.Fatalf("escaped label = %q", l)
+	}
+}
+
+// TestScannerCommentSemicolon: a ';' inside a (possibly nested) comment
+// is not a terminator either.
+func TestScannerCommentSemicolon(t *testing.T) {
+	trees := scanAll(t, "[header; [nested;]](a,b);(c,d)[trailing;];")
+	if len(trees) != 2 {
+		t.Fatalf("got %d trees, want 2", len(trees))
+	}
+	if got := Write(trees[0]); got != "(a,b);" {
+		t.Fatalf("tree 1 = %q", got)
+	}
+}
+
+// TestScannerErrorOffset: parse errors in later trees report
+// stream-absolute offsets, matching ParseAll's contract.
+func TestScannerErrorOffset(t *testing.T) {
+	sc := NewScanner(strings.NewReader("(a,b);(c,d));"))
+	if _, err := sc.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sc.Next()
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want ParseError", err)
+	}
+	// The stray ')' sits at absolute offset 11.
+	if pe.Offset != 11 {
+		t.Fatalf("Offset = %d, want 11", pe.Offset)
+	}
+	if !errors.Is(err, ErrSyntax) {
+		t.Fatal("not ErrSyntax")
+	}
+	// After an error the scanner is done.
+	if _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("post-error Next = %v, want io.EOF", err)
+	}
+}
+
+func TestScannerMissingSemicolon(t *testing.T) {
+	sc := NewScanner(strings.NewReader("(a,b);(c,d)"))
+	if _, err := sc.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sc.Next()
+	var pe *ParseError
+	if !errors.As(err, &pe) || pe.Msg != "missing ';'" {
+		t.Fatalf("err = %v, want missing ';'", err)
+	}
+	if pe.Offset != len("(a,b);(c,d)") {
+		t.Fatalf("Offset = %d", pe.Offset)
+	}
+}
+
+func TestScannerBlankInput(t *testing.T) {
+	for _, input := range []string{"", "  \n\t\r\n"} {
+		sc := NewScanner(strings.NewReader(input))
+		if _, err := sc.Next(); err != io.EOF {
+			t.Fatalf("input %q: err = %v, want io.EOF", input, err)
+		}
+	}
+}
+
+// TestScannerAgreesWithParseAll: the streaming and materializing paths
+// must see the same forest.
+func TestScannerAgreesWithParseAll(t *testing.T) {
+	const input = "(a,(b,c))root;\n'q t':1.5;\n(x,y,z);"
+	fromAll, err := ParseAll(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromScan := scanAll(t, input)
+	if len(fromAll) != len(fromScan) {
+		t.Fatalf("%d vs %d trees", len(fromAll), len(fromScan))
+	}
+	for i := range fromAll {
+		if Write(fromAll[i]) != Write(fromScan[i]) {
+			t.Fatalf("tree %d differs: %q vs %q", i, Write(fromAll[i]), Write(fromScan[i]))
+		}
+	}
+}
+
+// TestScannerOffsetProgress: Offset tracks consumed bytes, usable for
+// progress reporting over large files.
+func TestScannerOffsetProgress(t *testing.T) {
+	sc := NewScanner(strings.NewReader("(a,b);(c,d);"))
+	if _, err := sc.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Offset() != 6 {
+		t.Fatalf("Offset after first tree = %d, want 6", sc.Offset())
+	}
+}

@@ -5,61 +5,31 @@
 package phyloio
 
 import (
-	"bytes"
-	"fmt"
 	"io"
-	"os"
 	"strings"
 
-	"treemine/internal/newick"
-	"treemine/internal/nexus"
 	"treemine/internal/tree"
 )
 
 // ReadTrees loads all trees from the named files, or from stdin when no
 // files are given. Each input may be a Newick stream (any number of
 // semicolon-terminated trees) or a NEXUS file with a TREES block.
+// ReadTrees is the materializing convenience over OpenTrees — use a
+// TreeSource directly to mine forests that should not live in memory.
 func ReadTrees(files []string, stdin io.Reader) ([]*tree.Tree, error) {
-	if len(files) == 0 {
-		return readAll("stdin", stdin)
-	}
+	src := OpenTrees(files, stdin)
+	defer src.Close()
 	var trees []*tree.Tree
-	for _, f := range files {
-		r, err := os.Open(f)
+	for {
+		t, err := src.Next()
+		if err == io.EOF {
+			return trees, nil
+		}
 		if err != nil {
 			return nil, err
 		}
-		ts, err := readAll(f, r)
-		r.Close()
-		if err != nil {
-			return nil, err
-		}
-		trees = append(trees, ts...)
+		trees = append(trees, t)
 	}
-	return trees, nil
-}
-
-func readAll(name string, r io.Reader) ([]*tree.Tree, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", name, err)
-	}
-	if IsNexus(data) {
-		f, err := nexus.Parse(bytes.NewReader(data))
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
-		}
-		trees := make([]*tree.Tree, len(f.Trees))
-		for i, e := range f.Trees {
-			trees[i] = e.Tree
-		}
-		return trees, nil
-	}
-	trees, err := newick.ParseAll(bytes.NewReader(data))
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", name, err)
-	}
-	return trees, nil
 }
 
 // IsNexus reports whether the data starts with the #NEXUS header

@@ -1,0 +1,164 @@
+package phyloio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"treemine/internal/newick"
+	"treemine/internal/nexus"
+	"treemine/internal/tree"
+)
+
+// TreeSource yields trees from a sequence of phylogeny files (or stdin)
+// one at a time, so forests larger than memory can be mined by the
+// streaming pipeline. It satisfies the core.TreeIterator contract
+// structurally: Next returns io.EOF after the last tree of the last
+// input.
+//
+// Newick inputs are scanned incrementally — only one tree's text is
+// buffered at a time. NEXUS inputs are parsed whole when first touched
+// (the block grammar needs the TRANSLATE table before the trees) and
+// then drained tree by tree; files are opened lazily and closed as soon
+// as they are exhausted.
+type TreeSource struct {
+	files []string
+	stdin io.Reader
+	idx   int
+
+	name   string    // name of the open input, for error messages
+	cur    treeIter  // iterator over the open input, nil between files
+	closer io.Closer // underlying file handle, nil for stdin
+	err    error     // terminal error, sticky
+}
+
+type treeIter interface {
+	Next() (*tree.Tree, error)
+}
+
+// OpenTrees returns a TreeSource over the named files, or over stdin
+// when no files are given — the streaming counterpart of ReadTrees.
+func OpenTrees(files []string, stdin io.Reader) *TreeSource {
+	return &TreeSource{files: files, stdin: stdin}
+}
+
+// Next returns the next tree across all inputs, io.EOF when every input
+// is exhausted, or a terminal error naming the offending input.
+func (s *TreeSource) Next() (*tree.Tree, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for {
+		if s.cur == nil {
+			if err := s.advance(); err != nil {
+				return nil, s.fail(err)
+			}
+			if s.cur == nil {
+				s.err = io.EOF
+				return nil, io.EOF
+			}
+		}
+		t, err := s.cur.Next()
+		if err == io.EOF {
+			s.closeCur()
+			continue
+		}
+		if err != nil {
+			return nil, s.fail(fmt.Errorf("%s: %w", s.name, err))
+		}
+		return t, nil
+	}
+}
+
+// Close releases the currently open file, if any. Next after Close
+// returns the sticky terminal state.
+func (s *TreeSource) Close() error {
+	s.closeCur()
+	if s.err == nil {
+		s.err = io.EOF
+	}
+	return nil
+}
+
+func (s *TreeSource) fail(err error) error {
+	s.closeCur()
+	s.err = err
+	return err
+}
+
+func (s *TreeSource) closeCur() {
+	if s.closer != nil {
+		s.closer.Close()
+		s.closer = nil
+	}
+	s.cur = nil
+}
+
+// advance opens the next input, leaving cur nil when none remain.
+func (s *TreeSource) advance() error {
+	var r io.Reader
+	switch {
+	case len(s.files) == 0 && s.idx == 0 && s.stdin != nil:
+		s.idx++
+		s.name = "stdin"
+		r = s.stdin
+	case s.idx < len(s.files):
+		f, err := os.Open(s.files[s.idx])
+		if err != nil {
+			return err
+		}
+		s.name = s.files[s.idx]
+		s.idx++
+		s.closer = f
+		r = f
+	default:
+		return nil
+	}
+
+	br := bufio.NewReader(r)
+	head, err := br.Peek(64)
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("%s: %w", s.name, err)
+	}
+	if IsNexus(head) {
+		// NEXUS has no incremental grammar; parse the file now and
+		// stream out of the result.
+		f, err := nexus.Parse(br)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		trees := make([]*tree.Tree, len(f.Trees))
+		for i, e := range f.Trees {
+			trees[i] = e.Tree
+		}
+		s.closeFileEarly()
+		s.cur = &sliceIter{trees: trees}
+		return nil
+	}
+	s.cur = newick.NewScanner(br)
+	return nil
+}
+
+// closeFileEarly releases the file handle once its contents are fully
+// decoded (NEXUS path) while the decoded trees keep streaming.
+func (s *TreeSource) closeFileEarly() {
+	if s.closer != nil {
+		s.closer.Close()
+		s.closer = nil
+	}
+}
+
+type sliceIter struct {
+	trees []*tree.Tree
+	i     int
+}
+
+func (it *sliceIter) Next() (*tree.Tree, error) {
+	if it.i >= len(it.trees) {
+		return nil, io.EOF
+	}
+	t := it.trees[it.i]
+	it.i++
+	return t, nil
+}

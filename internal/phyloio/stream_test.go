@@ -1,0 +1,107 @@
+package phyloio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"treemine/internal/tree"
+)
+
+func drain(t *testing.T, src *TreeSource) []*tree.Tree {
+	t.Helper()
+	var out []*tree.Tree
+	for {
+		tr, err := src.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, tr)
+	}
+}
+
+// TestTreeSourceMatchesReadTrees: the streaming and materializing paths
+// must yield the same forest over mixed Newick and NEXUS inputs.
+func TestTreeSourceMatchesReadTrees(t *testing.T) {
+	dir := t.TempDir()
+	nwk := filepath.Join(dir, "a.nwk")
+	nex := filepath.Join(dir, "b.nex")
+	if err := os.WriteFile(nwk, []byte("(a,b);\n((c,d),e);"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(nex, []byte("#NEXUS\nBEGIN TREES;\nTREE x = (f,g);\nEND;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	files := []string{nwk, nex}
+	want, err := ReadTrees(files, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, OpenTrees(files, nil))
+	if len(got) != len(want) || len(got) != 3 {
+		t.Fatalf("streamed %d trees, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !tree.Isomorphic(got[i], want[i]) {
+			t.Fatalf("tree %d differs between stream and batch", i)
+		}
+	}
+}
+
+func TestTreeSourceStdin(t *testing.T) {
+	got := drain(t, OpenTrees(nil, strings.NewReader("(a,b);(c,(d,e));")))
+	if len(got) != 2 || got[1].Size() != 5 {
+		t.Fatalf("trees = %d", len(got))
+	}
+}
+
+// TestTreeSourceErrors: open failures, Newick syntax errors and NEXUS
+// parse errors all surface with the input name attached (or the raw
+// open error), and the source goes terminal afterwards.
+func TestTreeSourceErrors(t *testing.T) {
+	src := OpenTrees([]string{"/nonexistent.nwk"}, nil)
+	if _, err := src.Next(); err == nil {
+		t.Error("missing file accepted")
+	}
+
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.nwk")
+	if err := os.WriteFile(bad, []byte("(a,b);((c,d);"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src = OpenTrees([]string{bad}, nil)
+	if _, err := src.Next(); err != nil {
+		t.Fatalf("first tree should parse: %v", err)
+	}
+	_, err := src.Next()
+	if err == nil || !strings.Contains(err.Error(), "bad.nwk") {
+		t.Fatalf("err = %v, want it to name bad.nwk", err)
+	}
+	// Sticky: the same error comes back, not a fresh parse attempt.
+	if _, again := src.Next(); again != err {
+		t.Fatalf("error not sticky: %v", again)
+	}
+
+	src = OpenTrees(nil, strings.NewReader("#NEXUS\nBEGIN TREES;\n"))
+	if _, err := src.Next(); err == nil || !strings.Contains(err.Error(), "stdin") {
+		t.Fatalf("bad nexus: err = %v", err)
+	}
+}
+
+func TestTreeSourceClose(t *testing.T) {
+	src := OpenTrees(nil, strings.NewReader("(a,b);(c,d);"))
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("Next after Close = %v, want io.EOF", err)
+	}
+}

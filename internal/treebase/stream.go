@@ -1,0 +1,55 @@
+package treebase
+
+import (
+	"io"
+	"math/rand"
+
+	"treemine/internal/tree"
+)
+
+// Stream generates the corpus NewCorpus(seed, cfg) would build, one
+// phylogeny at a time, without ever materializing it: only the current
+// study's taxon set is resident. It satisfies the core.TreeIterator
+// contract (Next returns io.EOF after the last tree), so experiments at
+// 10× and beyond the paper's corpus can run through the streaming miner
+// in bounded memory.
+//
+// The RNG draw order is exactly NewCorpus's — per study: tree count,
+// taxon count, taxon sample, then one genTree per tree — so the yielded
+// sequence is identical, tree for tree, to Corpus.AllTrees().
+type Stream struct {
+	rng   *rand.Rand
+	dict  []string
+	cfg   Config
+	total int      // trees yielded so far
+	left  int      // trees remaining in the current study
+	taxa  []string // current study's taxon set
+}
+
+// NewStream returns a Stream equivalent to NewCorpus(seed, cfg).
+func NewStream(seed int64, cfg Config) *Stream {
+	return &Stream{
+		rng:  rand.New(rand.NewSource(seed)),
+		dict: Names(cfg.AlphabetSize),
+		cfg:  cfg,
+	}
+}
+
+// Next returns the next phylogeny, or io.EOF after the NumTrees-th.
+func (s *Stream) Next() (*tree.Tree, error) {
+	if s.left == 0 {
+		if s.total >= s.cfg.NumTrees {
+			return nil, io.EOF
+		}
+		k := s.cfg.MinTreesStudy + s.rng.Intn(s.cfg.MaxTreesStudy-s.cfg.MinTreesStudy+1)
+		if s.total+k > s.cfg.NumTrees {
+			k = s.cfg.NumTrees - s.total
+		}
+		nTaxa := s.cfg.MinTaxa + s.rng.Intn(s.cfg.MaxTaxa-s.cfg.MinTaxa+1)
+		s.taxa = sampleTaxa(s.rng, s.dict, nTaxa)
+		s.left = k
+	}
+	s.left--
+	s.total++
+	return genTree(s.rng, s.taxa, s.cfg), nil
+}

@@ -1,0 +1,42 @@
+package treebase
+
+import (
+	"io"
+	"testing"
+
+	"treemine/internal/tree"
+)
+
+// TestStreamMatchesCorpus pins the streaming generator to NewCorpus:
+// same seed and config must yield the identical tree sequence, so a
+// streamed experiment reproduces the materialized one bit for bit.
+func TestStreamMatchesCorpus(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumTrees = 40
+	want := NewCorpus(9, cfg).AllTrees()
+
+	s := NewStream(9, cfg)
+	var got []*tree.Tree
+	for {
+		tr, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, tr)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d trees, corpus has %d", len(got), len(want))
+	}
+	for i := range got {
+		if !tree.Isomorphic(got[i], want[i]) {
+			t.Fatalf("tree %d differs between Stream and NewCorpus", i)
+		}
+	}
+	// Exhausted streams stay exhausted.
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("Next past end = %v, want io.EOF", err)
+	}
+}
