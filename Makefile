@@ -1,16 +1,18 @@
 # Standard checks for the treemine repo. `make check` is the tier-1
 # gate (vet + build + full tests); `make race` re-runs the concurrent
-# miners — parallel forest mining, shard merging, the streaming
-# pipeline — under the race detector (the CI gate runs `make check
-# race`); `make fuzz` gives each fuzz target a 30-second budget beyond
-# its checked-in seed corpus; `make bench` regenerates the paper figure
-# benchmarks with allocation counts (see BENCH_1.json and BENCH_2.json
-# for the recorded baselines).
+# code — parallel forest mining, shard merging, the streaming pipeline,
+# and the parallel distance-matrix fill — under the race detector (the
+# CI gate runs `make check race`); `make fuzz` gives each fuzz target a
+# 30-second budget beyond its checked-in seed corpus; `make bench`
+# regenerates the paper figure benchmarks with allocation counts (see
+# BENCH_1.json, BENCH_2.json, and BENCH_3.json for the recorded
+# baselines); `make bench-dist` runs just the pairwise-distance-engine
+# benchmarks (BENCH_3.json).
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check vet build test race fuzz bench
+.PHONY: check vet build test race fuzz bench bench-dist
 
 check: vet build test
 
@@ -25,6 +27,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/core -run 'Parallel|Forest|Shard|Stream|Differential'
+	$(GO) test -race ./internal/cluster ./internal/kernel -run 'Differential|Reference|Matches'
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) -run '^$$' ./internal/newick
@@ -33,3 +36,7 @@ fuzz:
 
 bench:
 	$(GO) test . -run xxx -bench 'Fig4|Fig5|Fig6MultiTree|Fig7|MineInterned' -benchmem -benchtime=2x
+
+bench-dist:
+	$(GO) test . -run xxx -bench 'TDistMatrix' -benchmem
+	$(GO) test ./internal/updown -run xxx -bench 'Rank' -benchmem

@@ -317,3 +317,49 @@ func BenchmarkAblationNewick(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkTDistMatrix is the ablation trio for the pairwise-distance
+// engine behind cluster.TDistMatrix, the kernel search, and phylodist:
+// the pre-engine fill (string-keyed Mine per tree, per-pair view
+// rebuilds in TDistItems), the profile engine on one worker (frozen
+// posting lists, allocation-free merge-join per pair), and the profile
+// engine at GOMAXPROCS. Fixture construction is excluded from timing.
+func BenchmarkTDistMatrix(b *testing.B) {
+	for _, n := range []int{50, 200, 500} {
+		rng := rand.New(rand.NewSource(3))
+		taxa := treegen.Alphabet(30)
+		forest := make([]*tree.Tree, n)
+		for i := range forest {
+			off := rng.Intn(6)
+			forest[i] = treegen.Yule(rng, taxa[off:off+24])
+		}
+		opts := core.DefaultOptions()
+		v := core.VariantDistOccur
+		b.Run(fmt.Sprintf("n=%d/serial-maps", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				items := make([]core.ItemSet, n)
+				for j, t := range forest {
+					items[j] = core.Mine(t, opts)
+				}
+				for x := 0; x < n; x++ {
+					for y := x + 1; y < n; y++ {
+						core.TDistItems(items[x], items[y], v)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/profiles", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.TDistMatrixParallel(forest, v, opts, 1)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/parallel", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.TDistMatrixParallel(forest, v, opts, 0)
+			}
+		})
+	}
+}

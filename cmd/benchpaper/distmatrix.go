@@ -1,0 +1,69 @@
+package main
+
+// The pairwise-distance-engine experiment (beyond the paper): wall time
+// to fill the full tdist matrix of a phylogeny collection three ways —
+// the pre-engine per-pair fill (string-keyed mining, per-pair view
+// rebuilds), the profile engine on one core (frozen posting lists,
+// merge-join intersections), and the profile engine across all cores.
+// This is the engine behind cluster.TDistMatrix, the kernel search, and
+// phylodist's tdist measures.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"treemine/internal/benchutil"
+	"treemine/internal/core"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+// runDistMatrix sweeps the collection size and times each fill strategy.
+func runDistMatrix(cfg config) error {
+	sizes := []int{50, 200}
+	if cfg.full {
+		sizes = append(sizes, 500, 1000)
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	taxa := treegen.Alphabet(30)
+	opts := core.DefaultOptions()
+	v := core.VariantDistOccur
+	tb := benchutil.NewTable("trees", "per-pair maps", "profiles ×1", fmt.Sprintf("profiles ×%d", runtime.GOMAXPROCS(0)), "speedup")
+	for _, n := range sizes {
+		forest := make([]*tree.Tree, n)
+		for i := range forest {
+			off := rng.Intn(6)
+			forest[i] = treegen.Yule(rng, taxa[off:off+24])
+		}
+		var serial time.Duration
+		if n <= 500 { // quadratic in n with per-pair map rebuilds: cap it
+			serial = benchutil.Time(func() {
+				items := make([]core.ItemSet, n)
+				for i, t := range forest {
+					items[i] = core.Mine(t, opts)
+				}
+				for i := 0; i < n; i++ {
+					for j := i + 1; j < n; j++ {
+						core.TDistItems(items[i], items[j], v)
+					}
+				}
+			})
+		}
+		one := benchutil.Time(func() { core.TDistMatrixParallel(forest, v, opts, 1) })
+		all := benchutil.Time(func() { core.TDistMatrixParallel(forest, v, opts, 0) })
+		serialCell := "(skipped)"
+		speedup := "—"
+		if serial > 0 {
+			serialCell = serial.String()
+			speedup = fmt.Sprintf("%.1f×", float64(serial)/float64(all))
+		}
+		tb.AddRow(n, serialCell, one, all, speedup)
+	}
+	if err := cfg.emit(tb); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out, "\nall three fills produce identical matrices (pinned by the differential tests)\n")
+	return nil
+}

@@ -38,20 +38,22 @@ func main() {
 	}
 }
 
-// measures maps flag values to pairwise distance functions.
-func measures(opts treemine.Options) map[string]func(a, b *treemine.Tree) (float64, error) {
-	wrap := func(v treemine.Variant) func(a, b *treemine.Tree) (float64, error) {
-		return func(a, b *treemine.Tree) (float64, error) {
-			return treemine.TDist(a, b, v, opts), nil
-		}
-	}
+// tdistVariants maps the tdist measure names to their variants; these
+// measures bypass the per-pair loop and go through the profile-backed
+// matrix engine, which mines every tree once and fills the matrix in
+// parallel.
+var tdistVariants = map[string]treemine.Variant{
+	"tdist-label":    treemine.VariantLabel,
+	"tdist-dist":     treemine.VariantDist,
+	"tdist-occ":      treemine.VariantOccur,
+	"tdist-occ-dist": treemine.VariantDistOccur,
+}
+
+// measures maps the remaining flag values to pairwise distance functions.
+func measures() map[string]func(a, b *treemine.Tree) (float64, error) {
 	return map[string]func(a, b *treemine.Tree) (float64, error){
-		"tdist-label":    wrap(treemine.VariantLabel),
-		"tdist-dist":     wrap(treemine.VariantDist),
-		"tdist-occ":      wrap(treemine.VariantOccur),
-		"tdist-occ-dist": wrap(treemine.VariantDistOccur),
-		"rf":             distance.RFNormalized,
-		"triplet":        triplet.Distance,
+		"rf":      distance.RFNormalized,
+		"triplet": triplet.Distance,
 		"updown": func(a, b *treemine.Tree) (float64, error) {
 			return updown.Distance(a, b), nil
 		},
@@ -79,8 +81,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	opts := treemine.Options{MaxDist: d, MinOccur: 1}
-	fn, ok := measures(opts)[*measure]
-	if !ok {
+	variant, isTDist := tdistVariants[*measure]
+	fn, isPairwise := measures()[*measure]
+	if !isTDist && !isPairwise {
 		return fmt.Errorf("unknown measure %q", *measure)
 	}
 
@@ -92,14 +95,19 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("need at least 2 trees, have %d", len(trees))
 	}
 
-	m := cluster.NewMatrix(len(trees))
-	for i := 0; i < len(trees); i++ {
-		for j := i + 1; j < len(trees); j++ {
-			v, err := fn(trees[i], trees[j])
-			if err != nil {
-				return fmt.Errorf("%s(T%d, T%d): %w", *measure, i+1, j+1, err)
+	var m *cluster.Matrix
+	if isTDist {
+		m = treemine.TDistMatrix(trees, variant, opts)
+	} else {
+		m = cluster.NewMatrix(len(trees))
+		for i := 0; i < len(trees); i++ {
+			for j := i + 1; j < len(trees); j++ {
+				v, err := fn(trees[i], trees[j])
+				if err != nil {
+					return fmt.Errorf("%s(T%d, T%d): %w", *measure, i+1, j+1, err)
+				}
+				m.Set(i, j, v)
 			}
-			m.Set(i, j, v)
 		}
 	}
 

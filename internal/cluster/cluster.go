@@ -59,19 +59,16 @@ func (m *Matrix) At(i, j int) float64 {
 }
 
 // TDistMatrix mines every tree once and fills the pairwise cousin-based
-// distance matrix under the given variant.
+// distance matrix under the given variant. It delegates to the profile
+// engine in internal/core: one shared symbol table, frozen posting-list
+// profiles, and a parallel merge-join fill — so packable options (the
+// defaults) never pay the string-keyed path, and large collections use
+// every core. The values are identical to mining each pair directly.
 func TDistMatrix(trees []*tree.Tree, v core.Variant, opts core.Options) *Matrix {
-	items := make([]core.ItemSet, len(trees))
-	for i, t := range trees {
-		items[i] = core.Mine(t, opts)
-	}
-	m := NewMatrix(len(trees))
-	for i := 0; i < len(trees); i++ {
-		for j := i + 1; j < len(trees); j++ {
-			m.Set(i, j, core.TDistItems(items[i], items[j], v))
-		}
-	}
-	return m
+	dm := core.TDistMatrixParallel(trees, v, opts, 0)
+	// core.DistMatrix shares this package's condensed upper-triangle
+	// layout, so the backing slice transfers without copying.
+	return &Matrix{n: dm.Len(), d: dm.Condensed()}
 }
 
 // ErrBadK is returned when the requested cluster count is out of range.
@@ -105,6 +102,20 @@ func KMedoids(m *Matrix, k int, seed int64) (*KMedoidsResult, error) {
 	return best, nil
 }
 
+// kMedoidsOnce runs one PAM-style descent from a random start. Swap
+// candidates are evaluated incrementally: with each point's distance to
+// its nearest and second-nearest current medoid cached, the cost change
+// of swapping medoid mi for candidate c is a single O(n) pass —
+//
+//	Δ = Σ_i min(d(i,c), fallback_i) − nearest_i
+//
+// where fallback_i is second_i when i's nearest medoid is the one being
+// removed, and nearest_i otherwise — instead of the O(n·k) full
+// reassignment the pre-engine descent recomputed per candidate. Accepted
+// swaps (same first-improvement order as before) refresh the cost and
+// the caches from scratch, so float drift never accumulates; the
+// equivalence with full recomputation is pinned by the differential test
+// in cluster_test.go.
 func kMedoidsOnce(m *Matrix, k int, rng *rand.Rand) *KMedoidsResult {
 	n := m.Len()
 	medoids := rng.Perm(n)[:k]
@@ -112,6 +123,27 @@ func kMedoidsOnce(m *Matrix, k int, rng *rand.Rand) *KMedoidsResult {
 	for _, md := range medoids {
 		isMedoid[md] = true
 	}
+	// nearD/secD hold each point's distance to its nearest and
+	// second-nearest medoid; near holds the index (into medoids) of the
+	// nearest. secD is +Inf when k == 1.
+	near := make([]int, n)
+	nearD := make([]float64, n)
+	secD := make([]float64, n)
+	rebuild := func() {
+		for i := 0; i < n; i++ {
+			bi, bd, sd := 0, math.Inf(1), math.Inf(1)
+			for mi, md := range medoids {
+				d := m.At(i, md)
+				if d < bd {
+					bi, bd, sd = mi, d, bd
+				} else if d < sd {
+					sd = d
+				}
+			}
+			near[i], nearD[i], secD[i] = bi, bd, sd
+		}
+	}
+	rebuild()
 	cost := assignCost(m, medoids)
 	for improved := true; improved; {
 		improved = false
@@ -120,16 +152,27 @@ func kMedoidsOnce(m *Matrix, k int, rng *rand.Rand) *KMedoidsResult {
 				if isMedoid[cand] {
 					continue
 				}
-				old := medoids[mi]
-				medoids[mi] = cand
-				if c := assignCost(m, medoids); c < cost-1e-15 {
-					cost = c
-					isMedoid[old] = false
+				delta := 0.0
+				for i := 0; i < n; i++ {
+					d := m.At(i, cand)
+					fallback := nearD[i]
+					if near[i] == mi {
+						fallback = secD[i]
+					}
+					if d < fallback {
+						fallback = d
+					}
+					delta += fallback - nearD[i]
+				}
+				if delta < -1e-15 {
+					isMedoid[medoids[mi]] = false
 					isMedoid[cand] = true
+					medoids[mi] = cand
+					rebuild()
+					cost = assignCost(m, medoids)
 					improved = true
 					break
 				}
-				medoids[mi] = old
 			}
 		}
 	}
@@ -147,6 +190,10 @@ func kMedoidsOnce(m *Matrix, k int, rng *rand.Rand) *KMedoidsResult {
 	return res
 }
 
+// assignCost is the full O(n·k) clustering cost: each point's distance
+// to its nearest medoid, summed. The descent recomputes it only on
+// accepted swaps; tests use it as the ground truth the incremental
+// deltas must agree with.
 func assignCost(m *Matrix, medoids []int) float64 {
 	total := 0.0
 	for i := 0; i < m.Len(); i++ {

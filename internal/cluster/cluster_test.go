@@ -2,7 +2,10 @@ package cluster
 
 import (
 	"errors"
+	"math"
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 
 	"treemine/internal/core"
@@ -193,5 +196,128 @@ func TestAgglomerateEmpty(t *testing.T) {
 	d := Agglomerate(NewMatrix(0), Single)
 	if len(d.Merges) != 0 {
 		t.Fatal("empty matrix produced merges")
+	}
+}
+
+// kMedoidsRef is the pre-engine descent, verbatim: every swap candidate
+// evaluated by a full O(n·k) assignCost recomputation. The incremental
+// kMedoidsOnce must reach the same medoids from the same seed.
+func kMedoidsRef(m *Matrix, k int, seed int64) *KMedoidsResult {
+	rng := rand.New(rand.NewSource(seed))
+	var best *KMedoidsResult
+	for restart := 0; restart < 4; restart++ {
+		n := m.Len()
+		medoids := rng.Perm(n)[:k]
+		isMedoid := make([]bool, n)
+		for _, md := range medoids {
+			isMedoid[md] = true
+		}
+		cost := assignCost(m, medoids)
+		for improved := true; improved; {
+			improved = false
+			for mi := 0; mi < k && !improved; mi++ {
+				for cand := 0; cand < n; cand++ {
+					if isMedoid[cand] {
+						continue
+					}
+					old := medoids[mi]
+					medoids[mi] = cand
+					if c := assignCost(m, medoids); c < cost-1e-15 {
+						cost = c
+						isMedoid[old] = false
+						isMedoid[cand] = true
+						improved = true
+						break
+					}
+					medoids[mi] = old
+				}
+			}
+		}
+		sort.Ints(medoids)
+		res := &KMedoidsResult{Medoids: medoids, Assignment: make([]int, n), Cost: cost}
+		for i := 0; i < n; i++ {
+			bestD, bestM := math.Inf(1), 0
+			for mi, md := range medoids {
+				if d := m.At(i, md); d < bestD {
+					bestD, bestM = d, mi
+				}
+			}
+			res.Assignment[i] = bestM
+		}
+		if best == nil || res.Cost < best.Cost {
+			best = res
+		}
+	}
+	return best
+}
+
+// randMatrix builds a random symmetric distance matrix in [0, 1).
+func randMatrix(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, rng.Float64())
+		}
+	}
+	return m
+}
+
+// TestKMedoidsIncrementalDifferential is the satellite pin: on random
+// matrices, the incremental (nearest/second-nearest, PAM-style) swap
+// evaluation reaches the same medoid set, the same assignment, and the
+// same final cost (±1e-12) as the full-recompute descent from the same
+// seed. Seeds are fixed so the comparison is deterministic.
+func TestKMedoidsIncrementalDifferential(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(28) + 2
+		k := rng.Intn(n) + 1
+		m := randMatrix(rng, n)
+		got, err := KMedoids(m, k, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := kMedoidsRef(m, k, seed)
+		if !reflect.DeepEqual(got.Medoids, want.Medoids) {
+			t.Fatalf("seed=%d n=%d k=%d: medoids %v != %v", seed, n, k, got.Medoids, want.Medoids)
+		}
+		if !reflect.DeepEqual(got.Assignment, want.Assignment) {
+			t.Fatalf("seed=%d n=%d k=%d: assignment %v != %v", seed, n, k, got.Assignment, want.Assignment)
+		}
+		if diff := math.Abs(got.Cost - want.Cost); diff > 1e-12 {
+			t.Fatalf("seed=%d n=%d k=%d: cost %v != %v (|Δ| = %g)", seed, n, k, got.Cost, want.Cost, diff)
+		}
+	}
+}
+
+// TestTDistMatrixMatchesPairwiseMining pins the profile-engine delegate
+// against the pre-engine fill (string-keyed Mine + per-pair TDistItems),
+// across the packable boundary and all variants — the regression gate on
+// the "TDistMatrix pays the string penalty even for packable options"
+// bug this matrix used to have.
+func TestTDistMatrixMatchesPairwiseMining(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	taxa := treegen.Alphabet(10)
+	trees := make([]*tree.Tree, 9)
+	for i := range trees {
+		trees[i] = treegen.Yule(rng, taxa[:rng.Intn(6)+4])
+	}
+	variants := []core.Variant{core.VariantLabel, core.VariantDist, core.VariantOccur, core.VariantDistOccur}
+	for _, maxD := range []core.Dist{core.D(3), core.MaxPackedDist + 4} {
+		opts := core.Options{MaxDist: maxD, MinOccur: 1}
+		items := make([]core.ItemSet, len(trees))
+		for i, tr := range trees {
+			items[i] = core.Mine(tr, opts)
+		}
+		for _, v := range variants {
+			m := TDistMatrix(trees, v, opts)
+			for i := 0; i < len(trees); i++ {
+				for j := i + 1; j < len(trees); j++ {
+					if got, want := m.At(i, j), core.TDistItems(items[i], items[j], v); got != want {
+						t.Fatalf("maxD=%v %v: At(%d,%d) = %v, want %v", maxD, v, i, j, got, want)
+					}
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"treemine/internal/tree"
+)
+
+// DistMatrix is a symmetric pairwise tree-distance matrix with a zero
+// diagonal, stored as the row-major condensed upper triangle — the same
+// layout internal/cluster.Matrix uses, so the slice can be handed across
+// without copying.
+type DistMatrix struct {
+	n int
+	d []float64
+}
+
+// Len returns the number of trees.
+func (m *DistMatrix) Len() int { return m.n }
+
+// At returns the distance between trees i and j; the diagonal is 0.
+func (m *DistMatrix) At(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return m.d[i*(2*m.n-i-1)/2+(j-i-1)]
+}
+
+// Condensed returns the backing upper triangle: entry (i, j), i < j,
+// lives at i*(2n−i−1)/2 + (j−i−1).
+func (m *DistMatrix) Condensed() []float64 { return m.d }
+
+// BuildProfiles mines every tree once and freezes each item set into a
+// Profile under the variant. When the options are packable the whole
+// forest is interned into one shared Symbols table first (a serial
+// read-only pass, as MineForestParallel does) and mining fans out over
+// workers on packed integer keys; beyond MaxPackedDist the string-keyed
+// miner runs instead, still one tree per worker. workers ≤ 0 selects
+// GOMAXPROCS.
+func BuildProfiles(trees []*tree.Tree, v Variant, opts Options, workers int) []*Profile {
+	profiles := make([]*Profile, len(trees))
+	if len(trees) == 0 {
+		return profiles
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(trees) {
+		workers = len(trees)
+	}
+	var syms *Symbols
+	if packable(opts.MaxDist) {
+		syms = NewSymbols()
+		for _, t := range trees {
+			syms.InternTree(t)
+		}
+	}
+	mineOne := func(i int) {
+		if syms != nil {
+			profiles[i] = NewProfileISet(MineISet(trees[i], opts, syms), v)
+		} else {
+			profiles[i] = NewProfileItems(Mine(trees[i], opts), v)
+		}
+	}
+	if workers <= 1 {
+		for i := range trees {
+			mineOne(i)
+		}
+		return profiles
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(trees) {
+					return
+				}
+				mineOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return profiles
+}
+
+// ProfileDistMatrix fills the all-pairs distance matrix of pre-built
+// profiles. The upper triangle is split by rows and filled with
+// work-stealing: each worker atomically claims the next unfilled row and
+// merge-joins it against all later profiles, so the shrinking row
+// lengths balance themselves without any locking (rows never overlap).
+// workers ≤ 0 selects GOMAXPROCS.
+func ProfileDistMatrix(profiles []*Profile, workers int) *DistMatrix {
+	n := len(profiles)
+	m := &DistMatrix{n: n, d: make([]float64, n*(n-1)/2)}
+	if n < 2 {
+		return m
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n-1 {
+		workers = n - 1
+	}
+	fillRow := func(i int) {
+		base := i * (2*n - i - 1) / 2
+		pi := profiles[i]
+		for j := i + 1; j < n; j++ {
+			m.d[base+j-i-1] = TDistProfiles(pi, profiles[j])
+		}
+	}
+	if workers <= 1 {
+		for i := 0; i < n-1; i++ {
+			fillRow(i)
+		}
+		return m
+	}
+	var nextRow atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(nextRow.Add(1)) - 1
+				if i >= n-1 {
+					return
+				}
+				fillRow(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return m
+}
+
+// TDistMatrixParallel computes every pairwise cousin-based tree distance
+// under the variant: mine once per tree into one shared symbol table,
+// freeze each item set into a sorted Profile, then fill the upper
+// triangle across workers with row-chunked work-stealing, each entry an
+// allocation-free merge-join. The result is identical to calling
+// TDist on every pair, only without the per-pair re-mining, and
+// identical at any worker count — pinned by the differential tests.
+// workers ≤ 0 selects GOMAXPROCS.
+func TDistMatrixParallel(trees []*tree.Tree, v Variant, opts Options, workers int) *DistMatrix {
+	return ProfileDistMatrix(BuildProfiles(trees, v, opts, workers), workers)
+}

@@ -60,9 +60,13 @@ type Result struct {
 }
 
 // Find selects one tree per group minimizing the average pairwise
-// distance. Mining happens once per tree; the pairwise distances between
-// trees of different groups are then precomputed, so the search itself
-// touches only a matrix.
+// distance. Every tree is mined exactly once into a frozen posting-list
+// Profile (one shared symbol table across all groups when the options
+// are packable), and the full pairwise distance matrix is filled up
+// front by parallel merge-joins — so the search itself, exact or
+// descent, only ever reads a flat array. The selected trees and
+// distances are identical to evaluating TDist per candidate pair,
+// pinned by the differential test in kernel_test.go.
 func Find(groups [][]*tree.Tree, cfg Config) (*Result, error) {
 	s := len(groups)
 	if s == 0 {
@@ -73,58 +77,22 @@ func Find(groups [][]*tree.Tree, cfg Config) (*Result, error) {
 			return nil, ErrEmptyGroup
 		}
 	}
-	// Pre-mine every tree, on packed integer keys over one shared symbol
-	// table when the options allow it: the O(s²)-per-candidate pairwise
-	// distance loop then never hashes a string.
-	var rawDist func(gi, ti, gj, tj int) float64
-	if cfg.Options.MaxDist <= core.MaxPackedDist {
-		syms := core.NewSymbols()
-		for _, g := range groups {
-			for _, t := range g {
-				syms.InternTree(t)
-			}
-		}
-		isets := make([][]core.ISet, s)
-		for gi, g := range groups {
-			isets[gi] = make([]core.ISet, len(g))
-			for ti, t := range g {
-				isets[gi][ti] = core.MineISet(t, cfg.Options, syms)
-			}
-		}
-		rawDist = func(gi, ti, gj, tj int) float64 {
-			return core.TDistISets(isets[gi][ti], isets[gj][tj], cfg.Variant)
-		}
-	} else {
-		items := make([][]core.ItemSet, s)
-		for gi, g := range groups {
-			items[gi] = make([]core.ItemSet, len(g))
-			for ti, t := range g {
-				items[gi][ti] = core.Mine(t, cfg.Options)
-			}
-		}
-		rawDist = func(gi, ti, gj, tj int) float64 {
-			return core.TDistItems(items[gi][ti], items[gj][tj], cfg.Variant)
-		}
-	}
-	// dist returns the distance between tree ti of group gi and tree tj
-	// of group gj, memoized.
-	type pairKey struct{ gi, ti, gj, tj int }
-	memo := map[pairKey]float64{}
-	dist := func(gi, ti, gj, tj int) float64 {
-		if gi > gj || (gi == gj && ti > tj) {
-			gi, ti, gj, tj = gj, tj, gi, ti
-		}
-		k := pairKey{gi, ti, gj, tj}
-		if d, ok := memo[k]; ok {
-			return d
-		}
-		d := rawDist(gi, ti, gj, tj)
-		memo[k] = d
-		return d
-	}
-
 	if s == 1 {
 		return &Result{Choice: []int{0}, AvgDist: 0, Exact: true}, nil
+	}
+	// Flatten the groups, profile each tree once, and precompute all
+	// pairwise distances; off[gi]+ti is tree ti of group gi in the flat
+	// ordering.
+	off := make([]int, s)
+	var flat []*tree.Tree
+	for gi, g := range groups {
+		off[gi] = len(flat)
+		flat = append(flat, g...)
+	}
+	profiles := core.BuildProfiles(flat, cfg.Variant, cfg.Options, 0)
+	dm := core.ProfileDistMatrix(profiles, 0)
+	dist := func(gi, ti, gj, tj int) float64 {
+		return dm.At(off[gi]+ti, off[gj]+tj)
 	}
 
 	product := 1
@@ -182,6 +150,13 @@ func findExact(groups [][]*tree.Tree, dist func(gi, ti, gj, tj int) float64) *Re
 // choice, repeatedly re-optimize one group's selection holding the others
 // fixed, until no single-group change improves; keep the best of several
 // restarts.
+//
+// The descent keeps a per-(group, tree) distance-sum cache: sums[g][ti]
+// is Σ over the other groups of the distance from tree ti of group g to
+// those groups' current selections. Re-optimizing a group is then an
+// argmin over its cached row, and an accepted change updates every other
+// row by the two affected terms — O(Σ|g|) per accepted move instead of
+// recomputing s−1 distances per candidate per visit.
 func findDescent(groups [][]*tree.Tree, dist func(gi, ti, gj, tj int) float64, cfg Config) *Result {
 	s := len(groups)
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -199,6 +174,10 @@ func findDescent(groups [][]*tree.Tree, dist func(gi, ti, gj, tj int) float64, c
 	if restarts < 1 {
 		restarts = 1
 	}
+	sums := make([][]float64, s)
+	for g := range sums {
+		sums[g] = make([]float64, len(groups[g]))
+	}
 	var bestChoice []int
 	bestSum := -1.0
 	for r := 0; r < restarts; r++ {
@@ -206,27 +185,43 @@ func findDescent(groups [][]*tree.Tree, dist func(gi, ti, gj, tj int) float64, c
 		for g := range choice {
 			choice[g] = rng.Intn(len(groups[g]))
 		}
+		for g := 0; g < s; g++ {
+			for ti := range groups[g] {
+				sum := 0.0
+				for gj := 0; gj < s; gj++ {
+					if gj != g {
+						sum += dist(g, ti, gj, choice[gj])
+					}
+				}
+				sums[g][ti] = sum
+			}
+		}
 		for improved := true; improved; {
 			improved = false
 			for g := 0; g < s; g++ {
 				curBest, curIdx := -1.0, choice[g]
-				for ti := range groups[g] {
-					sum := 0.0
-					for gj := 0; gj < s; gj++ {
-						if gj != g {
-							sum += dist(g, ti, gj, choice[gj])
-						}
-					}
+				for ti, sum := range sums[g] {
 					if curBest < 0 || sum < curBest {
 						curBest, curIdx = sum, ti
 					}
 				}
 				if curIdx != choice[g] {
+					old := choice[g]
 					choice[g] = curIdx
+					for h := 0; h < s; h++ {
+						if h == g {
+							continue
+						}
+						for ti := range sums[h] {
+							sums[h][ti] += dist(h, ti, g, curIdx) - dist(h, ti, g, old)
+						}
+					}
 					improved = true
 				}
 			}
 		}
+		// The reported sum is recomputed fresh so cache drift can never
+		// reach the result.
 		if total := score(choice); bestSum < 0 || total < bestSum {
 			bestSum = total
 			bestChoice = append([]int(nil), choice...)

@@ -3,6 +3,7 @@ package kernel
 import (
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"treemine/internal/core"
@@ -142,5 +143,157 @@ func TestFindDeterministic(t *testing.T) {
 	}
 	if a.AvgDist != b.AvgDist || a.Choice[0] != b.Choice[0] || a.Choice[1] != b.Choice[1] {
 		t.Fatalf("Find not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// findRef is the pre-engine Find, verbatim: per-tree ISets/ItemSets,
+// lazily memoized TDistISets/TDistItems per pair, and a descent that
+// recomputes every candidate sum freshly. The profile-engine Find must
+// produce identical choices, distances, and exactness flags.
+func findRef(groups [][]*tree.Tree, cfg Config) *Result {
+	s := len(groups)
+	var rawDist func(gi, ti, gj, tj int) float64
+	if cfg.Options.MaxDist <= core.MaxPackedDist {
+		syms := core.NewSymbols()
+		for _, g := range groups {
+			for _, t := range g {
+				syms.InternTree(t)
+			}
+		}
+		isets := make([][]core.ISet, s)
+		for gi, g := range groups {
+			isets[gi] = make([]core.ISet, len(g))
+			for ti, t := range g {
+				isets[gi][ti] = core.MineISet(t, cfg.Options, syms)
+			}
+		}
+		rawDist = func(gi, ti, gj, tj int) float64 {
+			return core.TDistISets(isets[gi][ti], isets[gj][tj], cfg.Variant)
+		}
+	} else {
+		items := make([][]core.ItemSet, s)
+		for gi, g := range groups {
+			items[gi] = make([]core.ItemSet, len(g))
+			for ti, t := range g {
+				items[gi][ti] = core.Mine(t, cfg.Options)
+			}
+		}
+		rawDist = func(gi, ti, gj, tj int) float64 {
+			return core.TDistItems(items[gi][ti], items[gj][tj], cfg.Variant)
+		}
+	}
+	type pairKey struct{ gi, ti, gj, tj int }
+	memo := map[pairKey]float64{}
+	dist := func(gi, ti, gj, tj int) float64 {
+		if gi > gj || (gi == gj && ti > tj) {
+			gi, ti, gj, tj = gj, tj, gi, ti
+		}
+		k := pairKey{gi, ti, gj, tj}
+		if d, ok := memo[k]; ok {
+			return d
+		}
+		d := rawDist(gi, ti, gj, tj)
+		memo[k] = d
+		return d
+	}
+	product := 1
+	exact := true
+	for _, g := range groups {
+		product *= len(g)
+		if product > cfg.ExactBudget {
+			exact = false
+			break
+		}
+	}
+	if exact {
+		res := findExact(groups, dist)
+		res.Exact = true
+		return res
+	}
+	// Pre-engine descent: candidate sums recomputed freshly each visit.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pairs := float64(s*(s-1)) / 2
+	score := func(choice []int) float64 {
+		sum := 0.0
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				sum += dist(i, choice[i], j, choice[j])
+			}
+		}
+		return sum
+	}
+	restarts := cfg.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	var bestChoice []int
+	bestSum := -1.0
+	for r := 0; r < restarts; r++ {
+		choice := make([]int, s)
+		for g := range choice {
+			choice[g] = rng.Intn(len(groups[g]))
+		}
+		for improved := true; improved; {
+			improved = false
+			for g := 0; g < s; g++ {
+				curBest, curIdx := -1.0, choice[g]
+				for ti := range groups[g] {
+					sum := 0.0
+					for gj := 0; gj < s; gj++ {
+						if gj != g {
+							sum += dist(g, ti, gj, choice[gj])
+						}
+					}
+					if curBest < 0 || sum < curBest {
+						curBest, curIdx = sum, ti
+					}
+				}
+				if curIdx != choice[g] {
+					choice[g] = curIdx
+					improved = true
+				}
+			}
+		}
+		if total := score(choice); bestSum < 0 || total < bestSum {
+			bestSum = total
+			bestChoice = append([]int(nil), choice...)
+		}
+	}
+	return &Result{Choice: bestChoice, AvgDist: bestSum / pairs, Exact: false}
+}
+
+// TestFindMatchesReference is the differential pin for the profile
+// rewire: across fixed seeds, group shapes, variants, the packable
+// boundary, and both search regimes (exact, and descent forced by a
+// tiny budget), Find returns exactly the reference's choices, average
+// distance, and exactness.
+func TestFindMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed * 31))
+		s := int(rng.Int63n(4)) + 2
+		k := int(rng.Int63n(4)) + 1
+		groups := groupsFixture(seed, s, k)
+		for _, maxD := range []core.Dist{core.D(3), core.MaxPackedDist + 4} {
+			for _, budget := range []int{1_000_000, 1} {
+				cfg := DefaultConfig()
+				cfg.Options.MaxDist = maxD
+				cfg.ExactBudget = budget
+				cfg.Variant = []core.Variant{core.VariantLabel, core.VariantDist,
+					core.VariantOccur, core.VariantDistOccur}[seed%4]
+				got, err := Find(groups, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := findRef(groups, cfg)
+				if !reflect.DeepEqual(got.Choice, want.Choice) {
+					t.Fatalf("seed=%d maxD=%v budget=%d: Choice %v != %v",
+						seed, maxD, budget, got.Choice, want.Choice)
+				}
+				if got.AvgDist != want.AvgDist || got.Exact != want.Exact {
+					t.Fatalf("seed=%d maxD=%v budget=%d: (%v, %v) != (%v, %v)",
+						seed, maxD, budget, got.AvgDist, got.Exact, want.AvgDist, want.Exact)
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,137 @@
+package updown
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"treemine/internal/lca"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+// stringMatrix is the pre-interning Matrix, verbatim: string-pair map
+// keys, per-pair Label calls. Kept as the reference the packed
+// implementation must reproduce exactly.
+func stringMatrix(t *tree.Tree) map[[2]string]Value {
+	out := make(map[[2]string]Value)
+	nodes := t.LabeledNodes()
+	if len(nodes) < 2 {
+		return out
+	}
+	idx := lca.New(t)
+	for _, u := range nodes {
+		for _, v := range nodes {
+			if u == v {
+				continue
+			}
+			lu, _ := t.Label(u)
+			lv, _ := t.Label(v)
+			if lu == lv {
+				continue
+			}
+			a := idx.LCA(u, v)
+			val := Value{
+				Up:   t.Depth(u) - t.Depth(a),
+				Down: t.Depth(v) - t.Depth(a),
+			}
+			k := [2]string{lu, lv}
+			if old, ok := out[k]; !ok || less(val, old) {
+				out[k] = val
+			}
+		}
+	}
+	return out
+}
+
+// stringDistanceFrom is the pre-interning distanceFrom, verbatim.
+func stringDistanceFrom(m1, m2 map[[2]string]Value) float64 {
+	var diffs []float64
+	for k, v1 := range m1 {
+		if v2, ok := m2[k]; ok {
+			diffs = append(diffs, abs(v1.Up-v2.Up)+abs(v1.Down-v2.Down))
+		}
+	}
+	if len(diffs) == 0 {
+		return 0
+	}
+	sort.Float64s(diffs)
+	sum := 0.0
+	for _, d := range diffs {
+		sum += d
+	}
+	return sum / float64(len(diffs))
+}
+
+// rankDB builds a query plus a database of Yule trees over partially
+// overlapping taxon sets.
+func rankDB(seed int64, n int) (*tree.Tree, []*tree.Tree) {
+	rng := rand.New(rand.NewSource(seed))
+	taxa := treegen.Alphabet(30)
+	query := treegen.Yule(rng, taxa[:20])
+	db := make([]*tree.Tree, n)
+	for i := range db {
+		off := rng.Intn(10)
+		db[i] = treegen.Yule(rng, taxa[off:off+20])
+	}
+	return query, db
+}
+
+// TestRankMatchesStringReference pins the interned ranking to the
+// string-keyed implementation it replaced: identical order and
+// bit-identical distances (both implementations sort the per-pair diffs
+// before summing, and the diffs are small integers, so float equality
+// is exact).
+func TestRankMatchesStringReference(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		query, db := rankDB(seed, 40)
+		got := Rank(query, db, 0)
+		qm := stringMatrix(query)
+		want := make([]Ranked, len(db))
+		for i, tr := range db {
+			want[i] = Ranked{Index: i, Dist: stringDistanceFrom(qm, stringMatrix(tr))}
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].Dist < want[j].Dist })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed=%d: ranking diverged\n got %v\nwant %v", seed, got, want)
+		}
+	}
+}
+
+// TestDistanceFromTranslatesTables: matrices interned into different
+// symbol tables must compare identically to matrices sharing one.
+func TestDistanceFromTranslatesTables(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		taxa := treegen.Alphabet(12)
+		t1 := treegen.Yule(rng, taxa[:8])
+		t2 := treegen.Yule(rng, taxa[4:])
+		// Separate tables, interned in opposite orders on each side.
+		a := distanceFrom(NewPairMatrix(t1, nil), NewPairMatrix(t2, nil))
+		if want := Distance(t1, t2); a != want {
+			t.Fatalf("seed=%d: separate tables %v != shared %v", seed, a, want)
+		}
+	}
+}
+
+func BenchmarkRank(b *testing.B) {
+	query, db := rankDB(42, 200)
+	b.Run("interned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Rank(query, db, 10)
+		}
+	})
+	b.Run("string-maps", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			qm := stringMatrix(query)
+			out := make([]Ranked, len(db))
+			for j, tr := range db {
+				out[j] = Ranked{Index: j, Dist: stringDistanceFrom(qm, stringMatrix(tr))}
+			}
+			sort.SliceStable(out, func(x, y int) bool { return out[x].Dist < out[y].Dist })
+		}
+	})
+}

@@ -3,6 +3,7 @@ package updown
 import (
 	"sort"
 
+	"treemine/internal/core"
 	"treemine/internal/tree"
 )
 
@@ -15,13 +16,16 @@ type Ranked struct {
 // Rank orders database trees by UpDown distance to the query, nearest
 // first — the nearest-neighbor search TreeRank (reference [39] of the
 // paper) performs over phylogenetic databases. The query's matrix is
-// computed once; ties are broken by database position so results are
+// computed once, and one symbol table is shared across the whole
+// database, so every comparison is packed-key lookups with no string
+// hashing; ties are broken by database position so results are
 // deterministic. k ≤ 0 or k > len(db) returns the full ranking.
 func Rank(query *tree.Tree, db []*tree.Tree, k int) []Ranked {
-	qm := Matrix(query)
+	syms := core.NewSymbols()
+	qm := NewPairMatrix(query, syms)
 	out := make([]Ranked, len(db))
 	for i, t := range db {
-		out[i] = Ranked{Index: i, Dist: distanceFrom(qm, Matrix(t))}
+		out[i] = Ranked{Index: i, Dist: distanceFrom(qm, NewPairMatrix(t, syms))}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
 	if k > 0 && k < len(out) {
@@ -30,11 +34,33 @@ func Rank(query *tree.Tree, db []*tree.Tree, k int) []Ranked {
 	return out
 }
 
-// distanceFrom mirrors Distance on precomputed matrices.
-func distanceFrom(m1, m2 map[[2]string]Value) float64 {
-	var diffs []float64
-	for k, v1 := range m1 {
-		if v2, ok := m2[k]; ok {
+// distanceFrom mirrors Distance on precomputed matrices. Matrices over
+// the same Symbols table compare by direct key lookups; otherwise m1's
+// symbols are translated into m2's once, up front. The per-pair diffs
+// are sorted before summing, exactly as the string-keyed implementation
+// did, so the result is bit-identical to it.
+func distanceFrom(m1, m2 *PairMatrix) float64 {
+	const missing = ^uint32(0)
+	var xl []uint32
+	if m1.syms != m2.syms {
+		xl = make([]uint32, m1.syms.Len())
+		for id := range xl {
+			xl[id] = missing
+			if id2, ok := m2.syms.Lookup(m1.syms.Label(uint32(id))); ok {
+				xl[id] = id2
+			}
+		}
+	}
+	diffs := make([]float64, 0, len(m1.vals))
+	for k, v1 := range m1.vals {
+		if xl != nil {
+			a, b := xl[uint32(k>>32)], xl[uint32(k)]
+			if a == missing || b == missing {
+				continue
+			}
+			k = pairKey(a, b)
+		}
+		if v2, ok := m2.vals[k]; ok {
 			diffs = append(diffs, abs(v1.Up-v2.Up)+abs(v1.Down-v2.Down))
 		}
 	}

@@ -8,6 +8,7 @@
 package updown
 
 import (
+	"treemine/internal/core"
 	"treemine/internal/lca"
 	"treemine/internal/tree"
 )
@@ -18,39 +19,72 @@ type Value struct {
 	Down int // edges from the LCA down to the second node
 }
 
-// Matrix maps each ordered pair of distinct labels to its UpDown value
-// in t. When several node pairs realize the same label pair, the
-// lexicographically smallest (Up, Down) value represents it — the
-// closest relationship the tree asserts, mirroring how the similarity
-// measure in internal/core picks minimal cousin distances. Unlabeled
-// nodes are skipped.
-func Matrix(t *tree.Tree) map[[2]string]Value {
-	out := make(map[[2]string]Value)
+// PairMatrix is the interned form of Matrix: taxa are interned into a
+// core.Symbols table and each ordered label pair is keyed by one packed
+// uint64, so building and comparing matrices never hashes strings.
+// Matrices built against the same Symbols table (pass the table to
+// NewPairMatrix, as Rank does for a whole database) compare by direct
+// key lookups; matrices with distinct tables are bridged by a per-call
+// symbol translation.
+type PairMatrix struct {
+	syms *core.Symbols
+	vals map[uint64]Value
+}
+
+func pairKey(a, b uint32) uint64 { return uint64(a)<<32 | uint64(b) }
+
+// NewPairMatrix builds the interned UpDown matrix of t. Labels are
+// interned into syms; pass nil for a private table. When several node
+// pairs realize the same label pair, the lexicographically smallest
+// (Up, Down) value represents it — the closest relationship the tree
+// asserts, mirroring how the similarity measure in internal/core picks
+// minimal cousin distances. Unlabeled nodes are skipped.
+func NewPairMatrix(t *tree.Tree, syms *core.Symbols) *PairMatrix {
+	if syms == nil {
+		syms = core.NewSymbols()
+	}
+	m := &PairMatrix{syms: syms, vals: make(map[uint64]Value)}
 	nodes := t.LabeledNodes()
 	if len(nodes) < 2 {
-		return out
+		return m
+	}
+	// Intern and memoize per node once, so the quadratic pair loop below
+	// touches only ints.
+	labs := make([]uint32, len(nodes))
+	depths := make([]int, len(nodes))
+	for i, n := range nodes {
+		labs[i] = syms.Intern(t.MustLabel(n))
+		depths[i] = t.Depth(n)
 	}
 	idx := lca.New(t)
-	for _, u := range nodes {
-		for _, v := range nodes {
-			if u == v {
-				continue
-			}
-			lu, _ := t.Label(u)
-			lv, _ := t.Label(v)
-			if lu == lv {
+	for i, u := range nodes {
+		for j, v := range nodes {
+			if i == j || labs[i] == labs[j] {
 				continue
 			}
 			a := idx.LCA(u, v)
-			val := Value{
-				Up:   t.Depth(u) - t.Depth(a),
-				Down: t.Depth(v) - t.Depth(a),
-			}
-			k := [2]string{lu, lv}
-			if old, ok := out[k]; !ok || less(val, old) {
-				out[k] = val
+			da := t.Depth(a)
+			val := Value{Up: depths[i] - da, Down: depths[j] - da}
+			k := pairKey(labs[i], labs[j])
+			if old, ok := m.vals[k]; !ok || less(val, old) {
+				m.vals[k] = val
 			}
 		}
+	}
+	return m
+}
+
+// Len returns the number of ordered label pairs in the matrix.
+func (m *PairMatrix) Len() int { return len(m.vals) }
+
+// Matrix maps each ordered pair of distinct labels to its UpDown value
+// in t — the string-keyed view of NewPairMatrix, kept for callers that
+// want to inspect pairs by name.
+func Matrix(t *tree.Tree) map[[2]string]Value {
+	pm := NewPairMatrix(t, nil)
+	out := make(map[[2]string]Value, len(pm.vals))
+	for k, v := range pm.vals {
+		out[[2]string{pm.syms.Label(uint32(k >> 32)), pm.syms.Label(uint32(k))}] = v
 	}
 	return out
 }
@@ -69,7 +103,8 @@ func less(a, b Value) bool {
 // how TreeRank scores against a query tree's own pairs. The result is
 // symmetric and 0 for isomorphic trees.
 func Distance(t1, t2 *tree.Tree) float64 {
-	return distanceFrom(Matrix(t1), Matrix(t2))
+	syms := core.NewSymbols()
+	return distanceFrom(NewPairMatrix(t1, syms), NewPairMatrix(t2, syms))
 }
 
 func abs(x int) float64 {
