@@ -1,18 +1,20 @@
 # Standard checks for the treemine repo. `make check` is the tier-1
 # gate (vet + build + full tests); `make race` re-runs the concurrent
 # code — parallel forest mining, shard merging, the streaming pipeline,
-# and the parallel distance-matrix fill — under the race detector (the
-# CI gate runs `make check race`); `make fuzz` gives each fuzz target a
-# 30-second budget beyond its checked-in seed corpus; `make bench`
-# regenerates the paper figure benchmarks with allocation counts (see
-# BENCH_1.json, BENCH_2.json, and BENCH_3.json for the recorded
-# baselines); `make bench-dist` runs just the pairwise-distance-engine
-# benchmarks (BENCH_3.json).
+# the parallel distance-matrix fill, and the parallel parsimony search —
+# under the race detector (the CI gate runs `make check race`); `make
+# fuzz` gives each fuzz target a 30-second budget beyond its checked-in
+# seed corpus; `make bench` regenerates the paper figure benchmarks with
+# allocation counts (see BENCH_1.json through BENCH_4.json for the
+# recorded baselines); `make bench-dist` runs just the
+# pairwise-distance-engine benchmarks (BENCH_3.json); `make
+# bench-parsimony` runs just the bit-parallel Fitch engine and parallel
+# search benchmarks (BENCH_4.json).
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check vet build test race fuzz bench bench-dist
+.PHONY: check vet build test race fuzz bench bench-dist bench-parsimony
 
 check: vet build test
 
@@ -28,6 +30,7 @@ test:
 race:
 	$(GO) test -race ./internal/core -run 'Parallel|Forest|Shard|Stream|Differential'
 	$(GO) test -race ./internal/cluster ./internal/kernel -run 'Differential|Reference|Matches'
+	$(GO) test -race ./internal/parsimony -run 'WorkerCount|TiedSet|Search|Incremental'
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) -run '^$$' ./internal/newick
@@ -40,3 +43,6 @@ bench:
 bench-dist:
 	$(GO) test . -run xxx -bench 'TDistMatrix' -benchmem
 	$(GO) test ./internal/updown -run xxx -bench 'Rank' -benchmem
+
+bench-parsimony:
+	$(GO) test ./internal/parsimony -run xxx -bench 'Fitch|ParsimonySearch' -benchmem

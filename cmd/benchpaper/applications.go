@@ -78,7 +78,10 @@ func runStudies(cfg config) error {
 // equallyParsimonious builds a set of up to maxTrees equally parsimonious
 // trees for a simulated alignment over the given taxa, PHYLIP-style:
 // parsimony search finds the optimum, then the optimal plateau is walked
-// to enumerate tied topologies.
+// to enumerate tied topologies. Both run on the bit-parallel FitchEngine;
+// Workers 0 lets the search climb its starts across GOMAXPROCS (the
+// result is bit-identical at every worker count, so figures stay
+// reproducible across machines).
 func equallyParsimonious(rng *rand.Rand, taxa []string, sites int, mutProb float64, maxTrees int) ([]*treemine.Tree, error) {
 	model := treegen.Yule(rng, taxa)
 	al, err := seqsim.Evolve(rng, model, sites, mutProb)
@@ -86,7 +89,7 @@ func equallyParsimonious(rng *rand.Rand, taxa []string, sites int, mutProb float
 		return nil, err
 	}
 	seeds, _, err := parsimony.Search(rng, al, parsimony.SearchConfig{
-		Starts: 10, MaxTrees: maxTrees, MaxRounds: 200,
+		Starts: 10, MaxTrees: maxTrees, MaxRounds: 200, Workers: 0,
 	})
 	if err != nil {
 		return nil, err

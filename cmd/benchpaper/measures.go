@@ -72,11 +72,13 @@ func runMeasures(cfg config) error {
 			base := treegen.Yule(rng, taxa)
 			moved := base
 			for step := 0; step < k; step++ {
-				nbs := parsimony.NNINeighbors(moved)
-				if len(nbs) == 0 {
+				// Pick a move and materialize only that neighbor instead
+				// of building the whole NNI neighborhood.
+				mvs := parsimony.NNIMoves(moved)
+				if len(mvs) == 0 {
 					break
 				}
-				moved = nbs[rng.Intn(len(nbs))]
+				moved = parsimony.ApplyNNI(moved, mvs[rng.Intn(len(mvs))])
 			}
 			for mi, m := range measures {
 				sums[mi] += m.fn(base, moved)

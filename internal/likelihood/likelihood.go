@@ -166,9 +166,29 @@ func Search(rng *rand.Rand, a *seqsim.Alignment, cfg SearchConfig) (*tree.Tree, 
 	if a.NumTaxa() < 2 {
 		return nil, 0, fmt.Errorf("likelihood: need at least 2 taxa, have %d", a.NumTaxa())
 	}
-	neighbors := parsimony.NNINeighbors
-	if cfg.UseSPR {
-		neighbors = parsimony.SPRNeighbors
+	// Neighbors materialize lazily from move descriptors: the greedy
+	// first-improvement walk usually accepts early, so building the whole
+	// neighborhood up front (as the old NNINeighbors/SPRNeighbors path
+	// did) wasted tree constructions for every skipped move.
+	next := func(cur *tree.Tree, visit func(*tree.Tree) (bool, error)) (bool, error) {
+		if cfg.UseSPR {
+			for _, m := range parsimony.SPRMoves(cur) {
+				nb := parsimony.ApplySPR(cur, m)
+				if nb == nil {
+					continue
+				}
+				if stop, err := visit(nb); err != nil || stop {
+					return stop, err
+				}
+			}
+			return false, nil
+		}
+		for _, m := range parsimony.NNIMoves(cur) {
+			if stop, err := visit(parsimony.ApplyNNI(cur, m)); err != nil || stop {
+				return stop, err
+			}
+		}
+		return false, nil
 	}
 	var bestTree *tree.Tree
 	best := math.Inf(-1)
@@ -179,17 +199,19 @@ func Search(rng *rand.Rand, a *seqsim.Alignment, cfg SearchConfig) (*tree.Tree, 
 			return nil, 0, err
 		}
 		for round := 0; round < cfg.MaxRounds; round++ {
-			improved := false
-			for _, nb := range neighbors(cur) {
+			improved, err := next(cur, func(nb *tree.Tree) (bool, error) {
 				ns, err := Score(nb, a, cfg.BranchLen)
 				if err != nil {
-					return nil, 0, err
+					return false, err
 				}
 				if ns > score {
 					cur, score = nb, ns
-					improved = true
-					break
+					return true, nil
 				}
+				return false, nil
+			})
+			if err != nil {
+				return nil, 0, err
 			}
 			if !improved {
 				break

@@ -1,0 +1,237 @@
+package parsimony
+
+import (
+	"math/rand"
+	"testing"
+
+	"treemine/internal/seqsim"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+// ambiguousAlphabet exercises every path of the state-set table: plain
+// bases in both cases, IUPAC ambiguity codes, gaps, and an unknown byte.
+var ambiguousAlphabet = []byte("ACGTacgtURYSWKMBDHVNnryswkmbdhv-?.*")
+
+func randomAlignment(rng *rand.Rand, taxa []string, sites int, alphabet []byte) *seqsim.Alignment {
+	a := &seqsim.Alignment{Taxa: taxa, Seqs: map[string][]byte{}}
+	for _, t := range taxa {
+		s := make([]byte, sites)
+		for i := range s {
+			s[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		a.Seqs[t] = s
+	}
+	return a
+}
+
+// TestFitchEngineMatchesNaive quick-checks FitchEngine.Score ≡ Score
+// over random Yule trees × random alignments, including ambiguity codes
+// and site counts straddling the 16-sites-per-word packing boundary.
+func TestFitchEngineMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	siteCounts := []int{1, 5, 15, 16, 17, 31, 32, 33, 50, 130}
+	for trial := 0; trial < 60; trial++ {
+		nTaxa := rng.Intn(12) + 3
+		taxa := treegen.Alphabet(nTaxa)
+		sites := siteCounts[trial%len(siteCounts)]
+		alphabet := ambiguousAlphabet
+		if trial%3 == 0 {
+			alphabet = []byte("ACGT")
+		}
+		al := randomAlignment(rng, taxa, sites, alphabet)
+		tr := treegen.Yule(rng, taxa)
+
+		want, err := Score(tr, al)
+		if err != nil {
+			t.Fatalf("trial %d: naive: %v", trial, err)
+		}
+		eng, err := NewFitchEngine(al)
+		if err != nil {
+			t.Fatalf("trial %d: engine: %v", trial, err)
+		}
+		got, err := eng.Score(tr)
+		if err != nil {
+			t.Fatalf("trial %d: engine score: %v", trial, err)
+		}
+		if got != want {
+			t.Fatalf("trial %d (%d taxa × %d sites): packed %d != naive %d",
+				trial, nTaxa, sites, got, want)
+		}
+		// Steady-state rescoring of the same tree must agree too.
+		if again, _ := eng.Score(tr); again != want {
+			t.Fatalf("trial %d: rescore drifted: %d != %d", trial, again, want)
+		}
+	}
+}
+
+// TestFitchEngineSharedTableWithNaive pins the two scorers to one base
+// table: a deliberately ambiguous alignment must give identical scores.
+func TestFitchEngineSharedTableWithNaive(t *testing.T) {
+	taxa := []string{"a", "b", "c", "d"}
+	al := &seqsim.Alignment{Taxa: taxa, Seqs: map[string][]byte{
+		"a": []byte("acgtRYn-"),
+		"b": []byte("ACGTryN?"),
+		"c": []byte("tgcaSWKM"),
+		"d": []byte("TGCAswkm"),
+	}}
+	tr := mustParse(t, "((a,b),(c,d));")
+	want, err := Score(tr, al)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewFitchEngine(al)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Score(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("packed %d != naive %d on ambiguous alignment", got, want)
+	}
+}
+
+// TestIncrementalNNIMatchesFull verifies delta rescoring against full
+// rescoring for every NNI neighbor of random trees.
+func TestIncrementalNNIMatchesFull(t *testing.T) {
+	testIncrementalMatchesFull(t, false)
+}
+
+// TestIncrementalSPRMatchesFull verifies delta rescoring against full
+// rescoring for every SPR neighbor of random trees.
+func TestIncrementalSPRMatchesFull(t *testing.T) {
+	testIncrementalMatchesFull(t, true)
+}
+
+func testIncrementalMatchesFull(t *testing.T, spr bool) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 25; trial++ {
+		nTaxa := rng.Intn(9) + 4
+		taxa := treegen.Alphabet(nTaxa)
+		sites := []int{15, 16, 17, 40, 64}[trial%5]
+		al := randomAlignment(rng, taxa, sites, ambiguousAlphabet)
+		tr := treegen.Yule(rng, taxa)
+
+		eng, err := NewFitchEngine(al)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Score(tr); err != nil {
+			t.Fatal(err)
+		}
+		check := func(i int, delta int, nb *tree.Tree) {
+			t.Helper()
+			full, err := Score(nb, al)
+			if err != nil {
+				t.Fatalf("trial %d move %d: naive: %v", trial, i, err)
+			}
+			if delta != full {
+				t.Fatalf("trial %d move %d (spr=%v, %d taxa × %d sites): delta %d != full %d",
+					trial, i, spr, nTaxa, sites, delta, full)
+			}
+		}
+		if spr {
+			for i, m := range SPRMoves(tr) {
+				check(i, eng.ScoreSPR(m), ApplySPR(tr, m))
+			}
+		} else {
+			for i, m := range NNIMoves(tr) {
+				check(i, eng.ScoreNNI(m), ApplyNNI(tr, m))
+			}
+		}
+		// The cache must be untouched by move scoring: the full score of
+		// the current tree is still reproducible.
+		want, _ := Score(tr, al)
+		if got, _ := eng.Score(tr); got != want {
+			t.Fatalf("trial %d: cache corrupted by move scoring: %d != %d", trial, got, want)
+		}
+	}
+}
+
+// TestIncrementalAfterAccept walks a few accepted moves, re-attaching
+// each time, and checks the delta scores stay exact along the way.
+func TestIncrementalAfterAccept(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	taxa := treegen.Alphabet(8)
+	al := randomAlignment(rng, taxa, 33, ambiguousAlphabet)
+	cur := treegen.Yule(rng, taxa)
+	eng, err := NewFitchEngine(al)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 5; step++ {
+		if _, err := eng.Score(cur); err != nil {
+			t.Fatal(err)
+		}
+		moves := NNIMoves(cur)
+		m := moves[rng.Intn(len(moves))]
+		nb := ApplyNNI(cur, m)
+		want, err := Score(nb, al)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := eng.ScoreNNI(m); got != want {
+			t.Fatalf("step %d: delta %d != full %d", step, got, want)
+		}
+		cur = nb // accept
+	}
+}
+
+// TestMovesMatchNeighbors pins the move enumeration to the materializing
+// wrappers: same count, same trees, same order.
+func TestMovesMatchNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 10; trial++ {
+		tr := treegen.Yule(rng, treegen.Alphabet(rng.Intn(7)+4))
+		nni := NNINeighbors(tr)
+		moves := NNIMoves(tr)
+		if len(nni) != len(moves) {
+			t.Fatalf("NNI: %d neighbors != %d moves", len(nni), len(moves))
+		}
+		for i := range moves {
+			if nni[i].Canonical() != ApplyNNI(tr, moves[i]).Canonical() {
+				t.Fatalf("NNI move %d materializes differently", i)
+			}
+		}
+		spr := SPRNeighbors(tr)
+		smoves := SPRMoves(tr)
+		if len(spr) != len(smoves) {
+			t.Fatalf("SPR: %d neighbors != %d moves", len(spr), len(smoves))
+		}
+		for i := range smoves {
+			if spr[i].Canonical() != ApplySPR(tr, smoves[i]).Canonical() {
+				t.Fatalf("SPR move %d materializes differently", i)
+			}
+		}
+	}
+}
+
+func mustParse(t *testing.T, s string) *tree.Tree {
+	t.Helper()
+	return parse(t, s)
+}
+
+// TestFitchEngineErrors mirrors the naive scorer's error contract.
+func TestFitchEngineErrors(t *testing.T) {
+	al := aln([]string{"a", "b", "c"}, "A", "A", "A")
+	eng, err := NewFitchEngine(al)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Score(parse(t, "(a,b,c);")); err == nil {
+		t.Error("non-binary tree accepted")
+	}
+	if _, err := eng.Score(parse(t, "((a,b),z);")); err == nil {
+		t.Error("missing taxon accepted")
+	}
+	ragged := aln([]string{"a", "b"}, "AC", "A")
+	if _, err := NewFitchEngine(ragged); err == nil {
+		t.Error("ragged alignment accepted")
+	}
+	missing := &seqsim.Alignment{Taxa: []string{"a", "b"}, Seqs: map[string][]byte{"a": []byte("A")}}
+	if _, err := NewFitchEngine(missing); err == nil {
+		t.Error("missing sequence accepted")
+	}
+}

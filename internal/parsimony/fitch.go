@@ -1,0 +1,344 @@
+package parsimony
+
+import (
+	"fmt"
+	"math/bits"
+
+	"treemine/internal/seqsim"
+	"treemine/internal/tree"
+)
+
+// FitchEngine scores trees against one alignment with bit-parallel Fitch
+// masks: the alignment is packed once into 4-bit state sets, 16 sites per
+// uint64 word (seqsim.PackStates), and a whole tree is scored with
+// word-wide AND/OR plus a popcount of the empty-intersection nibbles. All
+// scratch is reused across calls, so steady-state Score is allocation
+// free; Score also caches the per-node state vectors and union counts of
+// the scored tree, which is what lets ScoreNNI/ScoreSPR delta-rescore a
+// local move by recomputing only the path from the rewired edge to the
+// root instead of the whole tree.
+//
+// An engine is not safe for concurrent use; the parallel search forks one
+// per worker (the packed leaf vectors are immutable and shared).
+type FitchEngine struct {
+	sites int
+	words int
+	leaf  map[string][]uint64 // packed per-taxon vectors, shared across forks
+
+	// Cached state for the most recently scored tree.
+	cur   *tree.Tree
+	vec   [][]uint64 // per-node state vectors; leaves alias this engine's leaf map
+	cnt   []int      // per-node union (substitution) counts
+	total int
+
+	// Reusable scratch, grown monotonically with tree size.
+	arena    []uint64      // backing storage for internal-node vectors
+	post     []tree.NodeID // postorder buffer
+	stack    []tree.NodeID
+	dArena   []uint64      // delta-rescore vector arena
+	dVec     [][]uint64    // per-node memo of recomputed vectors (SPR)
+	affected []bool        // nodes whose vector changes under the move
+	touched  []tree.NodeID // affected/memo entries to reset after a move
+	capNodes int
+}
+
+// nibLSB has the lowest bit of every 4-bit nibble set.
+const nibLSB = 0x1111111111111111
+
+// NewFitchEngine packs the alignment for bit-parallel scoring. It fails
+// on a missing or ragged sequence; every recognized and unrecognized
+// base byte packs exactly as the naive scorer reads it (seqsim.StateSet).
+func NewFitchEngine(a *seqsim.Alignment) (*FitchEngine, error) {
+	p, err := a.Pack()
+	if err != nil {
+		return nil, fmt.Errorf("parsimony: %w", err)
+	}
+	return &FitchEngine{sites: p.Sites, words: p.Words, leaf: p.Vec}, nil
+}
+
+// fork returns an engine sharing the immutable packed alignment but with
+// private scratch and cache, for use on another goroutine.
+func (e *FitchEngine) fork() *FitchEngine {
+	return &FitchEngine{sites: e.sites, words: e.words, leaf: e.leaf}
+}
+
+// Sites returns the number of alignment columns the engine scores.
+func (e *FitchEngine) Sites() int { return e.sites }
+
+// ensure grows the scratch buffers to hold trees of n nodes.
+func (e *FitchEngine) ensure(n int) {
+	if n <= e.capNodes {
+		return
+	}
+	e.arena = make([]uint64, n*e.words)
+	e.vec = make([][]uint64, n)
+	e.cnt = make([]int, n)
+	e.post = make([]tree.NodeID, 0, n)
+	e.stack = make([]tree.NodeID, 0, n)
+	// Delta arena: three chain-walk buffers for ScoreNNI plus one memo
+	// slot per possible affected node (all n nodes and the SPR virtual).
+	e.dArena = make([]uint64, (n+4)*e.words)
+	e.dVec = make([][]uint64, n+1)
+	e.affected = make([]bool, n+1)
+	e.touched = make([]tree.NodeID, 0, n+1)
+	e.capNodes = n
+}
+
+// combineWords writes the Fitch combination of child vectors l and r
+// into dst and returns the number of sites whose state sets were
+// disjoint (each costs one substitution). Padding nibbles are fully
+// ambiguous by construction, so they never count.
+func combineWords(dst, l, r []uint64) int {
+	unions := 0
+	for w := range dst {
+		x := l[w] & r[w]
+		u := l[w] | r[w]
+		// occ: lowest nibble bit set exactly where the intersection
+		// nibble is nonzero.
+		t := x | x>>2
+		t |= t >> 1
+		occ := t & nibLSB
+		empty := ^occ & nibLSB
+		unions += bits.OnesCount64(empty)
+		// Keep the intersection where nonzero, the union where empty:
+		// empty*0xF expands the per-nibble flag to a full nibble mask.
+		dst[w] = x | (u & (empty * 0xF))
+	}
+	return unions
+}
+
+func equalWords(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Score returns the Fitch parsimony score of the binary tree t —
+// identical by construction to the naive Score(t, a) — and caches t's
+// per-node state so ScoreNNI/ScoreSPR can delta-rescore moves on t.
+// Steady-state re-scoring allocates nothing.
+func (e *FitchEngine) Score(t *tree.Tree) (int, error) {
+	n := t.Size()
+	e.ensure(n)
+	e.cur = nil // invalidated until scoring succeeds
+
+	// Children-before-parent order without recursion: reversed preorder
+	// (sibling order within the postorder is irrelevant to Fitch).
+	e.post = e.post[:0]
+	e.stack = append(e.stack[:0], t.Root())
+	for len(e.stack) > 0 {
+		nd := e.stack[len(e.stack)-1]
+		e.stack = e.stack[:len(e.stack)-1]
+		e.post = append(e.post, nd)
+		e.stack = append(e.stack, t.Children(nd)...)
+	}
+
+	total := 0
+	for i := len(e.post) - 1; i >= 0; i-- {
+		nd := e.post[i]
+		if t.IsLeaf(nd) {
+			l, ok := t.Label(nd)
+			if !ok {
+				return 0, fmt.Errorf("%w (unlabeled leaf %d)", ErrMissingSequence, nd)
+			}
+			v, ok := e.leaf[l]
+			if !ok {
+				return 0, fmt.Errorf("%w (%q)", ErrMissingSequence, l)
+			}
+			e.vec[nd] = v
+			e.cnt[nd] = 0
+			continue
+		}
+		kids := t.Children(nd)
+		if len(kids) != 2 {
+			return 0, fmt.Errorf("%w (node %d has %d children)", ErrNotBinary, nd, len(kids))
+		}
+		dst := e.arena[int(nd)*e.words : (int(nd)+1)*e.words]
+		c := combineWords(dst, e.vec[kids[0]], e.vec[kids[1]])
+		e.vec[nd] = dst
+		e.cnt[nd] = c
+		total += c
+	}
+	e.cur, e.total = t, total
+	return total, nil
+}
+
+// otherChild returns the child of p that is not c (binary trees).
+func otherChild(t *tree.Tree, p, c tree.NodeID) tree.NodeID {
+	kids := t.Children(p)
+	if kids[0] == c {
+		return kids[1]
+	}
+	return kids[0]
+}
+
+// ScoreNNI returns the Fitch score of the neighbor ApplyNNI(cur, m)
+// where cur is the engine's cached tree, by recomputing only the
+// vectors on the path from the exchanged edge to the root (with early
+// exit as soon as a recomputed vector matches the cached one). The
+// cache is left untouched; call Score on the materialized neighbor to
+// accept the move. Panics if no tree is cached.
+func (e *FitchEngine) ScoreNNI(m NNIMove) int {
+	t := e.mustCur()
+	u := t.Parent(m.V)
+	other := otherChild(t, m.V, m.Child)
+
+	w := e.words
+	b0 := e.dArena[:w]
+	b1 := e.dArena[w : 2*w]
+	b2 := e.dArena[2*w : 3*w]
+
+	// New vectors at V (children: other, Sib) and at u (children: V, Child).
+	delta := combineWords(b0, e.vec[other], e.vec[m.Sib]) - e.cnt[m.V]
+	delta += combineWords(b1, b0, e.vec[m.Child]) - e.cnt[u]
+
+	// Propagate up while the vector keeps changing.
+	node, newVec, spare := u, b1, b2
+	for {
+		if equalWords(newVec, e.vec[node]) {
+			break // identical state set: nothing above can change
+		}
+		p := t.Parent(node)
+		if p == tree.None {
+			break
+		}
+		sib := otherChild(t, p, node)
+		delta += combineWords(spare, newVec, e.vec[sib]) - e.cnt[p]
+		newVec, spare = spare, newVec
+		node = p
+	}
+	return e.total + delta
+}
+
+// sprState carries one ScoreSPR evaluation through the recursive
+// recompute of the affected path vectors.
+type sprState struct {
+	t       *tree.Tree
+	virtual tree.NodeID // index t.Size(): the fresh regraft node
+	p       tree.NodeID // suppressed parent of Prune
+	s       tree.NodeID // Prune's sibling, replaces p
+	prune   tree.NodeID
+	target  tree.NodeID
+	dUsed   int // slots of dArena handed out
+	delta   int
+}
+
+// ScoreSPR returns the Fitch score of the neighbor ApplySPR(cur, m)
+// where cur is the engine's cached tree, recomputing only the nodes
+// whose state can change: the fresh regraft node and the (new-topology)
+// ancestors of the regraft edge and of the suppressed parent. The cache
+// is left untouched. Panics if no tree is cached.
+func (e *FitchEngine) ScoreSPR(m SPRMove) int {
+	t := e.mustCur()
+	st := sprState{
+		t:       t,
+		virtual: tree.NodeID(t.Size()),
+		p:       t.Parent(m.Prune),
+		prune:   m.Prune,
+		target:  m.Target,
+	}
+	st.s = otherChild(t, st.p, m.Prune)
+	g := t.Parent(st.p)
+	tp := t.Parent(m.Target)
+
+	// Mark every node whose vector can change: the virtual node plus the
+	// new-topology ancestor chains above the regraft point and above the
+	// suppressed parent. newParentUp skips p (S takes its place), so p
+	// itself is never marked.
+	e.mark(&st, st.virtual)
+	for y := tp; y != tree.None; y = e.newParentUp(&st, y) {
+		e.mark(&st, y)
+	}
+	for y := g; y != tree.None; y = e.newParentUp(&st, y) {
+		e.mark(&st, y)
+	}
+
+	newRoot := t.Root()
+	if g == tree.None {
+		newRoot = st.s // p was the root; the sibling takes over
+	}
+	e.sprVec(&st, newRoot)
+
+	// p's union count leaves the total with its node.
+	score := e.total - e.cnt[st.p] + st.delta
+
+	// Reset the marks and memos for the next move.
+	for _, nd := range e.touched {
+		e.affected[nd] = false
+		e.dVec[nd] = nil
+	}
+	e.touched = e.touched[:0]
+	return score
+}
+
+func (e *FitchEngine) mark(st *sprState, nd tree.NodeID) {
+	if !e.affected[nd] {
+		e.affected[nd] = true
+		e.touched = append(e.touched, nd)
+	}
+}
+
+// newParentUp follows parent pointers as they are after the move: the
+// sibling's parent becomes the pruned subtree's grandparent (p is
+// suppressed). No other node on an upward walk can have p as its old
+// parent, so this never yields p.
+func (e *FitchEngine) newParentUp(st *sprState, nd tree.NodeID) tree.NodeID {
+	if nd == st.s {
+		return st.t.Parent(st.p)
+	}
+	return st.t.Parent(nd)
+}
+
+// sprVec returns the post-move state vector of nd, recomputing affected
+// nodes (memoized) and returning cached vectors for everything else.
+// st.delta accumulates new-minus-old union counts along the way.
+func (e *FitchEngine) sprVec(st *sprState, nd tree.NodeID) []uint64 {
+	if nd != st.virtual && !e.affected[nd] {
+		return e.vec[nd]
+	}
+	if v := e.dVec[nd]; v != nil {
+		return v
+	}
+	var c0, c1 tree.NodeID
+	if nd == st.virtual {
+		c0, c1 = st.target, st.prune
+	} else {
+		kids := st.t.Children(nd)
+		c0, c1 = kids[0], kids[1]
+		// Post-move substitutions: the suppressed parent gives way to the
+		// sibling; the regraft target now hangs under the virtual node.
+		if c0 == st.p {
+			c0 = st.s
+		} else if c0 == st.target {
+			c0 = st.virtual
+		}
+		if c1 == st.p {
+			c1 = st.s
+		} else if c1 == st.target {
+			c1 = st.virtual
+		}
+	}
+	l := e.sprVec(st, c0)
+	r := e.sprVec(st, c1)
+	w := e.words
+	slot := e.dArena[(3+st.dUsed)*w : (4+st.dUsed)*w]
+	st.dUsed++
+	c := combineWords(slot, l, r)
+	old := 0
+	if nd != st.virtual {
+		old = e.cnt[nd]
+	}
+	st.delta += c - old
+	e.dVec[nd] = slot
+	return slot
+}
+
+func (e *FitchEngine) mustCur() *tree.Tree {
+	if e.cur == nil {
+		panic("parsimony: FitchEngine move scoring without a cached tree; call Score first")
+	}
+	return e.cur
+}

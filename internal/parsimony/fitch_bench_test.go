@@ -1,0 +1,101 @@
+package parsimony
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"treemine/internal/seqsim"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+func benchFixture(b *testing.B, nTaxa, sites int) (*seqsim.Alignment, *tree.Tree) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(nTaxa)*10007 + int64(sites)))
+	taxa := treegen.Alphabet(nTaxa)
+	model := treegen.Yule(rng, taxa)
+	al, err := seqsim.Evolve(rng, model, sites, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return al, treegen.Yule(rng, taxa)
+}
+
+// BenchmarkFitch compares the three scoring paths on one full tree:
+// naive per-site byte masks (the pre-engine implementation, kept as the
+// differential oracle), the packed bit-parallel engine, and incremental
+// delta rescoring of one NNI move against the engine's cached state
+// (what the search actually pays per neighbor).
+func BenchmarkFitch(b *testing.B) {
+	for _, nTaxa := range []int{16, 32, 64} {
+		for _, sites := range []int{500, 2000} {
+			al, tr := benchFixture(b, nTaxa, sites)
+			name := fmt.Sprintf("taxa=%d/sites=%d", nTaxa, sites)
+
+			b.Run(name+"/naive", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := Score(tr, al); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(name+"/packed", func(b *testing.B) {
+				eng, err := NewFitchEngine(al)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Score(tr); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Score(tr); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(name+"/incremental", func(b *testing.B) {
+				eng, err := NewFitchEngine(al)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Score(tr); err != nil {
+					b.Fatal(err)
+				}
+				moves := NNIMoves(tr)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.ScoreNNI(moves[i%len(moves)])
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkParsimonySearch compares serial and parallel multi-start
+// search (identical output by construction; wall-clock scales with
+// GOMAXPROCS on multi-core machines).
+func BenchmarkParsimonySearch(b *testing.B) {
+	al, _ := benchFixture(b, 16, 300)
+	cfg := SearchConfig{Starts: 8, MaxTrees: 16, MaxRounds: 60}
+	run := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Workers = workers
+			rng := rand.New(rand.NewSource(42))
+			if _, _, err := Search(rng, al, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run(fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		run(b, runtime.GOMAXPROCS(0))
+	})
+}

@@ -1,0 +1,164 @@
+package parsimony
+
+import (
+	"math/rand"
+	"testing"
+
+	"treemine/internal/seqsim"
+	"treemine/internal/treegen"
+)
+
+// TestBaseMaskTable pins the shared nucleotide table (satellite of the
+// historical bug where lowercase bases and IUPAC ambiguity codes all
+// collapsed to "fully unknown"): plain bases map to single bits in
+// either case, ambiguity codes to their documented subsets, gaps and
+// unknowns to the full set.
+func TestBaseMaskTable(t *testing.T) {
+	const (
+		A = seqsim.StateA
+		C = seqsim.StateC
+		G = seqsim.StateG
+		T = seqsim.StateT
+		N = seqsim.StateAny
+	)
+	cases := []struct {
+		bases string
+		want  uint8
+	}{
+		{"Aa", A},
+		{"Cc", C},
+		{"Gg", G},
+		{"Tt", T},
+		{"Uu", T}, // uracil reads as thymine
+		{"Rr", A | G},
+		{"Yy", C | T},
+		{"Ss", C | G},
+		{"Ww", A | T},
+		{"Kk", G | T},
+		{"Mm", A | C},
+		{"Bb", C | G | T},
+		{"Dd", A | G | T},
+		{"Hh", A | C | T},
+		{"Vv", A | C | G},
+		{"NnXx", N},
+		{"-?.", N},
+		{"Zz*7 ", N}, // anything unrecognized stays fully ambiguous
+	}
+	for _, tc := range cases {
+		for i := 0; i < len(tc.bases); i++ {
+			b := tc.bases[i]
+			if got := baseMask(b); got != tc.want {
+				t.Errorf("baseMask(%q) = %04b, want %04b", string(b), got, tc.want)
+			}
+			if got := seqsim.StateSet(b); got != tc.want {
+				t.Errorf("StateSet(%q) = %04b, want %04b", string(b), got, tc.want)
+			}
+		}
+	}
+}
+
+// TestBaseMaskAmbiguityScores checks the masks do real Fitch work: R vs
+// A is free (they share the A bit), R vs C costs one.
+func TestBaseMaskAmbiguityScores(t *testing.T) {
+	free := aln([]string{"a", "b"}, "R", "A")
+	tr := parse(t, "(a,b);")
+	if got, err := Score(tr, free); err != nil || got != 0 {
+		t.Fatalf("Score(R vs A) = %d, %v; want 0", got, err)
+	}
+	costly := aln([]string{"a", "b"}, "R", "C")
+	if got, err := Score(tr, costly); err != nil || got != 1 {
+		t.Fatalf("Score(R vs C) = %d, %v; want 1", got, err)
+	}
+	lower := aln([]string{"a", "b"}, "a", "g")
+	if got, err := Score(tr, lower); err != nil || got != 1 {
+		t.Fatalf("Score(a vs g lowercase) = %d, %v; want 1", got, err)
+	}
+}
+
+// TestPackStatesBoundary checks the word packing at and around the
+// 16-sites-per-word boundary, including the ambiguous padding.
+func TestPackStatesBoundary(t *testing.T) {
+	for _, sites := range []int{1, 15, 16, 17, 32, 33} {
+		seq := make([]byte, sites)
+		for i := range seq {
+			seq[i] = "ACGT"[i%4]
+		}
+		v := seqsim.PackStates(seq)
+		wantWords := (sites + 15) / 16
+		if len(v) != wantWords {
+			t.Fatalf("sites=%d: %d words, want %d", sites, len(v), wantWords)
+		}
+		for i, b := range seq {
+			got := uint8(v[i/16] >> uint((i%16)*4) & 0xF)
+			if got != seqsim.StateSet(b) {
+				t.Fatalf("sites=%d site %d: packed %04b, want %04b", sites, i, got, seqsim.StateSet(b))
+			}
+		}
+		// Padding nibbles are fully ambiguous.
+		for i := sites; i < wantWords*16; i++ {
+			got := uint8(v[i/16] >> uint((i%16)*4) & 0xF)
+			if got != seqsim.StateAny {
+				t.Fatalf("sites=%d pad %d: %04b, want %04b", sites, i, got, seqsim.StateAny)
+			}
+		}
+	}
+}
+
+// TestFitchScoreZeroAlloc is the steady-state allocation gate: once the
+// engine's scratch has grown to the tree size, re-scoring allocates
+// nothing.
+func TestFitchScoreZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	taxa := treegen.Alphabet(16)
+	model := treegen.Yule(rng, taxa)
+	al, err := seqsim.Evolve(rng, model, 500, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewFitchEngine(al)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := treegen.Yule(rng, taxa)
+	if _, err := eng.Score(tr); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := eng.Score(tr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state FitchEngine.Score allocates %v/op, want 0", allocs)
+	}
+	// Delta rescoring is allocation-free too.
+	moves := NNIMoves(tr)
+	i := 0
+	allocs = testing.AllocsPerRun(200, func() {
+		eng.ScoreNNI(moves[i%len(moves)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("ScoreNNI allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestFitchEngineEmptyAlignmentAndTinyTrees covers the degenerate ends.
+func TestFitchEngineEmptyAlignmentAndTinyTrees(t *testing.T) {
+	al := aln([]string{"a", "b"}, "", "")
+	eng, err := NewFitchEngine(al)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := eng.Score(parse(t, "(a,b);")); err != nil || got != 0 {
+		t.Fatalf("zero-site score = %d, %v; want 0", got, err)
+	}
+	single := aln([]string{"a"}, "ACGT")
+	eng, err = NewFitchEngine(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := eng.Score(parse(t, "a;")); err != nil || got != 0 {
+		t.Fatalf("leaf-only score = %d, %v; want 0", got, err)
+	}
+}

@@ -1,0 +1,212 @@
+package parsimony
+
+import (
+	"treemine/internal/tree"
+)
+
+// Move descriptors let the search enumerate a tree's NNI/SPR
+// neighborhood without materializing neighbor trees: the FitchEngine
+// delta-scores a move in O(path × words) against its cached state, and
+// only moves worth keeping (improvements and ties) are turned into real
+// trees with ApplyNNI/ApplySPR. NNINeighbors and SPRNeighbors remain as
+// materializing wrappers; for every tree,
+// NNINeighbors(t)[i] == ApplyNNI(t, NNIMoves(t)[i]) and likewise for SPR.
+
+// NNIMove is one nearest-neighbor interchange on a rooted binary tree:
+// exchange Sib (the sibling of the internal node V) with Child (a child
+// of V). After the move V's children are Sib and V's other child, and
+// V's parent's children are V and Child.
+type NNIMove struct {
+	V, Sib, Child tree.NodeID
+}
+
+// NNIMoves enumerates the NNI neighborhood of a rooted binary tree, in
+// the same order NNINeighbors materializes it: for every internal
+// non-root node V under a binary parent, exchanging V's sibling with
+// each of V's two children.
+func NNIMoves(t *tree.Tree) []NNIMove {
+	var out []NNIMove
+	for _, v := range t.Nodes() {
+		u := t.Parent(v)
+		if u == tree.None || t.IsLeaf(v) {
+			continue
+		}
+		// Binary trees: v has exactly one sibling.
+		var sib tree.NodeID = tree.None
+		for _, c := range t.Children(u) {
+			if c != v {
+				sib = c
+			}
+		}
+		if sib == tree.None || t.NumChildren(u) != 2 {
+			continue
+		}
+		kids := t.Children(v)
+		if len(kids) != 2 {
+			continue
+		}
+		out = append(out,
+			NNIMove{V: v, Sib: sib, Child: kids[0]},
+			NNIMove{V: v, Sib: sib, Child: kids[1]},
+		)
+	}
+	return out
+}
+
+// ApplyNNI materializes the neighbor tree m describes. The input is
+// never modified.
+func ApplyNNI(t *tree.Tree, m NNIMove) *tree.Tree {
+	return rewire(t, map[tree.NodeID]tree.NodeID{m.Sib: m.V, m.Child: t.Parent(m.V)})
+}
+
+// NNINeighbors returns the nearest-neighbor-interchange neighborhood of
+// a rooted binary tree: for every internal edge (u, v) with v an internal
+// child of u, the two topologies obtained by exchanging v's sibling with
+// one of v's children. The input is never modified; each neighbor is a
+// fresh tree.
+func NNINeighbors(t *tree.Tree) []*tree.Tree {
+	moves := NNIMoves(t)
+	if len(moves) == 0 {
+		return nil
+	}
+	out := make([]*tree.Tree, len(moves))
+	for i, m := range moves {
+		out[i] = ApplyNNI(t, m)
+	}
+	return out
+}
+
+// rewire rebuilds t with some nodes re-parented per moves (node → new
+// parent). The caller must keep the structure a tree.
+func rewire(t *tree.Tree, moves map[tree.NodeID]tree.NodeID) *tree.Tree {
+	n := t.Size()
+	parent := make([]tree.NodeID, n)
+	for i := 0; i < n; i++ {
+		parent[i] = t.Parent(tree.NodeID(i))
+	}
+	for child, np := range moves {
+		parent[child] = np
+	}
+	kids := make([][]tree.NodeID, n)
+	root := tree.None
+	for i := 0; i < n; i++ {
+		if parent[i] == tree.None {
+			root = tree.NodeID(i)
+		} else {
+			kids[parent[i]] = append(kids[parent[i]], tree.NodeID(i))
+		}
+	}
+	b := tree.NewBuilder()
+	var emit func(old tree.NodeID, newParent tree.NodeID)
+	emit = func(old, newParent tree.NodeID) {
+		var id tree.NodeID
+		if l, ok := t.Label(old); ok {
+			if newParent == tree.None {
+				id = b.Root(l)
+			} else {
+				id = b.Child(newParent, l)
+			}
+		} else {
+			if newParent == tree.None {
+				id = b.RootUnlabeled()
+			} else {
+				id = b.ChildUnlabeled(newParent)
+			}
+		}
+		for _, k := range kids[old] {
+			emit(k, id)
+		}
+	}
+	emit(root, tree.None)
+	return b.MustBuild()
+}
+
+// SPRMove is one subtree-prune-and-regraft on a rooted binary tree: the
+// subtree at Prune is detached (its former parent is suppressed, the
+// sibling takes that place) and regrafted onto the edge above Target via
+// a fresh binary node.
+type SPRMove struct {
+	Prune, Target tree.NodeID
+}
+
+// SPRMoves enumerates the SPR neighborhood of a rooted binary tree, in
+// the same order SPRNeighbors materializes it: every non-root subtree
+// against every regraft edge outside it that does not recreate the
+// original topology trivially.
+func SPRMoves(t *tree.Tree) []SPRMove {
+	var out []SPRMove
+	if t.Size() < 4 {
+		return nil
+	}
+	for _, prune := range t.Nodes() {
+		parent := t.Parent(prune)
+		if parent == tree.None {
+			continue // cannot prune the root
+		}
+		grand := t.Parent(parent)
+		if grand == tree.None && t.NumChildren(parent) != 2 {
+			continue // suppressing a non-binary root is a different move
+		}
+		var sibling tree.NodeID = tree.None
+		for _, c := range t.Children(parent) {
+			if c != prune {
+				sibling = c
+			}
+		}
+		if sibling == tree.None || t.NumChildren(parent) != 2 {
+			continue
+		}
+		inSub := markSubtree(t, prune)
+		for _, target := range t.Nodes() {
+			tp := t.Parent(target)
+			if tp == tree.None || inSub[target] || target == parent {
+				continue
+			}
+			// Skip the no-op positions: the edge above the sibling when
+			// parent is kept (re-creates the original), and edges
+			// touching parent.
+			if tp == parent || (target == sibling && tp == parent) {
+				continue
+			}
+			out = append(out, SPRMove{Prune: prune, Target: target})
+		}
+	}
+	return out
+}
+
+// ApplySPR materializes the neighbor tree m describes, or nil if the
+// surgery would leave the tree malformed (defensive; cannot happen for
+// moves from SPRMoves). The input is never modified.
+func ApplySPR(t *tree.Tree, m SPRMove) *tree.Tree {
+	parent := t.Parent(m.Prune)
+	if parent == tree.None {
+		return nil
+	}
+	var sibling tree.NodeID = tree.None
+	for _, c := range t.Children(parent) {
+		if c != m.Prune {
+			sibling = c
+		}
+	}
+	if sibling == tree.None {
+		return nil
+	}
+	return sprApply(t, m.Prune, parent, sibling, m.Target)
+}
+
+// SPRNeighbors returns the subtree-prune-and-regraft neighborhood of a
+// rooted binary tree: every subtree is detached (its former parent is
+// suppressed to keep the tree binary) and regrafted onto every edge not
+// inside it (a new binary node subdivides the target edge). SPR strictly
+// contains NNI and escapes local optima NNI cannot; parsimony and
+// likelihood searches use it via their configs. The input tree is never
+// modified.
+func SPRNeighbors(t *tree.Tree) []*tree.Tree {
+	var out []*tree.Tree
+	for _, m := range SPRMoves(t) {
+		if nb := ApplySPR(t, m); nb != nil {
+			out = append(out, nb)
+		}
+	}
+	return out
+}

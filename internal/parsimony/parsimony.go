@@ -5,13 +5,19 @@
 // its sets of equally parsimonious trees from PHYLIP; this package
 // obtains them from the same principle, keeping every distinct topology
 // tied at the best parsimony score the search finds.
+//
+// Two scorers coexist: the naive per-site Score below (the differential
+// oracle) and the bit-parallel FitchEngine (fitch.go) that the search,
+// plateau walk, and pipeline run on.
 package parsimony
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"treemine/internal/seqsim"
 	"treemine/internal/tree"
@@ -28,25 +34,20 @@ var (
 	ErrMissingSequence = errors.New("parsimony: leaf taxon missing from alignment")
 )
 
-// baseMask maps a DNA base to its Fitch state-set bit.
+// baseMask maps a nucleotide code to its Fitch state-set bits: the four
+// bases to single bits, IUPAC ambiguity codes to their subsets, gaps and
+// unknown bytes to the fully ambiguous set. Case-insensitive. The packed
+// encoder uses the same table (seqsim.StateSet), so the naive and
+// bit-parallel scorers read every byte identically.
 func baseMask(b byte) uint8 {
-	switch b {
-	case 'A':
-		return 1
-	case 'C':
-		return 2
-	case 'G':
-		return 4
-	case 'T':
-		return 8
-	default:
-		return 15 // unknown base: compatible with everything
-	}
+	return seqsim.StateSet(b)
 }
 
 // Score returns the Fitch parsimony score of the binary tree t under the
 // alignment: the minimum total number of substitutions over all internal
-// state assignments, summed over sites.
+// state assignments, summed over sites. This is the naive per-site
+// reference implementation; FitchEngine.Score computes the same value
+// bit-parallel and allocation-free.
 func Score(t *tree.Tree, a *seqsim.Alignment) (int, error) {
 	sites := a.Len()
 	masks := make([][]uint8, t.Size())
@@ -116,6 +117,13 @@ type SearchConfig struct {
 	// much larger SPR neighborhood: slower per round, but escapes local
 	// optima NNI cannot.
 	UseSPR bool
+	// Workers bounds the goroutines that climb starts in parallel (and
+	// batch-score SPR neighborhoods when capacity is spare). Zero or
+	// negative selects GOMAXPROCS. For a fixed seed the result is
+	// bit-identical at every worker count: starting trees are drawn from
+	// the rng before any climbing, each climb is deterministic given its
+	// start, and the tied sets merge in start order.
+	Workers int
 }
 
 // DefaultSearchConfig returns sensible defaults for the paper-scale
@@ -124,159 +132,297 @@ func DefaultSearchConfig() SearchConfig {
 	return SearchConfig{Starts: 12, MaxTrees: 64, MaxRounds: 200}
 }
 
+// tiedSet collects distinct topologies tied at the current best score of
+// one climb. It is deterministic under any offer order: it keeps the cap
+// canonically-smallest keys ever offered (evicting the largest when
+// over), and the stored representative is the first tree offered for its
+// key — both properties independent of when duplicates or evictees
+// arrive, which is what makes the parallel search's merge reproducible.
+type tiedSet struct {
+	cap   int
+	trees map[string]*tree.Tree
+}
+
+func newTiedSet(cap int) *tiedSet {
+	return &tiedSet{cap: cap, trees: make(map[string]*tree.Tree)}
+}
+
+func (s *tiedSet) reset() {
+	for k := range s.trees {
+		delete(s.trees, k)
+	}
+}
+
+func (s *tiedSet) offer(t *tree.Tree) {
+	k := t.Canonical()
+	if _, ok := s.trees[k]; ok {
+		return
+	}
+	s.trees[k] = t
+	if len(s.trees) > s.cap {
+		largest := ""
+		for key := range s.trees {
+			if key > largest {
+				largest = key
+			}
+		}
+		delete(s.trees, largest)
+	}
+}
+
+func (s *tiedSet) sortedKeys() []string {
+	keys := make([]string, 0, len(s.trees))
+	for k := range s.trees {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// climbResult is one start's deterministic outcome.
+type climbResult struct {
+	best int
+	keys []string // sorted canonical keys of the tied set at best
+	tied map[string]*tree.Tree
+	err  error
+}
+
 // Search looks for maximum-parsimony trees for the alignment: it
-// hill-climbs with NNI moves from cfg.Starts random Yule starting
-// topologies and returns every distinct topology tied at the best score
-// encountered anywhere during the search (the "equally parsimonious
-// trees" of the paper's §5.2), sorted by canonical form, capped at
-// cfg.MaxTrees. The best score is returned alongside.
+// hill-climbs with NNI (or SPR) moves from cfg.Starts random Yule
+// starting topologies plus any seeds, delta-scoring each neighborhood on
+// a bit-parallel FitchEngine, and returns every distinct topology tied at
+// the best score encountered anywhere during the search (the "equally
+// parsimonious trees" of the paper's §5.2), sorted by canonical form,
+// capped at cfg.MaxTrees. The best score is returned alongside. Climbs
+// run on up to cfg.Workers goroutines; the output is bit-identical for a
+// fixed seed at every worker count.
 func Search(rng *rand.Rand, a *seqsim.Alignment, cfg SearchConfig) ([]*tree.Tree, int, error) {
 	if cfg.Starts <= 0 || cfg.MaxTrees <= 0 || cfg.MaxRounds <= 0 {
-		seeds := cfg.Seeds
+		seeds, useSPR, workers := cfg.Seeds, cfg.UseSPR, cfg.Workers
 		cfg = DefaultSearchConfig()
-		cfg.Seeds = seeds
+		cfg.Seeds, cfg.UseSPR, cfg.Workers = seeds, useSPR, workers
 	}
 	if a.NumTaxa() < 2 {
 		return nil, 0, fmt.Errorf("parsimony: need at least 2 taxa, have %d", a.NumTaxa())
 	}
-	best := -1
-	tied := map[string]*tree.Tree{}
-	consider := func(t *tree.Tree, score int) {
-		switch {
-		case best < 0 || score < best:
-			best = score
-			tied = map[string]*tree.Tree{t.Canonical(): t}
-		case score == best:
-			if len(tied) < cfg.MaxTrees*4 { // slack before the final cap
-				tied[t.Canonical()] = t
-			}
-		}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	base, err := NewFitchEngine(a)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// All randomness is consumed up front so the climbs are rng-free and
+	// may run in any order on any number of workers.
 	starts := make([]*tree.Tree, 0, cfg.Starts+len(cfg.Seeds))
 	starts = append(starts, cfg.Seeds...)
 	for s := 0; s < cfg.Starts; s++ {
 		starts = append(starts, treegen.Yule(rng, a.Taxa))
 	}
-	for _, cur := range starts {
-		score, err := Score(cur, a)
-		if err != nil {
-			return nil, 0, err
+
+	results := make([]climbResult, len(starts))
+	tokens := make(chan struct{}, workers)
+	for i := 0; i < workers; i++ {
+		tokens <- struct{}{}
+	}
+	var wg sync.WaitGroup
+	for i := range starts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-tokens
+			defer func() { tokens <- struct{}{} }()
+			c := &climber{eng: base.fork(), cfg: cfg, tokens: tokens}
+			results[i] = c.climb(starts[i])
+		}(i)
+	}
+	wg.Wait()
+
+	// Deterministic merge in start order.
+	best := -1
+	for _, r := range results {
+		if r.err != nil {
+			return nil, 0, r.err
 		}
-		consider(cur, score)
-		neighbors := NNINeighbors
-		if cfg.UseSPR {
-			neighbors = SPRNeighbors
+		if best < 0 || r.best < best {
+			best = r.best
 		}
-		for round := 0; round < cfg.MaxRounds; round++ {
-			improved := false
-			for _, nb := range neighbors(cur) {
-				ns, err := Score(nb, a)
-				if err != nil {
-					return nil, 0, err
-				}
-				consider(nb, ns)
-				if ns < score {
-					cur, score = nb, ns
-					improved = true
-					break // greedy first-improvement
-				}
-			}
-			if !improved {
-				break
+	}
+	merged := map[string]*tree.Tree{}
+	for _, r := range results {
+		if r.best != best {
+			continue
+		}
+		for _, k := range r.keys {
+			if _, ok := merged[k]; !ok {
+				merged[k] = r.tied[k]
 			}
 		}
 	}
-	out := make([]*tree.Tree, 0, len(tied))
-	keys := make([]string, 0, len(tied))
-	for k := range tied {
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	out := make([]*tree.Tree, 0, len(keys))
 	for _, k := range keys {
 		if len(out) == cfg.MaxTrees {
 			break
 		}
-		out = append(out, tied[k])
+		out = append(out, merged[k])
 	}
 	return out, best, nil
 }
 
-// NNINeighbors returns the nearest-neighbor-interchange neighborhood of
-// a rooted binary tree: for every internal edge (u, v) with v an internal
-// child of u, the two topologies obtained by exchanging v's sibling with
-// one of v's children. The input is never modified; each neighbor is a
-// fresh tree.
-func NNINeighbors(t *tree.Tree) []*tree.Tree {
-	var out []*tree.Tree
-	for _, v := range t.Nodes() {
-		u := t.Parent(v)
-		if u == tree.None || t.IsLeaf(v) {
-			continue
-		}
-		// Binary trees: v has exactly one sibling.
-		var sib tree.NodeID = tree.None
-		for _, c := range t.Children(u) {
-			if c != v {
-				sib = c
-			}
-		}
-		if sib == tree.None || t.NumChildren(u) != 2 {
-			continue
-		}
-		kids := t.Children(v)
-		if len(kids) != 2 {
-			continue
-		}
-		// Exchange sib with kids[0], then with kids[1].
-		out = append(out,
-			rewire(t, map[tree.NodeID]tree.NodeID{sib: v, kids[0]: u}),
-			rewire(t, map[tree.NodeID]tree.NodeID{sib: v, kids[1]: u}),
-		)
-	}
-	return out
+// climber runs one start's hill-climb on its own engine.
+type climber struct {
+	eng    *FitchEngine
+	cfg    SearchConfig
+	tokens chan struct{}
+
+	cur   *tree.Tree
+	score int
+	tied  *tiedSet
+
+	helpers []*FitchEngine // batch-scoring engines, reused across rounds
 }
 
-// rewire rebuilds t with some nodes re-parented per moves (node → new
-// parent). The caller must keep the structure a tree.
-func rewire(t *tree.Tree, moves map[tree.NodeID]tree.NodeID) *tree.Tree {
-	n := t.Size()
-	parent := make([]tree.NodeID, n)
+func (c *climber) climb(start *tree.Tree) climbResult {
+	score, err := c.eng.Score(start)
+	if err != nil {
+		return climbResult{err: err}
+	}
+	c.cur, c.score = start, score
+	c.tied = newTiedSet(c.cfg.MaxTrees * 4) // slack before the final cap
+	c.tied.offer(start)
+
+	for round := 0; round < c.cfg.MaxRounds; round++ {
+		accepted, err := c.round()
+		if err != nil {
+			return climbResult{err: err}
+		}
+		if !accepted {
+			break
+		}
+	}
+	return climbResult{best: c.score, keys: c.tied.sortedKeys(), tied: c.tied.trees}
+}
+
+// round evaluates the current neighborhood in move order: ties at the
+// climb's score are collected until the first improving move, which is
+// accepted (greedy first-improvement) and fully rescored. Returns
+// whether a move was accepted. The batch-parallel SPR path computes the
+// same scores for the same move order, so its outcome is identical to
+// the lazy serial walk.
+func (c *climber) round() (bool, error) {
+	if c.cfg.UseSPR {
+		moves := SPRMoves(c.cur)
+		if scores := c.batchScores(moves); scores != nil {
+			return c.decide(len(moves),
+				func(i int) int { return scores[i] },
+				func(i int) *tree.Tree { return ApplySPR(c.cur, moves[i]) })
+		}
+		return c.decide(len(moves),
+			func(i int) int { return c.eng.ScoreSPR(moves[i]) },
+			func(i int) *tree.Tree { return ApplySPR(c.cur, moves[i]) })
+	}
+	moves := NNIMoves(c.cur)
+	return c.decide(len(moves),
+		func(i int) int { return c.eng.ScoreNNI(moves[i]) },
+		func(i int) *tree.Tree { return ApplyNNI(c.cur, moves[i]) })
+}
+
+// decide walks move scores in index order. scoreAt is only called for
+// indices up to and including the first improvement, so the lazy path
+// never scores moves the batch path would ignore.
+func (c *climber) decide(n int, scoreAt func(int) int, apply func(int) *tree.Tree) (bool, error) {
 	for i := 0; i < n; i++ {
-		parent[i] = t.Parent(tree.NodeID(i))
-	}
-	for child, np := range moves {
-		parent[child] = np
-	}
-	kids := make([][]tree.NodeID, n)
-	root := tree.None
-	for i := 0; i < n; i++ {
-		if parent[i] == tree.None {
-			root = tree.NodeID(i)
-		} else {
-			kids[parent[i]] = append(kids[parent[i]], tree.NodeID(i))
-		}
-	}
-	b := tree.NewBuilder()
-	var emit func(old tree.NodeID, newParent tree.NodeID)
-	emit = func(old, newParent tree.NodeID) {
-		var id tree.NodeID
-		if l, ok := t.Label(old); ok {
-			if newParent == tree.None {
-				id = b.Root(l)
-			} else {
-				id = b.Child(newParent, l)
+		s := scoreAt(i)
+		if s < c.score {
+			nb := apply(i)
+			if nb == nil {
+				continue // defensive: malformed surgery, skip the move
 			}
-		} else {
-			if newParent == tree.None {
-				id = b.RootUnlabeled()
-			} else {
-				id = b.ChildUnlabeled(newParent)
+			c.tied.reset()
+			c.tied.offer(nb)
+			c.cur, c.score = nb, s
+			// Full rescore on accept: refresh the engine's cached state.
+			if _, err := c.eng.Score(nb); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+		if s == c.score {
+			if nb := apply(i); nb != nil {
+				c.tied.offer(nb)
 			}
 		}
-		for _, k := range kids[old] {
-			emit(k, id)
+	}
+	return false, nil
+}
+
+// batchScores evaluates an SPR neighborhood in parallel when spare
+// worker tokens are available, or returns nil to signal the lazy serial
+// path. Scores land by move index, so the result is independent of the
+// helper count.
+func (c *climber) batchScores(moves []SPRMove) []int {
+	const minChunk = 64 // below this, forking engines costs more than it saves
+	maxHelpers := len(moves)/minChunk - 1
+	if maxHelpers <= 0 {
+		return nil
+	}
+	helpers := 0
+	for helpers < maxHelpers {
+		select {
+		case <-c.tokens:
+			helpers++
+		default:
+			maxHelpers = helpers
 		}
 	}
-	emit(root, tree.None)
-	return b.MustBuild()
+	if helpers == 0 {
+		return nil
+	}
+	defer func() {
+		for i := 0; i < helpers; i++ {
+			c.tokens <- struct{}{}
+		}
+	}()
+	for len(c.helpers) < helpers {
+		c.helpers = append(c.helpers, c.eng.fork())
+	}
+	scores := make([]int, len(moves))
+	chunk := (len(moves) + helpers) / (helpers + 1)
+	var wg sync.WaitGroup
+	for h := 0; h < helpers; h++ {
+		lo := (h + 1) * chunk
+		hi := lo + chunk
+		if hi > len(moves) {
+			hi = len(moves)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(eng *FitchEngine, lo, hi int) {
+			defer wg.Done()
+			if _, err := eng.Score(c.cur); err != nil {
+				return // c.eng already scored this tree; cannot fail here
+			}
+			for i := lo; i < hi; i++ {
+				scores[i] = eng.ScoreSPR(moves[i])
+			}
+		}(c.helpers[h], lo, hi)
+	}
+	hi := chunk
+	if hi > len(moves) {
+		hi = len(moves)
+	}
+	for i := 0; i < hi; i++ {
+		scores[i] = c.eng.ScoreSPR(moves[i])
+	}
+	wg.Wait()
+	return scores
 }

@@ -12,11 +12,20 @@ import (
 // maxTrees are found or the plateau is exhausted. Real datasets routinely
 // have large plateaus — PHYLIP's dnapars reports exactly such sets, which
 // is what the paper's consensus experiment consumed.
+//
+// Each frontier tree's neighborhood is delta-rescored on a bit-parallel
+// FitchEngine; only the zero-cost moves are materialized, so the walk
+// does O(path × words) work per neighbor instead of rebuilding and
+// rescoring every candidate tree.
 func Plateau(seeds []*tree.Tree, a *seqsim.Alignment, maxTrees int) ([]*tree.Tree, error) {
 	if len(seeds) == 0 || maxTrees <= 0 {
 		return nil, nil
 	}
-	score, err := Score(seeds[0], a)
+	eng, err := NewFitchEngine(a)
+	if err != nil {
+		return nil, err
+	}
+	score, err := eng.Score(seeds[0])
 	if err != nil {
 		return nil, err
 	}
@@ -32,7 +41,7 @@ func Plateau(seeds []*tree.Tree, a *seqsim.Alignment, maxTrees int) ([]*tree.Tre
 		}
 	}
 	for _, s := range seeds {
-		si, err := Score(s, a)
+		si, err := eng.Score(s)
 		if err != nil {
 			return nil, err
 		}
@@ -47,13 +56,12 @@ func Plateau(seeds []*tree.Tree, a *seqsim.Alignment, maxTrees int) ([]*tree.Tre
 	for len(queue) > 0 && len(out) < maxTrees {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, nb := range NNINeighbors(cur) {
-			ns, err := Score(nb, a)
-			if err != nil {
-				return nil, err
-			}
-			if ns == score {
-				push(nb)
+		if _, err := eng.Score(cur); err != nil {
+			return nil, err
+		}
+		for _, m := range NNIMoves(cur) {
+			if eng.ScoreNNI(m) == score {
+				push(ApplyNNI(cur, m))
 				if len(out) >= maxTrees {
 					break
 				}

@@ -1,0 +1,182 @@
+package parsimony
+
+import (
+	"math/rand"
+	"testing"
+
+	"treemine/internal/seqsim"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+// searchFixture builds a noisy alignment whose search has plenty of tied
+// topologies, to stress the deterministic merge.
+func searchFixture(t *testing.T, seed int64, nTaxa, sites int, mut float64) *seqsim.Alignment {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	taxa := treegen.Alphabet(nTaxa)
+	model := treegen.Yule(rng, taxa)
+	al, err := seqsim.Evolve(rng, model, sites, mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return al
+}
+
+func runSearch(t *testing.T, al *seqsim.Alignment, cfg SearchConfig, seed int64) ([]string, []string, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	trees, best, err := Search(rng, al, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := make([]string, len(trees))
+	reps := make([]string, len(trees))
+	for i, tr := range trees {
+		canon[i] = tr.Canonical()
+		reps[i] = tr.String()
+	}
+	return canon, reps, best
+}
+
+// TestSearchWorkerCountInvariance is the parallel-search determinism
+// gate: a fixed seed returns the same (trees, best) — including the
+// exact tree representatives, not just topologies — at worker counts
+// 1, 2, and 8. Run under -race by the Makefile race target.
+func TestSearchWorkerCountInvariance(t *testing.T) {
+	al := searchFixture(t, 11, 10, 40, 0.15)
+	base := SearchConfig{Starts: 8, MaxTrees: 24, MaxRounds: 60}
+	refCanon, refReps, refBest := runSearch(t, al, withWorkers(base, 1), 5)
+	if len(refCanon) == 0 {
+		t.Fatal("reference search returned no trees")
+	}
+	for _, w := range []int{2, 8} {
+		canon, reps, best := runSearch(t, al, withWorkers(base, w), 5)
+		if best != refBest {
+			t.Fatalf("workers=%d: best %d != %d", w, best, refBest)
+		}
+		if len(canon) != len(refCanon) {
+			t.Fatalf("workers=%d: %d trees != %d", w, len(canon), len(refCanon))
+		}
+		for i := range canon {
+			if canon[i] != refCanon[i] {
+				t.Fatalf("workers=%d: topology %d differs", w, i)
+			}
+			if reps[i] != refReps[i] {
+				t.Fatalf("workers=%d: representative %d differs:\n%s\nvs\n%s", w, i, reps[i], refReps[i])
+			}
+		}
+	}
+}
+
+// TestSearchWorkerCountInvarianceSPR repeats the gate with the much
+// wider SPR neighborhood, which also exercises the batch-parallel
+// neighbor scoring.
+func TestSearchWorkerCountInvarianceSPR(t *testing.T) {
+	al := searchFixture(t, 13, 8, 30, 0.2)
+	base := SearchConfig{Starts: 4, MaxTrees: 16, MaxRounds: 20, UseSPR: true}
+	refCanon, refReps, refBest := runSearch(t, al, withWorkers(base, 1), 9)
+	for _, w := range []int{2, 8} {
+		canon, reps, best := runSearch(t, al, withWorkers(base, w), 9)
+		if best != refBest || len(canon) != len(refCanon) {
+			t.Fatalf("workers=%d: (%d trees, best %d) != (%d trees, best %d)",
+				w, len(canon), best, len(refCanon), refBest)
+		}
+		for i := range canon {
+			if canon[i] != refCanon[i] || reps[i] != refReps[i] {
+				t.Fatalf("workers=%d: tree %d differs", w, i)
+			}
+		}
+	}
+}
+
+func withWorkers(cfg SearchConfig, w int) SearchConfig {
+	cfg.Workers = w
+	return cfg
+}
+
+// TestSearchTiedSetStableAcrossRuns is the regression for the old
+// map-insertion-order slack cap, which could drop equally-best
+// topologies nondeterministically: the returned set must be identical
+// across repeated runs, even when far more tied topologies exist than
+// MaxTrees admits.
+func TestSearchTiedSetStableAcrossRuns(t *testing.T) {
+	// Few sites, heavy noise: the plateau dwarfs the MaxTrees cap.
+	al := searchFixture(t, 17, 10, 12, 0.25)
+	cfg := SearchConfig{Starts: 10, MaxTrees: 8, MaxRounds: 40}
+	refCanon, refReps, refBest := runSearch(t, al, cfg, 21)
+	for run := 0; run < 5; run++ {
+		canon, reps, best := runSearch(t, al, cfg, 21)
+		if best != refBest {
+			t.Fatalf("run %d: best %d != %d", run, best, refBest)
+		}
+		if len(canon) != len(refCanon) {
+			t.Fatalf("run %d: %d trees != %d", run, len(canon), len(refCanon))
+		}
+		for i := range canon {
+			if canon[i] != refCanon[i] || reps[i] != refReps[i] {
+				t.Fatalf("run %d: tree %d differs", run, i)
+			}
+		}
+	}
+}
+
+// TestSearchEngineMatchesNaiveBest cross-checks the engine-driven search
+// against the naive scorer: every returned tree scores exactly best
+// under the oracle.
+func TestSearchEngineMatchesNaiveBest(t *testing.T) {
+	al := searchFixture(t, 23, 9, 60, 0.12)
+	rng := rand.New(rand.NewSource(3))
+	trees, best, err := Search(rng, al, SearchConfig{Starts: 6, MaxTrees: 16, MaxRounds: 50, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) == 0 {
+		t.Fatal("no trees")
+	}
+	for i, tr := range trees {
+		s, err := Score(tr, al)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != best {
+			t.Fatalf("tree %d scores %d under the oracle, tied set claims %d", i, s, best)
+		}
+	}
+}
+
+// TestTiedSetDeterministicEviction checks the collection structure
+// directly: the kept keys are the canonically smallest ever offered,
+// whatever the offer order.
+func TestTiedSetDeterministicEviction(t *testing.T) {
+	mk := func(label string) *tree.Tree {
+		b := tree.NewBuilder()
+		b.Root(label)
+		return b.MustBuild()
+	}
+	labels := []string{"d", "b", "f", "a", "c", "e"}
+	perms := [][]int{{0, 1, 2, 3, 4, 5}, {5, 4, 3, 2, 1, 0}, {3, 0, 5, 1, 4, 2}}
+	var want []string
+	for _, p := range perms {
+		s := newTiedSet(3)
+		for _, i := range p {
+			s.offer(mk(labels[i]))
+		}
+		got := s.sortedKeys()
+		if want == nil {
+			want = got
+			if len(want) != 3 {
+				t.Fatalf("kept %d keys, want 3", len(want))
+			}
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("permutation kept %d keys, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("permutation kept %v, want %v", got, want)
+			}
+		}
+	}
+}

@@ -4,58 +4,8 @@ import (
 	"treemine/internal/tree"
 )
 
-// SPRNeighbors returns the subtree-prune-and-regraft neighborhood of a
-// rooted binary tree: every subtree is detached (its former parent is
-// suppressed to keep the tree binary) and regrafted onto every edge not
-// inside it (a new binary node subdivides the target edge). SPR strictly
-// contains NNI and escapes local optima NNI cannot; parsimony and
-// likelihood searches use it via their configs. The input tree is never
-// modified.
-func SPRNeighbors(t *tree.Tree) []*tree.Tree {
-	var out []*tree.Tree
-	n := t.Size()
-	if n < 4 {
-		return nil
-	}
-	// inSub[v] computed per prune source.
-	for _, prune := range t.Nodes() {
-		parent := t.Parent(prune)
-		if parent == tree.None {
-			continue // cannot prune the root
-		}
-		grand := t.Parent(parent)
-		if grand == tree.None && t.NumChildren(parent) != 2 {
-			continue // suppressing a non-binary root is a different move
-		}
-		// The sibling that will replace `parent` after suppression.
-		var sibling tree.NodeID = tree.None
-		for _, c := range t.Children(parent) {
-			if c != prune {
-				sibling = c
-			}
-		}
-		if sibling == tree.None || t.NumChildren(parent) != 2 {
-			continue
-		}
-		inSub := markSubtree(t, prune)
-		for _, target := range t.Nodes() {
-			tp := t.Parent(target)
-			if tp == tree.None || inSub[target] || target == parent {
-				continue
-			}
-			// Regrafting onto the edge (tp, target). Skip the no-op
-			// positions: the edge above the sibling when parent is kept
-			// (re-creates the original), and edges touching parent.
-			if tp == parent || (target == sibling && tp == parent) {
-				continue
-			}
-			if nb := sprApply(t, prune, parent, sibling, target); nb != nil {
-				out = append(out, nb)
-			}
-		}
-	}
-	return out
-}
+// The SPR neighborhood enumeration lives in moves.go (SPRMoves /
+// ApplySPR / SPRNeighbors); this file keeps the tree surgery itself.
 
 func markSubtree(t *tree.Tree, root tree.NodeID) []bool {
 	in := make([]bool, t.Size())

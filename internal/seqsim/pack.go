@@ -1,0 +1,141 @@
+package seqsim
+
+// Packed-alignment view: nucleotide codes become 4-bit Fitch state sets
+// (bit 0 = A, 1 = C, 2 = G, 3 = T) packed 16 sites to a uint64 word.
+// Word-wide AND/OR over these vectors is what makes bit-parallel Fitch
+// scoring possible (internal/parsimony.FitchEngine); the same StateSet
+// table backs the naive per-site scorer so the two can never disagree on
+// how a base is read.
+
+// State-set bits for the four nucleotides.
+const (
+	StateA uint8 = 1 << iota
+	StateC
+	StateG
+	StateT
+	// StateAny is the fully ambiguous state set (N, gaps, unknowns).
+	StateAny uint8 = StateA | StateC | StateG | StateT
+)
+
+// SitesPerWord is how many 4-bit site states one uint64 packs.
+const SitesPerWord = 16
+
+// stateTable maps every byte to its Fitch state set. Unlisted bytes are
+// fully ambiguous (StateAny), preserving the historical "unknown base is
+// compatible with everything" behavior; the IUPAC ambiguity codes and
+// both letter cases map to their proper subsets.
+var stateTable = buildStateTable()
+
+// knownBase marks the bytes Validate accepts: the IUPAC nucleotide
+// alphabet (both cases) plus gap/missing markers.
+var knownBase = buildKnownBase()
+
+func buildStateTable() [256]uint8 {
+	var t [256]uint8
+	for i := range t {
+		t[i] = StateAny
+	}
+	set := func(codes string, mask uint8) {
+		for i := 0; i < len(codes); i++ {
+			c := codes[i]
+			t[c] = mask
+			if c >= 'A' && c <= 'Z' {
+				t[c+'a'-'A'] = mask
+			}
+		}
+	}
+	set("A", StateA)
+	set("C", StateC)
+	set("G", StateG)
+	set("TU", StateT) // uracil reads as thymine
+	set("R", StateA|StateG)
+	set("Y", StateC|StateT)
+	set("S", StateC|StateG)
+	set("W", StateA|StateT)
+	set("K", StateG|StateT)
+	set("M", StateA|StateC)
+	set("B", StateC|StateG|StateT)
+	set("D", StateA|StateG|StateT)
+	set("H", StateA|StateC|StateT)
+	set("V", StateA|StateC|StateG)
+	set("NX", StateAny)
+	set("-?.", StateAny)
+	return t
+}
+
+func buildKnownBase() [256]bool {
+	var k [256]bool
+	for i := 0; i < len(iupac); i++ {
+		c := iupac[i]
+		k[c] = true
+		if c >= 'A' && c <= 'Z' {
+			k[c+'a'-'A'] = true
+		}
+	}
+	return k
+}
+
+const iupac = "ACGTURYSWKMBDHVNX-?."
+
+// StateSet returns the 4-bit Fitch state set for a nucleotide code:
+// the four bases map to single bits, the IUPAC ambiguity codes to their
+// documented subsets (R = A|G, Y = C|T, …), U to T, and gaps, N, and any
+// unrecognized byte to the fully ambiguous set. Case-insensitive.
+func StateSet(b byte) uint8 { return stateTable[b] }
+
+// KnownBase reports whether b is a recognized nucleotide code (IUPAC
+// alphabet, either case, or a gap/missing marker). Validate accepts
+// exactly these.
+func KnownBase(b byte) bool { return knownBase[b] }
+
+// PackStates packs a sequence into 4-bit state sets, 16 sites per word,
+// site i in bits 4i..4i+3 of word i/16. Padding nibbles of the last word
+// are StateAny so that bit-parallel scoring never counts a substitution
+// in them.
+func PackStates(seq []byte) []uint64 {
+	words := (len(seq) + SitesPerWord - 1) / SitesPerWord
+	v := make([]uint64, words)
+	for i, b := range seq {
+		v[i/SitesPerWord] |= uint64(stateTable[b]) << uint((i%SitesPerWord)*4)
+	}
+	if r := len(seq) % SitesPerWord; r != 0 {
+		for i := r; i < SitesPerWord; i++ {
+			v[words-1] |= uint64(StateAny) << uint(i*4)
+		}
+	}
+	return v
+}
+
+// PackedAlignment is the bit-parallel view of an Alignment: one packed
+// state vector per taxon, all of equal word length. It is immutable once
+// built and safe to share across goroutines.
+type PackedAlignment struct {
+	Taxa  []string // taxon order, as in the source alignment
+	Sites int      // number of sites (columns)
+	Words int      // uint64 words per vector: ceil(Sites/16)
+	Vec   map[string][]uint64
+}
+
+// Pack builds the packed view of the alignment. It fails on a missing or
+// ragged sequence; unlike Validate it does not reject unusual bytes —
+// they pack as fully ambiguous, matching the naive scorer.
+func (a *Alignment) Pack() (*PackedAlignment, error) {
+	sites := a.Len()
+	p := &PackedAlignment{
+		Taxa:  a.Taxa,
+		Sites: sites,
+		Words: (sites + SitesPerWord - 1) / SitesPerWord,
+		Vec:   make(map[string][]uint64, len(a.Taxa)),
+	}
+	for _, t := range a.Taxa {
+		s, ok := a.Seqs[t]
+		if !ok {
+			return nil, errTaxon(t)
+		}
+		if len(s) != sites {
+			return nil, errRagged(t, len(s), sites)
+		}
+		p.Vec[t] = PackStates(s)
+	}
+	return p, nil
+}

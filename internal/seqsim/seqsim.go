@@ -38,26 +38,31 @@ func (a *Alignment) Len() int {
 func (a *Alignment) NumTaxa() int { return len(a.Taxa) }
 
 // Validate checks that every taxon has a sequence of equal length over
-// the DNA alphabet.
+// the recognized nucleotide alphabet (IUPAC codes, either case, plus
+// gap/missing markers — see KnownBase).
 func (a *Alignment) Validate() error {
 	want := a.Len()
 	for _, t := range a.Taxa {
 		s, ok := a.Seqs[t]
 		if !ok {
-			return fmt.Errorf("seqsim: taxon %q has no sequence", t)
+			return errTaxon(t)
 		}
 		if len(s) != want {
-			return fmt.Errorf("seqsim: taxon %q has %d sites, want %d", t, len(s), want)
+			return errRagged(t, len(s), want)
 		}
 		for i, b := range s {
-			switch b {
-			case 'A', 'C', 'G', 'T':
-			default:
+			if !KnownBase(b) {
 				return fmt.Errorf("seqsim: taxon %q site %d has invalid base %q", t, i, string(b))
 			}
 		}
 	}
 	return nil
+}
+
+func errTaxon(t string) error { return fmt.Errorf("seqsim: taxon %q has no sequence", t) }
+
+func errRagged(t string, got, want int) error {
+	return fmt.Errorf("seqsim: taxon %q has %d sites, want %d", t, got, want)
 }
 
 // ErrNoLeaves is returned when the model tree has no labeled leaves.

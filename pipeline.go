@@ -33,9 +33,24 @@ func EvolveSequences(rng *rand.Rand, model *Tree, sites int, mutProb float64) (*
 }
 
 // ParsimonyScore returns the Fitch parsimony score of a binary tree
-// under the alignment.
+// under the alignment (naive per-site reference scorer; use a
+// FitchEngine to score many trees against one alignment).
 func ParsimonyScore(t *Tree, a *Alignment) (int, error) {
 	return parsimony.Score(t, a)
+}
+
+// FitchEngine scores trees against one alignment with bit-parallel Fitch
+// masks (4-bit state sets, 16 sites per word): the alignment is packed
+// once, scratch is reused, and steady-state scoring allocates nothing.
+// Score additionally caches the tree's per-node states so ScoreNNI and
+// ScoreSPR can delta-rescore local moves by recomputing only the path
+// from the rewired edge to the root. ParsimonySearch and
+// ParsimonyPlateau run on it internally.
+type FitchEngine = parsimony.FitchEngine
+
+// NewFitchEngine packs the alignment for bit-parallel Fitch scoring.
+func NewFitchEngine(a *Alignment) (*FitchEngine, error) {
+	return parsimony.NewFitchEngine(a)
 }
 
 // ParsimonySearchConfig tunes ParsimonySearch; the zero value selects
