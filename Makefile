@@ -2,19 +2,22 @@
 # gate (vet + build + full tests); `make race` re-runs the concurrent
 # code — parallel forest mining, shard merging, the streaming pipeline,
 # the parallel distance-matrix fill, and the parallel parsimony search —
-# under the race detector (the CI gate runs `make check race`); `make
-# fuzz` gives each fuzz target a 30-second budget beyond its checked-in
-# seed corpus; `make bench` regenerates the paper figure benchmarks with
-# allocation counts (see BENCH_1.json through BENCH_4.json for the
-# recorded baselines); `make bench-dist` runs just the
-# pairwise-distance-engine benchmarks (BENCH_3.json); `make
+# under the race detector (the CI gate runs `make check race chaos`);
+# `make chaos` runs the fault-injection and cancellation suite (worker
+# panics, torn checkpoint writes, mid-stream iterator failures, signal
+# semantics) under -race — see DESIGN.md §47 for the failpoint
+# catalogue; `make fuzz` gives each fuzz target a 30-second budget
+# beyond its checked-in seed corpus; `make bench` regenerates the paper
+# figure benchmarks with allocation counts (see BENCH_1.json through
+# BENCH_4.json for the recorded baselines); `make bench-dist` runs just
+# the pairwise-distance-engine benchmarks (BENCH_3.json); `make
 # bench-parsimony` runs just the bit-parallel Fitch engine and parallel
 # search benchmarks (BENCH_4.json).
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check vet build test race fuzz bench bench-dist bench-parsimony
+.PHONY: check vet build test race chaos fuzz bench bench-dist bench-parsimony
 
 check: vet build test
 
@@ -31,6 +34,14 @@ race:
 	$(GO) test -race ./internal/core -run 'Parallel|Forest|Shard|Stream|Differential'
 	$(GO) test -race ./internal/cluster ./internal/kernel -run 'Differential|Reference|Matches'
 	$(GO) test -race ./internal/parsimony -run 'WorkerCount|TiedSet|Search|Incremental'
+
+chaos:
+	$(GO) test -race ./internal/faults ./internal/guard ./internal/sigctx
+	$(GO) test -race ./internal/core -run 'Cancel|Panic|IteratorError|FaultInjection'
+	$(GO) test -race ./internal/store -run 'Atomic'
+	$(GO) test -race ./internal/parsimony -run 'SearchCancelled|SearchClimb'
+	$(GO) test -race ./internal/kernel -run 'FindCtx'
+	$(GO) test -race ./cmd/cousinmine -run 'Checkpoint|FaultInjected'
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) -run '^$$' ./internal/newick

@@ -99,7 +99,11 @@ func BenchmarkFig6MultiTree(b *testing.B) {
 var fig7Corpus = sync.OnceValue(func() []*treemine.Tree {
 	cfg := treebase.DefaultConfig()
 	cfg.NumTrees = 250
-	return treebase.NewCorpus(1, cfg).AllTrees()
+	c, err := treebase.NewCorpus(1, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c.AllTrees()
 })
 
 // BenchmarkFig7Phylogenies measures Multiple_Tree_Mining over simulated
@@ -130,7 +134,10 @@ func BenchmarkFig8SeedPlants(b *testing.B) {
 
 var fig9Plateau = sync.OnceValue(func() []*tree.Tree {
 	rng := rand.New(rand.NewSource(1))
-	taxa := treebase.Names(16)
+	taxa, err := treebase.Names(16)
+	if err != nil {
+		panic(err)
+	}
 	model := treegen.Yule(rng, taxa)
 	al, err := seqsim.Evolve(rng, model, 200, 0.3)
 	if err != nil {
@@ -171,7 +178,10 @@ func BenchmarkFig9Consensus(b *testing.B) {
 
 var fig10Groups = sync.OnceValue(func() [][]*tree.Tree {
 	rng := rand.New(rand.NewSource(1))
-	all := treebase.Names(32)
+	all, err := treebase.Names(32)
+	if err != nil {
+		panic(err)
+	}
 	var groups [][]*tree.Tree
 	for g := 0; g < 5; g++ {
 		window := all[g*2 : g*2+24]

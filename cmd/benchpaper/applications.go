@@ -44,7 +44,10 @@ func runStudies(cfg config) error {
 	if !cfg.full {
 		corpusCfg.NumTrees = 200
 	}
-	corpus := treebase.NewCorpus(cfg.seed, corpusCfg)
+	corpus, err := treebase.NewCorpus(cfg.seed, corpusCfg)
+	if err != nil {
+		return err
+	}
 	var patterns []treebase.StudyPatterns
 	d := benchutil.Time(func() {
 		patterns = treebase.MineStudies(corpus, treemine.DefaultForestOptions())
@@ -107,7 +110,10 @@ func runFig9(cfg config) error {
 	// parsimonious trees the paper's sweep needs (see EXPERIMENTS.md).
 	// Scores are averaged over several replicate datasets so the method
 	// ranking is not hostage to one plateau's noise.
-	taxa := treebase.Names(16)
+	taxa, err := treebase.Names(16)
+	if err != nil {
+		return err
+	}
 	replicates := 3
 	if cfg.full {
 		replicates = 10
@@ -175,7 +181,10 @@ func runFig9(cfg config) error {
 // subset that overlaps — but does not coincide — with the other groups'.
 func runFig10(cfg config) error {
 	rng := rand.New(rand.NewSource(cfg.seed))
-	all := treebase.Names(32) // the paper's 32 ascomycetes
+	all, err := treebase.Names(32) // the paper's 32 ascomycetes
+	if err != nil {
+		return err
+	}
 	perGroup := 8
 	if cfg.full {
 		perGroup = 12

@@ -209,7 +209,10 @@ func runFig6Stream(cfg config) error {
 // runFig7 reproduces Figure 7: Multiple_Tree_Mining over 250–1,500
 // phylogenies from the simulated TreeBASE corpus.
 func runFig7(cfg config) error {
-	corpus := treebase.NewCorpus(cfg.seed, treebase.DefaultConfig())
+	corpus, err := treebase.NewCorpus(cfg.seed, treebase.DefaultConfig())
+	if err != nil {
+		return err
+	}
 	all := corpus.AllTrees()
 	opts := treemine.DefaultForestOptions()
 	tb := benchutil.NewTable("phylogenies", "total time", "frequent pairs")

@@ -84,15 +84,7 @@ func runBuild(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	if err := ix.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := store.AtomicWrite(*out, ix.Save); err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "indexed %d trees into %s\n", ix.NumTrees(), *out)

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"treemine/internal/faults"
+)
+
+// bigForestFile writes a 600-tree Newick corpus (the 4 fixture trees
+// cycled) so the streamed run spans many 64-tree rounds and checkpoints
+// mid-stream.
+func bigForestFile(t *testing.T) string {
+	t.Helper()
+	fixture, err := os.ReadFile("testdata/forest.nwk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for i := 0; i < 150; i++ {
+		b.Write(fixture)
+	}
+	path := filepath.Join(t.TempDir(), "big.nwk")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestStreamFaultInjectedFailureResumesFromCheckpoint is the CLI-level
+// crash-recovery drill: a run killed mid-stream by an injected iterator
+// fault leaves a loadable checkpoint, and rerunning the same command
+// resumes from it to output identical to a never-interrupted run.
+func TestStreamFaultInjectedFailureResumesFromCheckpoint(t *testing.T) {
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	input := bigForestFile(t)
+
+	var clean strings.Builder
+	cleanArgs := []string{"-mode", "multi", "-stream", "-shards", "1", input}
+	if err := run(context.Background(), cleanArgs, strings.NewReader(""), &clean); err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "shard.ckpt")
+	args := []string{"-mode", "multi", "-stream", "-shards", "1",
+		"-checkpoint", ckpt, "-checkpoint-every", "50", input}
+
+	// First attempt dies at tree ~300, several checkpoints in.
+	faults.Enable(faults.StreamNext, faults.Spec{Mode: faults.ModeError, After: 300, Count: 1})
+	var out strings.Builder
+	err := run(context.Background(), args, strings.NewReader(""), &out)
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("faulted run error = %v, want injected", err)
+	}
+	if !strings.Contains(err.Error(), "tree ") {
+		t.Fatalf("error %q does not name the failing tree", err)
+	}
+	if _, serr := os.Stat(ckpt); serr != nil {
+		t.Fatalf("no checkpoint left behind by the failed run: %v", serr)
+	}
+
+	// Second attempt (fault disarmed) resumes and matches the clean run.
+	faults.Reset()
+	var resumed strings.Builder
+	if err := run(context.Background(), args, strings.NewReader(""), &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != clean.String() {
+		t.Errorf("resumed output differs from uninterrupted run:\n--- resumed ---\n%s--- clean ---\n%s",
+			resumed.String(), clean.String())
+	}
+}

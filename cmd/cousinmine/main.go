@@ -28,7 +28,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -37,17 +39,26 @@ import (
 	"treemine"
 	"treemine/internal/benchutil"
 	"treemine/internal/phyloio"
+	"treemine/internal/sigctx"
 	"treemine/internal/store"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	ctx, stop := sigctx.WithSignals(context.Background())
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cousinmine:", err)
+		if errors.Is(err, context.Canceled) {
+			// Interrupted but drained: the checkpoint (if configured) holds
+			// an exact prefix of the stream, so rerunning the same command
+			// resumes where this run stopped.
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("cousinmine", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	mode := fs.String("mode", "single", "mining mode: single (per-tree items) or multi (frequent pairs)")
@@ -85,7 +96,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			MinSup:     *minSup,
 			IgnoreDist: *ignoreDist,
 		}
-		fp, nTrees, err := mineStream(fs.Args(), stdin, fopts, *shards, *checkpoint, *ckptEvery)
+		fp, nTrees, err := mineStream(ctx, fs.Args(), stdin, fopts, *shards, *checkpoint, *ckptEvery)
 		if err != nil {
 			return err
 		}
@@ -159,8 +170,10 @@ func emitMulti(stdout io.Writer, format string, fp []treemine.FrequentPair, nTre
 
 // mineStream runs the bounded-memory pipeline over the inputs,
 // optionally checkpointing the partial shard to (and resuming it from)
-// the named file.
-func mineStream(files []string, stdin io.Reader, fopts treemine.ForestOptions, shards int, checkpoint string, every int) ([]treemine.FrequentPair, int, error) {
+// the named file. On cancellation the drained shard is flushed to the
+// checkpoint before the context error is returned, so an interrupted
+// run resumes exactly where it stopped.
+func mineStream(ctx context.Context, files []string, stdin io.Reader, fopts treemine.ForestOptions, shards int, checkpoint string, every int) ([]treemine.FrequentPair, int, error) {
 	cfg := treemine.StreamConfig{Workers: shards}
 	if checkpoint != "" {
 		if f, err := os.Open(checkpoint); err == nil {
@@ -182,31 +195,27 @@ func mineStream(files []string, stdin io.Reader, fopts treemine.ForestOptions, s
 
 	src := phyloio.OpenTrees(files, stdin)
 	defer src.Close()
-	sh, err := treemine.MineForestStreamShard(src, fopts, cfg)
+	sh, err := treemine.MineForestStreamShardCtx(ctx, src, fopts, cfg)
 	if err != nil {
+		if errors.Is(err, context.Canceled) && checkpoint != "" && sh != nil {
+			if werr := writeShardAtomic(checkpoint, sh); werr != nil {
+				return nil, 0, fmt.Errorf("final checkpoint after interrupt: %w", werr)
+			}
+			fmt.Fprintf(os.Stderr, "cousinmine: interrupted after %d trees; checkpoint %s is resumable\n",
+				sh.Trees(), checkpoint)
+		}
 		return nil, 0, err
 	}
 	return sh.Finalize(fopts.MinSup), sh.Trees(), nil
 }
 
-// writeShardAtomic persists the shard via a temp file and rename, so a
-// crash mid-write never corrupts the previous checkpoint.
+// writeShardAtomic persists the shard durably (temp file, fsync,
+// rename, directory fsync), so a crash at any point never corrupts the
+// previous checkpoint.
 func writeShardAtomic(path string, sh *treemine.SupportShard) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := store.SaveShard(f, sh); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return store.AtomicWrite(path, func(w io.Writer) error {
+		return store.SaveShard(w, sh)
+	})
 }
 
 func writeJSON(w io.Writer, v any) error {

@@ -16,6 +16,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,13 +29,19 @@ import (
 	"treemine/internal/distance"
 	"treemine/internal/editdist"
 	"treemine/internal/phyloio"
+	"treemine/internal/sigctx"
 	"treemine/internal/triplet"
 	"treemine/internal/updown"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	ctx, stop := sigctx.WithSignals(context.Background())
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "phylodist:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
@@ -63,7 +71,7 @@ func measures() map[string]func(a, b *treemine.Tree) (float64, error) {
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("phylodist", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	measure := fs.String("measure", "tdist-occ-dist",
@@ -97,10 +105,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 	var m *cluster.Matrix
 	if isTDist {
-		m = treemine.TDistMatrix(trees, variant, opts)
+		m, err = treemine.TDistMatrixCtx(ctx, trees, variant, opts)
+		if err != nil {
+			return err
+		}
 	} else {
 		m = cluster.NewMatrix(len(trees))
 		for i := 0; i < len(trees); i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			for j := i + 1; j < len(trees); j++ {
 				v, err := fn(trees[i], trees[j])
 				if err != nil {

@@ -81,14 +81,21 @@ func run(args []string, stdout io.Writer) error {
 		if *taxa < 1 {
 			return fmt.Errorf("-taxa must be ≥ 1")
 		}
-		names := treebase.Names(*taxa)
+		names, err := treebase.Names(*taxa)
+		if err != nil {
+			return err
+		}
 		for i := 0; i < *n; i++ {
 			emit(treegen.Yule(rng, names))
 		}
 	case "phylo":
 		cfg := treebase.DefaultConfig()
 		cfg.NumTrees = *n
-		for _, t := range treebase.NewCorpus(*seed, cfg).AllTrees() {
+		c, err := treebase.NewCorpus(*seed, cfg)
+		if err != nil {
+			return err
+		}
+		for _, t := range c.AllTrees() {
 			emit(t)
 		}
 	case "walk":

@@ -24,7 +24,10 @@ func main() {
 
 	// 1. Simulate sequence data for 16 species (the paper's Mus-sized
 	// workload) along a hidden "true" phylogeny.
-	taxa := treebase.Names(16)
+	taxa, err := treebase.Names(16)
+	if err != nil {
+		log.Fatal(err)
+	}
 	truth := treegen.Yule(rng, taxa)
 	alignment, err := seqsim.Evolve(rng, truth, 300, 0.25)
 	if err != nil {

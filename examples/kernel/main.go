@@ -19,7 +19,10 @@ import (
 
 func main() {
 	rng := rand.New(rand.NewSource(11))
-	all := treebase.Names(32) // the paper's 32 ascomycetes
+	all, err := treebase.Names(32) // the paper's 32 ascomycetes
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Three groups of candidate phylogenies over sliding 24-taxon
 	// windows: adjacent groups share 20 taxa but none share all.

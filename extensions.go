@@ -6,6 +6,7 @@ package treemine
 // assembly, taxon-set surgery, and NEXUS interchange.
 
 import (
+	"context"
 	"io"
 
 	"treemine/internal/cluster"
@@ -63,6 +64,13 @@ type DistanceMatrix = cluster.Matrix
 // trees under the variant, mining each tree once.
 func TDistMatrix(trees []*Tree, v Variant, opts Options) *DistanceMatrix {
 	return cluster.TDistMatrix(trees, v, opts)
+}
+
+// TDistMatrixCtx is TDistMatrix under a context: cancellation is
+// observed within one tree (profiling) or one matrix row (fill), and a
+// panicking worker surfaces as an error instead of crashing.
+func TDistMatrixCtx(ctx context.Context, trees []*Tree, v Variant, opts Options) (*DistanceMatrix, error) {
+	return cluster.TDistMatrixCtx(ctx, trees, v, opts)
 }
 
 // ClusterKMedoids groups the points of a distance matrix into k clusters

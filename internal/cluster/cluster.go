@@ -10,6 +10,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -69,6 +70,17 @@ func TDistMatrix(trees []*tree.Tree, v core.Variant, opts core.Options) *Matrix 
 	// core.DistMatrix shares this package's condensed upper-triangle
 	// layout, so the backing slice transfers without copying.
 	return &Matrix{n: dm.Len(), d: dm.Condensed()}
+}
+
+// TDistMatrixCtx is TDistMatrix under a context: cancellation is
+// observed within one tree (profiling) or one matrix row (fill), and a
+// panicking worker surfaces as an error instead of crashing.
+func TDistMatrixCtx(ctx context.Context, trees []*tree.Tree, v core.Variant, opts core.Options) (*Matrix, error) {
+	dm, err := core.TDistMatrixParallelCtx(ctx, trees, v, opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{n: dm.Len(), d: dm.Condensed()}, nil
 }
 
 // ErrBadK is returned when the requested cluster count is out of range.

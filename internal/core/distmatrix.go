@@ -1,10 +1,14 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"treemine/internal/faults"
+	"treemine/internal/guard"
 	"treemine/internal/tree"
 )
 
@@ -43,9 +47,22 @@ func (m *DistMatrix) Condensed() []float64 { return m.d }
 // miner runs instead, still one tree per worker. workers ≤ 0 selects
 // GOMAXPROCS.
 func BuildProfiles(trees []*tree.Tree, v Variant, opts Options, workers int) []*Profile {
+	profiles, err := BuildProfilesCtx(context.Background(), trees, v, opts, workers)
+	if err != nil {
+		// Unreachable without a cancellable context or an armed
+		// failpoint: re-raise to keep the no-error signature honest.
+		panic(err)
+	}
+	return profiles
+}
+
+// BuildProfilesCtx is BuildProfiles under a context: workers check ctx
+// between trees, and a panicking worker is contained into an error
+// naming the offending tree index while the rest of the pool drains.
+func BuildProfilesCtx(ctx context.Context, trees []*tree.Tree, v Variant, opts Options, workers int) ([]*Profile, error) {
 	profiles := make([]*Profile, len(trees))
 	if len(trees) == 0 {
-		return profiles
+		return profiles, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -60,36 +77,62 @@ func BuildProfiles(trees []*tree.Tree, v Variant, opts Options, workers int) []*
 			syms.InternTree(t)
 		}
 	}
-	mineOne := func(i int) {
-		if syms != nil {
-			profiles[i] = NewProfileISet(MineISet(trees[i], opts, syms), v)
-		} else {
-			profiles[i] = NewProfileItems(Mine(trees[i], opts), v)
+	mineOne := func(i int) error {
+		err := guard.Run(func() error {
+			if err := faults.Hit(faults.ProfileWorker); err != nil {
+				return err
+			}
+			if syms != nil {
+				profiles[i] = NewProfileISet(MineISet(trees[i], opts, syms), v)
+			} else {
+				profiles[i] = NewProfileItems(Mine(trees[i], opts), v)
+			}
+			return nil
+		})
+		if err != nil {
+			return wrapWorkerErr(err, fmt.Sprintf("core: profiling tree %d", i))
 		}
+		return nil
 	}
 	if workers <= 1 {
 		for i := range trees {
-			mineOne(i)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := mineOne(i); err != nil {
+				return nil, err
+			}
 		}
-		return profiles
+		return profiles, nil
 	}
 	var next atomic.Int64
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(trees) {
 					return
 				}
-				mineOne(i)
+				if err := mineOne(i); err != nil {
+					errs[w] = err
+					return
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-	return profiles
+	if err := guard.First(errs); err != nil {
+		return nil, err
+	}
+	return profiles, nil
 }
 
 // ProfileDistMatrix fills the all-pairs distance matrix of pre-built
@@ -99,10 +142,21 @@ func BuildProfiles(trees []*tree.Tree, v Variant, opts Options, workers int) []*
 // lengths balance themselves without any locking (rows never overlap).
 // workers ≤ 0 selects GOMAXPROCS.
 func ProfileDistMatrix(profiles []*Profile, workers int) *DistMatrix {
+	m, err := ProfileDistMatrixCtx(context.Background(), profiles, workers)
+	if err != nil {
+		panic(err) // unreachable without a cancellable ctx or armed failpoint
+	}
+	return m
+}
+
+// ProfileDistMatrixCtx is ProfileDistMatrix under a context: workers
+// check ctx between rows (the bounded unit of matrix work), and a
+// panicking worker is contained into an error naming the offending row.
+func ProfileDistMatrixCtx(ctx context.Context, profiles []*Profile, workers int) (*DistMatrix, error) {
 	n := len(profiles)
 	m := &DistMatrix{n: n, d: make([]float64, n*(n-1)/2)}
 	if n < 2 {
-		return m
+		return m, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -110,36 +164,62 @@ func ProfileDistMatrix(profiles []*Profile, workers int) *DistMatrix {
 	if workers > n-1 {
 		workers = n - 1
 	}
-	fillRow := func(i int) {
-		base := i * (2*n - i - 1) / 2
-		pi := profiles[i]
-		for j := i + 1; j < n; j++ {
-			m.d[base+j-i-1] = TDistProfiles(pi, profiles[j])
+	fillRow := func(i int) error {
+		err := guard.Run(func() error {
+			if err := faults.Hit(faults.MatrixWorker); err != nil {
+				return err
+			}
+			base := i * (2*n - i - 1) / 2
+			pi := profiles[i]
+			for j := i + 1; j < n; j++ {
+				m.d[base+j-i-1] = TDistProfiles(pi, profiles[j])
+			}
+			return nil
+		})
+		if err != nil {
+			return wrapWorkerErr(err, fmt.Sprintf("core: distance-matrix row %d", i))
 		}
+		return nil
 	}
 	if workers <= 1 {
 		for i := 0; i < n-1; i++ {
-			fillRow(i)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := fillRow(i); err != nil {
+				return nil, err
+			}
 		}
-		return m
+		return m, nil
 	}
 	var nextRow atomic.Int64
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
 				i := int(nextRow.Add(1)) - 1
 				if i >= n-1 {
 					return
 				}
-				fillRow(i)
+				if err := fillRow(i); err != nil {
+					errs[w] = err
+					return
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-	return m
+	if err := guard.First(errs); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // TDistMatrixParallel computes every pairwise cousin-based tree distance
@@ -152,4 +232,15 @@ func ProfileDistMatrix(profiles []*Profile, workers int) *DistMatrix {
 // workers ≤ 0 selects GOMAXPROCS.
 func TDistMatrixParallel(trees []*tree.Tree, v Variant, opts Options, workers int) *DistMatrix {
 	return ProfileDistMatrix(BuildProfiles(trees, v, opts, workers), workers)
+}
+
+// TDistMatrixParallelCtx is TDistMatrixParallel under a context:
+// cancellation is observed within one tree (profiling) or one row
+// (matrix fill), and worker panics surface as errors.
+func TDistMatrixParallelCtx(ctx context.Context, trees []*tree.Tree, v Variant, opts Options, workers int) (*DistMatrix, error) {
+	profiles, err := BuildProfilesCtx(ctx, trees, v, opts, workers)
+	if err != nil {
+		return nil, err
+	}
+	return ProfileDistMatrixCtx(ctx, profiles, workers)
 }

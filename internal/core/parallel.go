@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
+	"treemine/internal/faults"
+	"treemine/internal/guard"
 	"treemine/internal/tree"
 )
 
@@ -19,6 +23,21 @@ import (
 //
 // workers ≤ 0 selects GOMAXPROCS.
 func MineForestParallel(trees []*tree.Tree, opts ForestOptions, workers int) []FrequentPair {
+	fp, err := MineForestParallelCtx(context.Background(), trees, opts, workers)
+	if err != nil {
+		// Unreachable without a cancellable context or an armed
+		// failpoint: re-raise so the no-error signature keeps its
+		// original crash semantics instead of silently dropping work.
+		panic(err)
+	}
+	return fp
+}
+
+// MineForestParallelCtx is MineForestParallel under a context: workers
+// check ctx between trees and the call returns ctx.Err() promptly, and a
+// panicking worker is contained into an error naming the offending tree
+// index while the remaining workers drain.
+func MineForestParallelCtx(ctx context.Context, trees []*tree.Tree, opts ForestOptions, workers int) ([]FrequentPair, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -30,10 +49,24 @@ func MineForestParallel(trees []*tree.Tree, opts ForestOptions, workers int) []F
 		workers = len(trees)
 	}
 	if workers <= 1 {
-		return MineForest(trees, opts)
+		var out []FrequentPair
+		err := guard.Run(func() error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := faults.Hit(faults.MineWorker); err != nil {
+				return err
+			}
+			out = MineForest(trees, opts)
+			return nil
+		})
+		if err != nil {
+			return nil, wrapWorkerErr(err, "core: mining forest serially")
+		}
+		return out, nil
 	}
 	if !packable(opts.MaxDist) {
-		return mineForestParallelGeneric(trees, opts, workers)
+		return mineForestParallelGeneric(ctx, trees, opts, workers)
 	}
 
 	syms := NewSymbols()
@@ -42,6 +75,7 @@ func MineForestParallel(trees []*tree.Tree, opts ForestOptions, workers int) []F
 	}
 	slots := supportSlots(opts)
 	privates := make([]accum, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -50,14 +84,39 @@ func MineForestParallel(trees []*tree.Tree, opts ForestOptions, workers int) []F
 			sup := &privates[w]
 			sup.init(syms.Len(), slots)
 			m := minerPool.Get().(*miner)
-			defer m.release()
+			healthy := true
+			defer func() {
+				// A panicking miner may hold a half-updated arena; drop
+				// it instead of poisoning the pool.
+				if healthy {
+					m.release()
+				}
+			}()
 			for i := w; i < len(trees); i += workers {
-				m.reset(trees[i], opts.Options, syms)
-				mineTreeSupport(m, opts, sup)
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
+				err := guard.Run(func() error {
+					if err := faults.Hit(faults.MineWorker); err != nil {
+						return err
+					}
+					m.reset(trees[i], opts.Options, syms)
+					mineTreeSupport(m, opts, sup)
+					return nil
+				})
+				if err != nil {
+					healthy = false
+					errs[w] = wrapWorkerErr(err, fmt.Sprintf("core: mining tree %d", i))
+					return
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	if err := guard.First(errs); err != nil {
+		return nil, err
+	}
 
 	// Merge the worker-private accumulators; wg.Wait orders their writes
 	// before these reads.
@@ -67,14 +126,25 @@ func MineForestParallel(trees []*tree.Tree, opts ForestOptions, workers int) []F
 			sup.add(a, b, dc, n)
 		})
 	}
-	return drainSupport(sup, syms, opts)
+	return drainSupport(sup, syms, opts), nil
+}
+
+// wrapWorkerErr labels a worker failure with what it was doing, but
+// passes bare context cancellations through unchanged — callers match
+// those against ctx.Err() and gain nothing from a location label.
+func wrapWorkerErr(err error, doing string) error {
+	if err == context.Canceled || err == context.DeadlineExceeded {
+		return err
+	}
+	return fmt.Errorf("%s: %w", doing, err)
 }
 
 // mineForestParallelGeneric mirrors mineForestGeneric for option sets
 // the packed keys cannot represent: workers accumulate private
 // string-keyed support maps which are merged afterwards.
-func mineForestParallelGeneric(trees []*tree.Tree, opts ForestOptions, workers int) []FrequentPair {
+func mineForestParallelGeneric(ctx context.Context, trees []*tree.Tree, opts ForestOptions, workers int) ([]FrequentPair, error) {
 	privates := make([]map[Key]int, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -82,18 +152,35 @@ func mineForestParallelGeneric(trees []*tree.Tree, opts ForestOptions, workers i
 			defer wg.Done()
 			local := make(map[Key]int)
 			for i := w; i < len(trees); i += workers {
-				items := Mine(trees[i], opts.Options)
-				if opts.IgnoreDist {
-					items = items.IgnoreDist()
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
 				}
-				for k := range items {
-					local[k]++
+				err := guard.Run(func() error {
+					if err := faults.Hit(faults.MineWorker); err != nil {
+						return err
+					}
+					items := Mine(trees[i], opts.Options)
+					if opts.IgnoreDist {
+						items = items.IgnoreDist()
+					}
+					for k := range items {
+						local[k]++
+					}
+					return nil
+				})
+				if err != nil {
+					errs[w] = wrapWorkerErr(err, fmt.Sprintf("core: mining tree %d", i))
+					return
 				}
 			}
 			privates[w] = local
 		}(w)
 	}
 	wg.Wait()
+	if err := guard.First(errs); err != nil {
+		return nil, err
+	}
 
 	support := make(map[Key]int)
 	for _, local := range privates {
@@ -108,5 +195,5 @@ func mineForestParallelGeneric(trees []*tree.Tree, opts ForestOptions, workers i
 		}
 	}
 	SortFrequentPairs(out)
-	return out
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -333,7 +334,7 @@ func TestStreamCheckpointCadence(t *testing.T) {
 		CheckpointEvery: 30,
 		Checkpoint:      func(sh *SupportShard) error { return wantErr },
 	})
-	if err != wantErr {
+	if !errors.Is(err, wantErr) {
 		t.Fatalf("checkpoint error not propagated: %v", err)
 	}
 }

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
 
+	"treemine/internal/faults"
+	"treemine/internal/guard"
 	"treemine/internal/tree"
 )
 
@@ -77,7 +80,13 @@ const defaultStreamBatch = 64
 // the support table, rather than by the corpus, so it scales to forests
 // that never fit in memory. workers ≤ 0 selects GOMAXPROCS.
 func MineForestStream(it TreeIterator, opts ForestOptions, workers int) ([]FrequentPair, error) {
-	sh, err := MineForestStreamShard(it, opts, StreamConfig{Workers: workers})
+	return MineForestStreamCtx(context.Background(), it, opts, workers)
+}
+
+// MineForestStreamCtx is MineForestStream under a context: cancellation
+// is observed within one batch of work and surfaces as ctx.Err().
+func MineForestStreamCtx(ctx context.Context, it TreeIterator, opts ForestOptions, workers int) ([]FrequentPair, error) {
+	sh, err := MineForestStreamShardCtx(ctx, it, opts, StreamConfig{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -90,6 +99,25 @@ func MineForestStream(it TreeIterator, opts ForestOptions, workers int) ([]Frequ
 // returns the shard mined so far alongside the error (so a caller can
 // checkpoint even a failed run).
 func MineForestStreamShard(it TreeIterator, opts ForestOptions, cfg StreamConfig) (*SupportShard, error) {
+	return MineForestStreamShardCtx(context.Background(), it, opts, cfg)
+}
+
+// MineForestStreamShardCtx is MineForestStreamShard under a context.
+// Cancellation is cooperative and round-atomic: the iterator fill loop
+// checks ctx per tree and the mining workers per mined tree, but a
+// cancelled round's partial worker shards are discarded rather than
+// merged — so the returned shard always covers an exact prefix of the
+// stream, its Trees() count names that prefix, and a checkpoint of it
+// resumes (SkipTrees = Trees()) to results identical to an uninterrupted
+// run. The call returns ctx.Err() within one round (≤ workers × batch
+// trees) of cancellation.
+//
+// A worker panic is contained at the pool boundary: it surfaces as an
+// error wrapping guard.ErrPanic naming the offending stream tree index,
+// the remaining workers drain, and — like every other mid-stream error —
+// the shard mined through the last completed round is still returned.
+// Iterator errors are wrapped with the index of the tree that failed.
+func MineForestStreamShardCtx(ctx context.Context, it TreeIterator, opts ForestOptions, cfg StreamConfig) (*SupportShard, error) {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -106,12 +134,19 @@ func MineForestStreamShard(it TreeIterator, opts ForestOptions, cfg StreamConfig
 			master.Options(), opts)
 	}
 
-	for skipped := 0; skipped < cfg.SkipTrees; skipped++ {
+	// streamed is the absolute index (within the whole stream) of the
+	// next tree the iterator will yield — used to name the offending
+	// tree in iterator and worker errors.
+	streamed := 0
+	for ; streamed < cfg.SkipTrees; streamed++ {
+		if err := ctx.Err(); err != nil {
+			return master, err
+		}
 		if _, err := it.Next(); err != nil {
 			if err == io.EOF {
 				return master, nil
 			}
-			return master, err
+			return master, fmt.Errorf("core: stream: skipping tree %d: %w", streamed, err)
 		}
 	}
 
@@ -121,14 +156,21 @@ func MineForestStreamShard(it TreeIterator, opts ForestOptions, cfg StreamConfig
 		buf = buf[:0]
 		done := false
 		for len(buf) < cap(buf) {
+			if err := ctx.Err(); err != nil {
+				return master, err
+			}
+			if err := faults.Hit(faults.StreamNext); err != nil {
+				return master, fmt.Errorf("core: stream: tree %d: %w", streamed, err)
+			}
 			t, err := it.Next()
 			if err == io.EOF {
 				done = true
 				break
 			}
 			if err != nil {
-				return master, err
+				return master, fmt.Errorf("core: stream: tree %d: %w", streamed, err)
 			}
+			streamed++
 			if t == nil {
 				continue
 			}
@@ -136,7 +178,7 @@ func MineForestStreamShard(it TreeIterator, opts ForestOptions, cfg StreamConfig
 		}
 
 		if len(buf) > 0 {
-			if err := mineRound(master, buf, opts, workers); err != nil {
+			if err := mineRound(ctx, master, buf, streamed-len(buf), opts, workers); err != nil {
 				return master, err
 			}
 			sinceCheckpoint += len(buf)
@@ -150,8 +192,11 @@ func MineForestStreamShard(it TreeIterator, opts ForestOptions, cfg StreamConfig
 
 		if cfg.CheckpointEvery > 0 && cfg.Checkpoint != nil && sinceCheckpoint > 0 &&
 			(sinceCheckpoint >= cfg.CheckpointEvery || done) {
+			if err := faults.Hit(faults.StreamCheckpoint); err != nil {
+				return master, fmt.Errorf("core: stream: checkpoint after %d trees: %w", master.Trees(), err)
+			}
 			if err := cfg.Checkpoint(master); err != nil {
-				return master, err
+				return master, fmt.Errorf("core: stream: checkpoint after %d trees: %w", master.Trees(), err)
 			}
 			sinceCheckpoint = 0
 		}
@@ -161,21 +206,52 @@ func MineForestStreamShard(it TreeIterator, opts ForestOptions, cfg StreamConfig
 	}
 }
 
+// mineTreeGuarded folds one tree into sh with the panic containment and
+// fault injection every mining pool shares; base+i is the tree's
+// absolute index for the error label.
+func mineTreeGuarded(sh *SupportShard, t *tree.Tree, base, i int) error {
+	err := guard.Run(func() error {
+		if err := faults.Hit(faults.MineWorker); err != nil {
+			return err
+		}
+		sh.AddTree(t)
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("core: stream: mining tree %d: %w", base+i, err)
+	}
+	return nil
+}
+
 // mineRound mines one batch of trees into master: workers fold strided
 // slices into private shards, which merge into master in worker order.
 // Support counts are additive, so the result is independent of worker
-// scheduling — streamed output is deterministic.
-func mineRound(master *SupportShard, buf []*tree.Tree, opts ForestOptions, workers int) error {
+// scheduling — streamed output is deterministic. base is the absolute
+// stream index of buf[0].
+//
+// On cancellation or a contained worker panic the round's partial
+// private shards are discarded and master is left untouched, preserving
+// the exact-prefix invariant MineForestStreamShardCtx documents. The
+// serial path mines straight into master, which is safe for the same
+// invariant: it folds trees in buf order, so an early return still
+// leaves master covering a prefix.
+func mineRound(ctx context.Context, master *SupportShard, buf []*tree.Tree, base int, opts ForestOptions, workers int) error {
 	if workers > len(buf) {
 		workers = len(buf)
 	}
 	if workers <= 1 {
-		for _, t := range buf {
-			master.AddTree(t)
+		for i, t := range buf {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := mineTreeGuarded(master, t, base, i); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
 	privates := make([]*SupportShard, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -183,12 +259,22 @@ func mineRound(master *SupportShard, buf []*tree.Tree, opts ForestOptions, worke
 			defer wg.Done()
 			sh := NewSupportShard(opts)
 			for i := w; i < len(buf); i += workers {
-				sh.AddTree(buf[i])
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
+				if err := mineTreeGuarded(sh, buf[i], base, i); err != nil {
+					errs[w] = err
+					return
+				}
 			}
 			privates[w] = sh
 		}(w)
 	}
 	wg.Wait()
+	if err := guard.First(errs); err != nil {
+		return err
+	}
 	for _, sh := range privates {
 		if err := master.Merge(sh); err != nil {
 			return err

@@ -1,0 +1,239 @@
+// Package faults is the failpoint registry of the mining runtime: named
+// injection sites compiled into the long-running pipelines (streaming
+// forest mining, the parallel distance-matrix fill, the parsimony
+// search, atomic checkpoint writes) that tests — or an operator via the
+// TREEMINE_FAULTS environment variable — can arm to inject iterator
+// errors, checkpoint-write failures, torn writes, and worker panics.
+//
+// A disarmed registry costs one atomic load per Hit call, so the
+// failpoints stay compiled into production binaries; the chaos suite
+// (make chaos) arms them to prove cancellation, panic containment, and
+// checkpoint durability under fault.
+//
+// Activation from the environment uses a comma-separated list of specs:
+//
+//	TREEMINE_FAULTS='core/stream/next=error@100,core/mine/worker=panic'
+//
+// where each spec is name=mode[@after][#count]: mode is "error" or
+// "panic", after is the number of hits to let pass before firing
+// (default 0), and count is how many hits fire (default: every hit once
+// triggered).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Catalogued failpoint names. Each names the boundary it interrupts;
+// see DESIGN.md §47 for the catalogue with the behavior each one
+// simulates.
+const (
+	// StreamNext fires in MineForestStreamShardCtx just before a tree is
+	// pulled from the iterator — a mid-stream source failure.
+	StreamNext = "core/stream/next"
+	// StreamCheckpoint fires just before the stream's checkpoint
+	// callback runs — a checkpoint-write failure.
+	StreamCheckpoint = "core/stream/checkpoint"
+	// MineWorker fires inside every forest-mining worker, per tree — a
+	// crashing miner (arm in panic mode to test containment).
+	MineWorker = "core/mine/worker"
+	// ProfileWorker fires inside BuildProfilesCtx workers, per tree.
+	ProfileWorker = "core/profile/worker"
+	// MatrixWorker fires inside ProfileDistMatrixCtx workers, per row.
+	MatrixWorker = "core/matrix/worker"
+	// ClimbWorker fires at the start of every parsimony climb round.
+	ClimbWorker = "parsimony/climb"
+	// AtomicTorn fires in store.AtomicWrite after the payload is written
+	// but before fsync: the temp file is torn in half and abandoned,
+	// simulating a crash mid-flush.
+	AtomicTorn = "store/atomic/torn"
+	// AtomicSync fires in store.AtomicWrite in place of the fsync — an
+	// fsync failure surfaced by the filesystem.
+	AtomicSync = "store/atomic/sync"
+	// AtomicCrash fires in store.AtomicWrite between the durable temp
+	// write and the rename: the temp file is left behind and the
+	// destination untouched, simulating a kill in the rename window.
+	AtomicCrash = "store/atomic/crash"
+)
+
+// ErrInjected is the sentinel all injected failures match with
+// errors.Is, whether they surfaced as returned errors or as recovered
+// panics.
+var ErrInjected = errors.New("faults: injected failure")
+
+// InjectedError is the error value an armed failpoint produces.
+type InjectedError struct {
+	// Name is the failpoint that fired.
+	Name string
+}
+
+func (e *InjectedError) Error() string { return "faults: injected failure at " + e.Name }
+
+// Is makes errors.Is(err, ErrInjected) true for every injected failure.
+func (e *InjectedError) Is(target error) bool { return target == ErrInjected }
+
+// Mode selects what an armed failpoint does when it fires.
+type Mode int
+
+const (
+	// ModeError makes Hit return an *InjectedError.
+	ModeError Mode = iota
+	// ModePanic makes Hit panic with an *InjectedError — the injected
+	// analogue of a worker bug, used to prove containment.
+	ModePanic
+)
+
+// Spec arms a failpoint: skip After hits, then fire on the next Count
+// hits (Count ≤ 0 fires on every hit once triggered).
+type Spec struct {
+	Mode  Mode
+	After int
+	Count int
+}
+
+type point struct {
+	spec  Spec
+	hits  int
+	fired int
+}
+
+var (
+	// armed is the fast-path gate: false whenever no failpoint is
+	// enabled anywhere, so production Hit calls cost one atomic load.
+	armed  atomic.Bool
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+// Enable arms the named failpoint. Re-enabling resets its hit counters.
+func Enable(name string, spec Spec) {
+	mu.Lock()
+	defer mu.Unlock()
+	points[name] = &point{spec: spec}
+	armed.Store(true)
+}
+
+// Disable disarms the named failpoint.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(points, name)
+	armed.Store(len(points) > 0)
+}
+
+// Reset disarms every failpoint.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[string]*point{}
+	armed.Store(false)
+}
+
+// Hit is the injection site: it reports whether the named failpoint
+// fires at this call. Disarmed (the production state) it returns nil
+// after one atomic load. Armed in ModeError it returns an
+// *InjectedError; in ModePanic it panics with one — the caller's
+// containment boundary is expected to recover it.
+func Hit(name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	mu.Lock()
+	p, ok := points[name]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	p.hits++
+	fire := p.hits > p.spec.After && (p.spec.Count <= 0 || p.fired < p.spec.Count)
+	if fire {
+		p.fired++
+	}
+	mode := p.spec.Mode
+	mu.Unlock()
+	if !fire {
+		return nil
+	}
+	err := &InjectedError{Name: name}
+	if mode == ModePanic {
+		panic(err)
+	}
+	return err
+}
+
+// Fired returns how many times the named failpoint has fired since it
+// was (re-)enabled.
+func Fired(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.fired
+	}
+	return 0
+}
+
+// Apply parses and arms a comma-separated failpoint spec list — the
+// TREEMINE_FAULTS grammar: name=mode[@after][#count], e.g.
+// "core/stream/next=error@100" or "core/mine/worker=panic#1".
+func Apply(specs string) error {
+	for _, part := range strings.Split(specs, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("faults: bad spec %q (want name=mode[@after][#count])", part)
+		}
+		spec, err := parseSpec(rest)
+		if err != nil {
+			return fmt.Errorf("faults: bad spec %q: %w", part, err)
+		}
+		Enable(name, spec)
+	}
+	return nil
+}
+
+func parseSpec(s string) (Spec, error) {
+	var spec Spec
+	if i := strings.IndexByte(s, '#'); i >= 0 {
+		n, err := strconv.Atoi(s[i+1:])
+		if err != nil || n < 1 {
+			return spec, fmt.Errorf("count %q", s[i+1:])
+		}
+		spec.Count = n
+		s = s[:i]
+	}
+	if i := strings.IndexByte(s, '@'); i >= 0 {
+		n, err := strconv.Atoi(s[i+1:])
+		if err != nil || n < 0 {
+			return spec, fmt.Errorf("after %q", s[i+1:])
+		}
+		spec.After = n
+		s = s[:i]
+	}
+	switch s {
+	case "error":
+		spec.Mode = ModeError
+	case "panic":
+		spec.Mode = ModePanic
+	default:
+		return spec, fmt.Errorf("mode %q (want error or panic)", s)
+	}
+	return spec, nil
+}
+
+func init() {
+	if env := os.Getenv("TREEMINE_FAULTS"); env != "" {
+		if err := Apply(env); err != nil {
+			fmt.Fprintln(os.Stderr, "treemine:", err, "(TREEMINE_FAULTS ignored)")
+			Reset()
+		}
+	}
+}

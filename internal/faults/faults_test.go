@@ -1,0 +1,100 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	Reset()
+	if err := Hit("nope"); err != nil {
+		t.Fatalf("disarmed Hit = %v, want nil", err)
+	}
+}
+
+func TestErrorModeFiresAndMatchesSentinel(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("p", Spec{Mode: ModeError})
+	err := Hit("p")
+	if err == nil {
+		t.Fatal("armed Hit = nil, want injected error")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("errors.Is(%v, ErrInjected) = false", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Name != "p" {
+		t.Fatalf("errors.As failed or wrong name: %v", err)
+	}
+}
+
+func TestAfterAndCount(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("p", Spec{Mode: ModeError, After: 2, Count: 1})
+	var fires []bool
+	for i := 0; i < 5; i++ {
+		fires = append(fires, Hit("p") != nil)
+	}
+	want := []bool{false, false, true, false, false}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("hit %d fired=%v, want %v (all %v)", i, fires[i], want[i], fires)
+		}
+	}
+	if Fired("p") != 1 {
+		t.Fatalf("Fired = %d, want 1", Fired("p"))
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("p", Spec{Mode: ModePanic})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic-mode Hit did not panic")
+		}
+		if err, ok := r.(error); !ok || !errors.Is(err, ErrInjected) {
+			t.Fatalf("panic value %v does not match ErrInjected", r)
+		}
+	}()
+	Hit("p")
+}
+
+func TestDisableAndOtherNamesUnaffected(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("a", Spec{Mode: ModeError})
+	if err := Hit("b"); err != nil {
+		t.Fatalf("unarmed name fired: %v", err)
+	}
+	Disable("a")
+	if err := Hit("a"); err != nil {
+		t.Fatalf("disabled failpoint fired: %v", err)
+	}
+}
+
+func TestApplyGrammar(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Apply("x=error@2, y=panic#3 ,z=error"); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	mu.Lock()
+	px, py := *points["x"], *points["y"]
+	mu.Unlock()
+	if px.spec != (Spec{Mode: ModeError, After: 2}) {
+		t.Fatalf("x spec = %+v", px.spec)
+	}
+	if py.spec != (Spec{Mode: ModePanic, Count: 3}) {
+		t.Fatalf("y spec = %+v", py.spec)
+	}
+	for _, bad := range []string{"noeq", "x=", "x=warn", "x=error@-1", "x=error#0"} {
+		if err := Apply(bad); err == nil {
+			t.Fatalf("Apply(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package guard contains worker panics at pool boundaries. Every
+// parallel entry point of the runtime (forest mining, the streaming
+// pipeline, the distance-matrix fill, the parsimony search) runs each
+// unit of worker work through Run, so a panicking worker becomes an
+// error the pool can drain on and return — instead of killing the
+// process or deadlocking the pool's WaitGroup.
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// ErrPanic is the sentinel every contained panic matches with
+// errors.Is, however deeply the pool wrapped it.
+var ErrPanic = errors.New("panic recovered")
+
+// PanicError is a worker panic converted into an error: the recovered
+// value plus the goroutine stack at the panic site.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// Is makes errors.Is(err, ErrPanic) true for every contained panic.
+func (e *PanicError) Is(target error) bool { return target == ErrPanic }
+
+// Unwrap exposes a panic value that was itself an error (e.g. an
+// injected fault) to errors.Is/As chains.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Run executes fn, converting a panic into a *PanicError. The success
+// path costs one deferred call; the stack is only captured when a panic
+// actually fires, so callers can afford a Run per work unit and wrap
+// the result with the offending tree index or shard id.
+func Run(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// First picks the error a drained pool should report: the first entry
+// (in worker order, which callers keep deterministic) that is not a
+// bare context cancellation, falling back to the first non-nil entry.
+// This keeps a real failure — a contained panic, an injected fault —
+// from being shadowed by the ctx.Err() every sibling worker returned
+// while the pool drained.
+func First(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	return first
+}

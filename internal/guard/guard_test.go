@@ -1,0 +1,68 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestRunPassesThrough(t *testing.T) {
+	if err := Run(func() error { return nil }); err != nil {
+		t.Fatalf("Run(nil fn) = %v", err)
+	}
+	want := errors.New("boom")
+	if err := Run(func() error { return want }); err != want {
+		t.Fatalf("Run passthrough = %v, want %v", err, want)
+	}
+}
+
+func TestRunContainsPanic(t *testing.T) {
+	err := Run(func() error { panic("exploded") })
+	if err == nil {
+		t.Fatal("panic not contained")
+	}
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("errors.Is(%v, ErrPanic) = false", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("errors.As PanicError failed: %v", err)
+	}
+	if pe.Value != "exploded" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+	// Wrapping at a pool boundary must keep the sentinel reachable.
+	wrapped := fmt.Errorf("core: mining tree 17: %w", err)
+	if !errors.Is(wrapped, ErrPanic) {
+		t.Fatalf("wrapped panic lost ErrPanic: %v", wrapped)
+	}
+}
+
+func TestRunUnwrapsErrorPanicValue(t *testing.T) {
+	sentinel := errors.New("inner")
+	err := Run(func() error { panic(sentinel) })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("panic(error) not reachable via errors.Is: %v", err)
+	}
+}
+
+func TestFirstPrefersRealErrors(t *testing.T) {
+	boom := errors.New("boom")
+	cases := []struct {
+		errs []error
+		want error
+	}{
+		{nil, nil},
+		{[]error{nil, nil}, nil},
+		{[]error{nil, boom, context.Canceled}, boom},
+		{[]error{context.Canceled, boom}, boom},
+		{[]error{context.Canceled, context.DeadlineExceeded}, context.Canceled},
+		{[]error{nil, context.DeadlineExceeded}, context.DeadlineExceeded},
+	}
+	for i, c := range cases {
+		if got := First(c.errs); got != c.want {
+			t.Fatalf("case %d: First = %v, want %v", i, got, c.want)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 package kernel
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 
@@ -68,6 +69,15 @@ type Result struct {
 // distances are identical to evaluating TDist per candidate pair,
 // pinned by the differential test in kernel_test.go.
 func Find(groups [][]*tree.Tree, cfg Config) (*Result, error) {
+	return FindCtx(context.Background(), groups, cfg)
+}
+
+// FindCtx is Find under a context: the profiling and matrix-fill phases
+// inherit the core engine's cooperative cancellation and panic
+// containment, the exact enumeration checks ctx between top-level
+// branches, and the descent checks it between restarts — so even
+// budget-sized searches return ctx.Err() promptly.
+func FindCtx(ctx context.Context, groups [][]*tree.Tree, cfg Config) (*Result, error) {
 	s := len(groups)
 	if s == 0 {
 		return &Result{}, nil
@@ -89,8 +99,14 @@ func Find(groups [][]*tree.Tree, cfg Config) (*Result, error) {
 		off[gi] = len(flat)
 		flat = append(flat, g...)
 	}
-	profiles := core.BuildProfiles(flat, cfg.Variant, cfg.Options, 0)
-	dm := core.ProfileDistMatrix(profiles, 0)
+	profiles, err := core.BuildProfilesCtx(ctx, flat, cfg.Variant, cfg.Options, 0)
+	if err != nil {
+		return nil, err
+	}
+	dm, err := core.ProfileDistMatrixCtx(ctx, profiles, 0)
+	if err != nil {
+		return nil, err
+	}
 	dist := func(gi, ti, gj, tj int) float64 {
 		return dm.At(off[gi]+ti, off[gj]+tj)
 	}
@@ -107,43 +123,61 @@ func Find(groups [][]*tree.Tree, cfg Config) (*Result, error) {
 
 	var best *Result
 	if exact {
-		best = findExact(groups, dist)
+		best, err = findExact(ctx, groups, dist)
+		if err != nil {
+			return nil, err
+		}
 		best.Exact = true
 	} else {
-		best = findDescent(groups, dist, cfg)
+		best, err = findDescent(ctx, groups, dist, cfg)
+		if err != nil {
+			return nil, err
+		}
 		best.Exact = false
 	}
 	return best, nil
 }
 
-// findExact enumerates the full cross product with partial-sum pruning.
-func findExact(groups [][]*tree.Tree, dist func(gi, ti, gj, tj int) float64) *Result {
+// findExact enumerates the full cross product with partial-sum pruning,
+// checking ctx once per top-level branch (each branch is a bounded slice
+// of the cross product, so cancellation lands within one of them).
+func findExact(ctx context.Context, groups [][]*tree.Tree, dist func(gi, ti, gj, tj int) float64) (*Result, error) {
 	s := len(groups)
 	pairs := float64(s*(s-1)) / 2
 	bestSum := -1.0
 	bestChoice := make([]int, s)
 	cur := make([]int, s)
-	var rec func(g int, sum float64)
-	rec = func(g int, sum float64) {
+	var rec func(g int, sum float64) error
+	rec = func(g int, sum float64) error {
 		if bestSum >= 0 && sum >= bestSum {
-			return // distances are non-negative: prune
+			return nil // distances are non-negative: prune
 		}
 		if g == s {
 			bestSum = sum
 			copy(bestChoice, cur)
-			return
+			return nil
 		}
 		for ti := range groups[g] {
+			if g <= 1 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			cur[g] = ti
 			add := 0.0
 			for gj := 0; gj < g; gj++ {
 				add += dist(g, ti, gj, cur[gj])
 			}
-			rec(g+1, sum+add)
+			if err := rec(g+1, sum+add); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	rec(0, 0)
-	return &Result{Choice: bestChoice, AvgDist: bestSum / pairs}
+	if err := rec(0, 0); err != nil {
+		return nil, err
+	}
+	return &Result{Choice: bestChoice, AvgDist: bestSum / pairs}, nil
 }
 
 // findDescent runs randomized coordinate descent: starting from a random
@@ -157,7 +191,7 @@ func findExact(groups [][]*tree.Tree, dist func(gi, ti, gj, tj int) float64) *Re
 // argmin over its cached row, and an accepted change updates every other
 // row by the two affected terms — O(Σ|g|) per accepted move instead of
 // recomputing s−1 distances per candidate per visit.
-func findDescent(groups [][]*tree.Tree, dist func(gi, ti, gj, tj int) float64, cfg Config) *Result {
+func findDescent(ctx context.Context, groups [][]*tree.Tree, dist func(gi, ti, gj, tj int) float64, cfg Config) (*Result, error) {
 	s := len(groups)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	pairs := float64(s*(s-1)) / 2
@@ -181,6 +215,9 @@ func findDescent(groups [][]*tree.Tree, dist func(gi, ti, gj, tj int) float64, c
 	var bestChoice []int
 	bestSum := -1.0
 	for r := 0; r < restarts; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		choice := make([]int, s)
 		for g := range choice {
 			choice[g] = rng.Intn(len(groups[g]))
@@ -197,6 +234,9 @@ func findDescent(groups [][]*tree.Tree, dist func(gi, ti, gj, tj int) float64, c
 			}
 		}
 		for improved := true; improved; {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			improved = false
 			for g := 0; g < s; g++ {
 				curBest, curIdx := -1.0, choice[g]
@@ -227,5 +267,5 @@ func findDescent(groups [][]*tree.Tree, dist func(gi, ti, gj, tj int) float64, c
 			bestChoice = append([]int(nil), choice...)
 		}
 	}
-	return &Result{Choice: bestChoice, AvgDist: bestSum / pairs}
+	return &Result{Choice: bestChoice, AvgDist: bestSum / pairs}, nil
 }

@@ -1,0 +1,54 @@
+package kernel
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"treemine/internal/faults"
+	"treemine/internal/guard"
+)
+
+// TestFindCtxCancelled: both search regimes observe cancellation — the
+// exact product walk and the descent fallback.
+func TestFindCtxCancelled(t *testing.T) {
+	groups := groupsFixture(3, 3, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FindCtx(ctx, groups, DefaultConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("exact FindCtx error = %v, want Canceled", err)
+	}
+	cfg := DefaultConfig()
+	cfg.ExactBudget = 1 // force the descent fallback
+	if _, err := FindCtx(ctx, groups, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("descent FindCtx error = %v, want Canceled", err)
+	}
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := FindCtx(dctx, groups, DefaultConfig()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline FindCtx error = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestFindCtxProfilePanicContained: a panic injected into the profile
+// workers under FindCtx surfaces as an error, not a crash.
+func TestFindCtxProfilePanicContained(t *testing.T) {
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	groups := groupsFixture(5, 3, 4)
+	faults.Enable(faults.ProfileWorker, faults.Spec{Mode: faults.ModePanic, After: 3, Count: 1})
+	_, err := FindCtx(context.Background(), groups, DefaultConfig())
+	if err == nil {
+		t.Fatal("injected profile panic swallowed")
+	}
+	if !errors.Is(err, guard.ErrPanic) {
+		t.Fatalf("error = %v, want wrapped guard.ErrPanic", err)
+	}
+
+	// Disarmed, the same call succeeds.
+	faults.Reset()
+	if _, err := FindCtx(context.Background(), groups, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}

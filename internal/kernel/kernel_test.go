@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"reflect"
@@ -206,7 +207,10 @@ func findRef(groups [][]*tree.Tree, cfg Config) *Result {
 		}
 	}
 	if exact {
-		res := findExact(groups, dist)
+		res, err := findExact(context.Background(), groups, dist)
+		if err != nil {
+			panic(err) // Background ctx: unreachable
+		}
 		res.Exact = true
 		return res
 	}

@@ -12,6 +12,7 @@
 package parsimony
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -19,6 +20,8 @@ import (
 	"sort"
 	"sync"
 
+	"treemine/internal/faults"
+	"treemine/internal/guard"
 	"treemine/internal/seqsim"
 	"treemine/internal/tree"
 	"treemine/internal/treegen"
@@ -197,6 +200,17 @@ type climbResult struct {
 // run on up to cfg.Workers goroutines; the output is bit-identical for a
 // fixed seed at every worker count.
 func Search(rng *rand.Rand, a *seqsim.Alignment, cfg SearchConfig) ([]*tree.Tree, int, error) {
+	return SearchCtx(context.Background(), rng, a, cfg)
+}
+
+// SearchCtx is Search under a context: every climb checks ctx between
+// improvement rounds (the bounded unit of search work), so cancellation
+// surfaces as ctx.Err() within one neighborhood evaluation per worker. A
+// panic inside a climb — or inside a batch-scoring helper — is contained
+// into an error naming the start it was climbing, and the remaining
+// climbs drain cleanly. For a fixed seed an uncancelled SearchCtx is
+// bit-identical to Search at every worker count.
+func SearchCtx(ctx context.Context, rng *rand.Rand, a *seqsim.Alignment, cfg SearchConfig) ([]*tree.Tree, int, error) {
 	if cfg.Starts <= 0 || cfg.MaxTrees <= 0 || cfg.MaxRounds <= 0 {
 		seeds, useSPR, workers := cfg.Seeds, cfg.UseSPR, cfg.Workers
 		cfg = DefaultSearchConfig()
@@ -234,18 +248,33 @@ func Search(rng *rand.Rand, a *seqsim.Alignment, cfg SearchConfig) ([]*tree.Tree
 			defer wg.Done()
 			<-tokens
 			defer func() { tokens <- struct{}{} }()
-			c := &climber{eng: base.fork(), cfg: cfg, tokens: tokens}
-			results[i] = c.climb(starts[i])
+			// Contain a panicking climb at the pool boundary: the worker
+			// records the error instead of killing the process, and the
+			// token still returns so sibling climbs drain.
+			err := guard.Run(func() error {
+				c := &climber{ctx: ctx, eng: base.fork(), cfg: cfg, tokens: tokens}
+				results[i] = c.climb(starts[i])
+				return nil
+			})
+			if err != nil {
+				results[i] = climbResult{err: fmt.Errorf("parsimony: climb from start %d: %w", i, err)}
+			}
 		}(i)
 	}
 	wg.Wait()
 
-	// Deterministic merge in start order.
+	// Deterministic merge in start order; a contained panic or injected
+	// fault is preferred over the bare cancellations sibling climbs
+	// reported while draining.
+	errs := make([]error, len(results))
+	for i, r := range results {
+		errs[i] = r.err
+	}
+	if err := guard.First(errs); err != nil {
+		return nil, 0, err
+	}
 	best := -1
 	for _, r := range results {
-		if r.err != nil {
-			return nil, 0, r.err
-		}
 		if best < 0 || r.best < best {
 			best = r.best
 		}
@@ -278,6 +307,7 @@ func Search(rng *rand.Rand, a *seqsim.Alignment, cfg SearchConfig) ([]*tree.Tree
 
 // climber runs one start's hill-climb on its own engine.
 type climber struct {
+	ctx    context.Context
 	eng    *FitchEngine
 	cfg    SearchConfig
 	tokens chan struct{}
@@ -299,6 +329,12 @@ func (c *climber) climb(start *tree.Tree) climbResult {
 	c.tied.offer(start)
 
 	for round := 0; round < c.cfg.MaxRounds; round++ {
+		if err := c.ctx.Err(); err != nil {
+			return climbResult{err: err}
+		}
+		if err := faults.Hit(faults.ClimbWorker); err != nil {
+			return climbResult{err: err}
+		}
 		accepted, err := c.round()
 		if err != nil {
 			return climbResult{err: err}
@@ -319,7 +355,11 @@ func (c *climber) climb(start *tree.Tree) climbResult {
 func (c *climber) round() (bool, error) {
 	if c.cfg.UseSPR {
 		moves := SPRMoves(c.cur)
-		if scores := c.batchScores(moves); scores != nil {
+		scores, err := c.batchScores(moves)
+		if err != nil {
+			return false, err
+		}
+		if scores != nil {
 			return c.decide(len(moves),
 				func(i int) int { return scores[i] },
 				func(i int) *tree.Tree { return ApplySPR(c.cur, moves[i]) })
@@ -364,14 +404,16 @@ func (c *climber) decide(n int, scoreAt func(int) int, apply func(int) *tree.Tre
 }
 
 // batchScores evaluates an SPR neighborhood in parallel when spare
-// worker tokens are available, or returns nil to signal the lazy serial
-// path. Scores land by move index, so the result is independent of the
-// helper count.
-func (c *climber) batchScores(moves []SPRMove) []int {
+// worker tokens are available, or returns (nil, nil) to signal the lazy
+// serial path. Scores land by move index, so the result is independent
+// of the helper count. A panicking helper is contained into the returned
+// error; the other helpers finish their chunks and every borrowed token
+// is returned, so the search pool drains instead of deadlocking.
+func (c *climber) batchScores(moves []SPRMove) ([]int, error) {
 	const minChunk = 64 // below this, forking engines costs more than it saves
 	maxHelpers := len(moves)/minChunk - 1
 	if maxHelpers <= 0 {
-		return nil
+		return nil, nil
 	}
 	helpers := 0
 	for helpers < maxHelpers {
@@ -383,7 +425,7 @@ func (c *climber) batchScores(moves []SPRMove) []int {
 		}
 	}
 	if helpers == 0 {
-		return nil
+		return nil, nil
 	}
 	defer func() {
 		for i := 0; i < helpers; i++ {
@@ -394,6 +436,7 @@ func (c *climber) batchScores(moves []SPRMove) []int {
 		c.helpers = append(c.helpers, c.eng.fork())
 	}
 	scores := make([]int, len(moves))
+	errs := make([]error, helpers+1)
 	chunk := (len(moves) + helpers) / (helpers + 1)
 	var wg sync.WaitGroup
 	for h := 0; h < helpers; h++ {
@@ -406,23 +449,32 @@ func (c *climber) batchScores(moves []SPRMove) []int {
 			continue
 		}
 		wg.Add(1)
-		go func(eng *FitchEngine, lo, hi int) {
+		go func(h int, eng *FitchEngine, lo, hi int) {
 			defer wg.Done()
-			if _, err := eng.Score(c.cur); err != nil {
-				return // c.eng already scored this tree; cannot fail here
-			}
-			for i := lo; i < hi; i++ {
-				scores[i] = eng.ScoreSPR(moves[i])
-			}
-		}(c.helpers[h], lo, hi)
+			errs[h+1] = guard.Run(func() error {
+				if _, err := eng.Score(c.cur); err != nil {
+					return nil // c.eng already scored this tree; cannot fail here
+				}
+				for i := lo; i < hi; i++ {
+					scores[i] = eng.ScoreSPR(moves[i])
+				}
+				return nil
+			})
+		}(h, c.helpers[h], lo, hi)
 	}
 	hi := chunk
 	if hi > len(moves) {
 		hi = len(moves)
 	}
-	for i := 0; i < hi; i++ {
-		scores[i] = c.eng.ScoreSPR(moves[i])
-	}
+	errs[0] = guard.Run(func() error {
+		for i := 0; i < hi; i++ {
+			scores[i] = c.eng.ScoreSPR(moves[i])
+		}
+		return nil
+	})
 	wg.Wait()
-	return scores
+	if err := guard.First(errs); err != nil {
+		return nil, fmt.Errorf("parsimony: batch SPR scoring: %w", err)
+	}
+	return scores, nil
 }

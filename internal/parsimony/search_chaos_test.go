@@ -1,0 +1,89 @@
+package parsimony
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"treemine/internal/faults"
+	"treemine/internal/guard"
+)
+
+// Chaos tests for SearchCtx: cancellation between climb rounds and
+// panic containment at the climber and batch-scoring pool boundaries.
+// Names start with "Search" so the `make race` parsimony regex covers
+// them.
+
+// TestSearchCancelledContextReturnsError: a pre-cancelled context stops
+// the search before (or between) climb rounds and surfaces ctx.Err().
+func TestSearchCancelledContextReturnsError(t *testing.T) {
+	al := searchFixture(t, 11, 8, 30, 0.15)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(1))
+	_, _, err := SearchCtx(ctx, rng, al, SearchConfig{Starts: 4, MaxTrees: 8, MaxRounds: 50, Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled SearchCtx error = %v, want context.Canceled", err)
+	}
+
+	// Deadline in the past behaves the same with its own error.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	_, _, err = SearchCtx(dctx, rand.New(rand.NewSource(1)), al,
+		SearchConfig{Starts: 4, MaxTrees: 8, MaxRounds: 50, Workers: 2})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline SearchCtx error = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestSearchClimbPanicContained injects a panic into a climb worker:
+// the search must return an error wrapping guard.ErrPanic that names
+// the start, drain the remaining climbers, and leak no goroutines.
+func TestSearchClimbPanicContained(t *testing.T) {
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	al := searchFixture(t, 13, 8, 30, 0.15)
+	base := runtime.NumGoroutine()
+	faults.Enable(faults.ClimbWorker, faults.Spec{Mode: faults.ModePanic, After: 2, Count: 1})
+	rng := rand.New(rand.NewSource(2))
+	_, _, err := SearchCtx(context.Background(), rng, al,
+		SearchConfig{Starts: 6, MaxTrees: 8, MaxRounds: 50, Workers: 3})
+	if err == nil {
+		t.Fatal("injected climb panic swallowed")
+	}
+	if !errors.Is(err, guard.ErrPanic) {
+		t.Fatalf("error = %v, want wrapped guard.ErrPanic", err)
+	}
+	if !strings.Contains(err.Error(), "start") {
+		t.Fatalf("error %q does not name the climbing start", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after contained panic: %d > %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSearchClimbErrorFaultContained: the same failpoint in error mode
+// surfaces as a plain wrapped error (no panic machinery involved).
+func TestSearchClimbErrorFaultContained(t *testing.T) {
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	al := searchFixture(t, 17, 8, 30, 0.15)
+	faults.Enable(faults.ClimbWorker, faults.Spec{Mode: faults.ModeError, Count: 1})
+	rng := rand.New(rand.NewSource(3))
+	_, _, err := SearchCtx(context.Background(), rng, al,
+		SearchConfig{Starts: 4, MaxTrees: 8, MaxRounds: 50, Workers: 2})
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("error = %v, want injected", err)
+	}
+	if errors.Is(err, guard.ErrPanic) {
+		t.Fatalf("plain error fault came back as a panic: %v", err)
+	}
+}

@@ -1,0 +1,54 @@
+// Package sigctx wires OS interrupt signals to context cancellation for
+// the long-running CLIs. The contract is the standard two-strike one:
+// the first SIGINT/SIGTERM cancels the returned context, letting the
+// mining pipeline drain its current batch and flush a final checkpoint
+// (the run exits nonzero but resumable); a second signal force-exits
+// immediately for pipelines that cannot or will not drain.
+package sigctx
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// exitCode is 128+SIGINT, the conventional "killed by interrupt" status.
+const exitCode = 130
+
+// WithSignals returns a context cancelled by the first SIGINT or
+// SIGTERM. A second signal calls os.Exit(130) without waiting for the
+// drain. The returned stop function releases the signal handler and
+// background goroutine; call it once the guarded work is done.
+func WithSignals(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(os.Stderr, "\ninterrupt (%v): draining, checkpointing; interrupt again to force exit\n", sig)
+			cancel()
+		case <-done:
+			return
+		}
+		select {
+		case <-ch:
+			fmt.Fprintln(os.Stderr, "second interrupt: forcing exit")
+			os.Exit(exitCode)
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			cancel()
+			close(done)
+		})
+	}
+	return ctx, stop
+}

@@ -1,0 +1,74 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"treemine/internal/faults"
+)
+
+// AtomicWrite durably replaces the file at path with whatever write
+// produces: the payload goes to a temp file in the same directory, is
+// fsynced before close (so the data — not just the rename — is on disk),
+// renamed over path, and the parent directory is fsynced so the rename
+// itself survives a crash. At every point in that sequence the previous
+// contents of path remain intact: a kill between the temp write and the
+// rename leaves at worst a stray .tmp file next to a valid checkpoint —
+// proven by the crash-window fault-injection tests in atomic_test.go.
+//
+// All store saves (shard checkpoints, index files) should go through
+// this helper rather than hand-rolling create/rename.
+func AtomicWrite(path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	discard := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		return discard(err)
+	}
+	if ferr := faults.Hit(faults.AtomicTorn); ferr != nil {
+		// Injected crash mid-flush: tear the temp file in half and
+		// abandon it without renaming, as an interrupted page writeback
+		// would. path is untouched.
+		if st, serr := f.Stat(); serr == nil {
+			f.Truncate(st.Size() / 2)
+		}
+		f.Close()
+		return fmt.Errorf("store: atomic write %s: %w", path, ferr)
+	}
+	if ferr := faults.Hit(faults.AtomicSync); ferr != nil {
+		return discard(fmt.Errorf("store: atomic write %s: %w", path, ferr))
+	}
+	if err := f.Sync(); err != nil {
+		return discard(fmt.Errorf("store: atomic write %s: sync: %w", path, err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: atomic write %s: %w", path, err)
+	}
+	if ferr := faults.Hit(faults.AtomicCrash); ferr != nil {
+		// Injected kill between the durable temp write and the rename:
+		// the temp file is left behind, path is untouched.
+		return fmt.Errorf("store: atomic write %s: %w", path, ferr)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: atomic write %s: %w", path, err)
+	}
+	// Fsync the parent directory so the rename is durable. Some
+	// filesystems reject directory fsync; that leaves the write exactly
+	// as durable as a plain rename, so it is not reported as a failure.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

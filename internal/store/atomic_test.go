@@ -1,0 +1,151 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"treemine/internal/core"
+	"treemine/internal/faults"
+)
+
+// shardWithTrees builds a shard over n random trees for checkpoint
+// round-trips, reusing the shard_test fixtures.
+func shardWithTrees(t *testing.T, seed int64, n int) *core.SupportShard {
+	t.Helper()
+	return mineShard(shardForest(seed, n, 30), core.DefaultForestOptions())
+}
+
+func saveShardTo(t *testing.T, path string, sh *core.SupportShard) error {
+	t.Helper()
+	return AtomicWrite(path, func(w io.Writer) error { return SaveShard(w, sh) })
+}
+
+func loadShardFrom(t *testing.T, path string) (*core.SupportShard, error) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadShard(f)
+}
+
+func TestAtomicWriteRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	sh := shardWithTrees(t, 1, 12)
+	if err := saveShardTo(t, path, sh); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadShardFrom(t, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trees() != sh.Trees() || got.Len() != sh.Len() {
+		t.Fatalf("round-trip shard: trees %d/%d, entries %d/%d",
+			got.Trees(), sh.Trees(), got.Len(), sh.Len())
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind after successful write: %v", err)
+	}
+}
+
+// TestAtomicWriteCrashBeforeRenameKeepsOldCheckpoint simulates a kill in
+// the window between the durable temp write and the rename, and proves
+// the previous checkpoint stays valid and loadable — the acceptance
+// criterion for checkpoint durability.
+func TestAtomicWriteCrashBeforeRenameKeepsOldCheckpoint(t *testing.T) {
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	path := filepath.Join(t.TempDir(), "ck")
+	old := shardWithTrees(t, 2, 10)
+	if err := saveShardTo(t, path, old); err != nil {
+		t.Fatal(err)
+	}
+
+	faults.Enable(faults.AtomicCrash, faults.Spec{Mode: faults.ModeError, Count: 1})
+	next := shardWithTrees(t, 3, 25)
+	err := saveShardTo(t, path, next)
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("crash-window write error = %v, want injected", err)
+	}
+	// The temp file from the aborted write is allowed to linger; the
+	// checkpoint itself must still be the old, fully valid one.
+	got, lerr := loadShardFrom(t, path)
+	if lerr != nil {
+		t.Fatalf("previous checkpoint corrupted by crash window: %v", lerr)
+	}
+	if got.Trees() != old.Trees() {
+		t.Fatalf("previous checkpoint trees = %d, want %d", got.Trees(), old.Trees())
+	}
+
+	// After the "reboot" (failpoint disarmed) the write goes through and
+	// replaces the checkpoint.
+	if err := saveShardTo(t, path, next); err != nil {
+		t.Fatal(err)
+	}
+	got, lerr = loadShardFrom(t, path)
+	if lerr != nil || got.Trees() != next.Trees() {
+		t.Fatalf("post-recovery checkpoint: %v, trees %d want %d", lerr, got.Trees(), next.Trees())
+	}
+}
+
+// TestAtomicWriteTornTmpKeepsOldCheckpoint tears the temp file mid-flush
+// (a crash during writeback): the destination must stay valid, and the
+// torn temp file must never be picked up as a checkpoint.
+func TestAtomicWriteTornTmpKeepsOldCheckpoint(t *testing.T) {
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	path := filepath.Join(t.TempDir(), "ck")
+	old := shardWithTrees(t, 4, 10)
+	if err := saveShardTo(t, path, old); err != nil {
+		t.Fatal(err)
+	}
+
+	faults.Enable(faults.AtomicTorn, faults.Spec{Mode: faults.ModeError, Count: 1})
+	err := saveShardTo(t, path, shardWithTrees(t, 5, 30))
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("torn write error = %v, want injected", err)
+	}
+	if got, lerr := loadShardFrom(t, path); lerr != nil || got.Trees() != old.Trees() {
+		t.Fatalf("previous checkpoint corrupted by torn write: %v", lerr)
+	}
+	// The torn temp file is half a gob stream — loading it must error,
+	// not yield a bogus shard.
+	if fi, err := os.Stat(path + ".tmp"); err != nil || fi.Size() == 0 {
+		t.Fatalf("expected a torn temp file: %v", err)
+	}
+	if _, err := loadShardFrom(t, path+".tmp"); err == nil {
+		t.Fatal("torn temp file loaded as a valid checkpoint")
+	}
+}
+
+func TestAtomicWriteSyncFailureCleansUp(t *testing.T) {
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	path := filepath.Join(t.TempDir(), "ck")
+	faults.Enable(faults.AtomicSync, faults.Spec{Mode: faults.ModeError, Count: 1})
+	err := saveShardTo(t, path, shardWithTrees(t, 6, 5))
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("sync failure error = %v, want injected", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file not cleaned up after sync failure")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("destination created despite sync failure")
+	}
+}
+
+func TestAtomicWritePayloadErrorCleansUp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	boom := errors.New("encode exploded")
+	if err := AtomicWrite(path, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("payload error = %v, want %v", err, boom)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file not cleaned up after payload error")
+	}
+}

@@ -11,7 +11,7 @@ import (
 func TestExportNexusRoundTrip(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NumTrees = 12
-	c := NewCorpus(4, cfg)
+	c := mustCorpus(t, 4, cfg)
 	dir := t.TempDir()
 	files, err := c.ExportNexus(dir)
 	if err != nil {

@@ -26,16 +26,24 @@ type Stream struct {
 	taxa  []string // current study's taxon set
 }
 
-// NewStream returns a Stream equivalent to NewCorpus(seed, cfg).
-func NewStream(seed int64, cfg Config) *Stream {
+// NewStream returns a Stream equivalent to NewCorpus(seed, cfg). It
+// fails with ErrNamespaceExhausted when cfg's alphabet exceeds the
+// binomial namespace.
+func NewStream(seed int64, cfg Config) (*Stream, error) {
+	dict, err := Names(cfg.AlphabetSize)
+	if err != nil {
+		return nil, err
+	}
 	return &Stream{
 		rng:  rand.New(rand.NewSource(seed)),
-		dict: Names(cfg.AlphabetSize),
+		dict: dict,
 		cfg:  cfg,
-	}
+	}, nil
 }
 
 // Next returns the next phylogeny, or io.EOF after the NumTrees-th.
+// Infeasible node bounds surface as ErrNodeBoundsInfeasible mid-stream,
+// which the streaming miner reports with the failing tree's index.
 func (s *Stream) Next() (*tree.Tree, error) {
 	if s.left == 0 {
 		if s.total >= s.cfg.NumTrees {
@@ -49,7 +57,11 @@ func (s *Stream) Next() (*tree.Tree, error) {
 		s.taxa = sampleTaxa(s.rng, s.dict, nTaxa)
 		s.left = k
 	}
+	t, err := genTree(s.rng, s.taxa, s.cfg)
+	if err != nil {
+		return nil, err
+	}
 	s.left--
 	s.total++
-	return genTree(s.rng, s.taxa, s.cfg), nil
+	return t, nil
 }

@@ -13,9 +13,12 @@ import (
 func TestStreamMatchesCorpus(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NumTrees = 40
-	want := NewCorpus(9, cfg).AllTrees()
+	want := mustCorpus(t, 9, cfg).AllTrees()
 
-	s := NewStream(9, cfg)
+	s, err := NewStream(9, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var got []*tree.Tree
 	for {
 		tr, err := s.Next()

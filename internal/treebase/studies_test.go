@@ -9,7 +9,7 @@ import (
 func TestMineStudies(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NumTrees = 30
-	c := NewCorpus(2, cfg)
+	c := mustCorpus(t, 2, cfg)
 	got := MineStudies(c, core.DefaultForestOptions())
 	if len(got) == 0 {
 		t.Fatal("no study produced frequent patterns; studies share taxa, so this should be rare")

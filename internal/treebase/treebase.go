@@ -13,11 +13,26 @@
 package treebase
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"treemine/internal/tree"
 	"treemine/internal/treegen"
+)
+
+// Errors reported for infeasible corpus configurations. These are
+// runtime-input failures (the config ultimately comes from CLI flags and
+// experiment parameters), so they return as errors rather than panicking
+// — the library reserves panics for programmer-error invariants (see
+// DESIGN.md §47).
+var (
+	// ErrNamespaceExhausted is returned when more distinct taxon names
+	// are requested than the binomial namespace can produce.
+	ErrNamespaceExhausted = errors.New("treebase: name namespace exhausted")
+	// ErrNodeBoundsInfeasible is returned when no generated tree can
+	// satisfy the configured node-count bounds for a study's taxon set.
+	ErrNodeBoundsInfeasible = errors.New("treebase: node-count bounds infeasible")
 )
 
 // DefaultAlphabetSize is the number of distinct node labels in the
@@ -53,9 +68,9 @@ var (
 
 // Names returns n distinct plausible Latin binomials ("Acanthella alba",
 // "Acanthella borealis", …). The sequence is fixed, so Names(k) is always
-// a prefix of Names(k+1). It panics when n exceeds the namespace
-// (genera × epithets × numeric varieties).
-func Names(n int) []string {
+// a prefix of Names(k+1). It returns ErrNamespaceExhausted when n exceeds
+// the namespace (genera × epithets × numeric varieties).
+func Names(n int) ([]string, error) {
 	out := make([]string, 0, n)
 	variety := 0
 	for len(out) < n {
@@ -63,7 +78,7 @@ func Names(n int) []string {
 			for _, suf := range genusSuffixes {
 				for _, sp := range speciesEpithets {
 					if len(out) == n {
-						return out
+						return out, nil
 					}
 					name := root + suf + " " + sp
 					if variety > 0 {
@@ -75,10 +90,10 @@ func Names(n int) []string {
 		}
 		variety++
 		if variety > 100 {
-			panic(fmt.Sprintf("treebase: namespace exhausted generating %d names", n))
+			return nil, fmt.Errorf("%w: generating %d names", ErrNamespaceExhausted, n)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Config shapes a simulated corpus. Use DefaultConfig for the paper's
@@ -124,10 +139,15 @@ type Corpus struct {
 
 // NewCorpus builds a corpus deterministically from the seed. Study taxon
 // sets are sampled from the global dictionary with overlap across
-// studies, and every tree respects cfg's node-count bounds.
-func NewCorpus(seed int64, cfg Config) *Corpus {
+// studies, and every tree respects cfg's node-count bounds. Infeasible
+// configurations (an alphabet beyond the namespace, node bounds no
+// generated tree can hit) return errors.
+func NewCorpus(seed int64, cfg Config) (*Corpus, error) {
 	rng := rand.New(rand.NewSource(seed))
-	dict := Names(cfg.AlphabetSize)
+	dict, err := Names(cfg.AlphabetSize)
+	if err != nil {
+		return nil, err
+	}
 	c := &Corpus{}
 	total := 0
 	for total < cfg.NumTrees {
@@ -139,12 +159,16 @@ func NewCorpus(seed int64, cfg Config) *Corpus {
 		nTaxa := cfg.MinTaxa + rng.Intn(cfg.MaxTaxa-cfg.MinTaxa+1)
 		s.Taxa = sampleTaxa(rng, dict, nTaxa)
 		for i := 0; i < k; i++ {
-			s.Trees = append(s.Trees, genTree(rng, s.Taxa, cfg))
+			t, err := genTree(rng, s.Taxa, cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.Trees = append(s.Trees, t)
 		}
 		c.Studies = append(c.Studies, s)
 		total += k
 	}
-	return c
+	return c, nil
 }
 
 // sampleTaxa draws n distinct names. Draws are localized around a random
@@ -166,8 +190,10 @@ func sampleTaxa(rng *rand.Rand, dict []string, n int) []string {
 
 // genTree generates one phylogeny over a subset of the study's taxa whose
 // node count falls within the configured bounds, retrying with adjusted
-// leaf counts when multifurcation lands outside them.
-func genTree(rng *rand.Rand, taxa []string, cfg Config) *tree.Tree {
+// leaf counts when multifurcation lands outside them. After 200 failed
+// attempts the bounds are deemed infeasible for this taxon set and an
+// error is returned.
+func genTree(rng *rand.Rand, taxa []string, cfg Config) (*tree.Tree, error) {
 	for attempt := 0; ; attempt++ {
 		nLeaves := len(taxa)
 		// A multifurcating tree over L leaves has between L+1 and 2L−1
@@ -185,11 +211,11 @@ func genTree(rng *rand.Rand, taxa []string, cfg Config) *tree.Tree {
 		}
 		t := treegen.Multifurcating(rng, sub, 2, 9)
 		if t.Size() >= cfg.MinNodes && t.Size() <= cfg.MaxNodes {
-			return t
+			return t, nil
 		}
 		if attempt > 200 {
-			panic(fmt.Sprintf("treebase: cannot satisfy node bounds [%d,%d] with %d taxa",
-				cfg.MinNodes, cfg.MaxNodes, len(taxa)))
+			return nil, fmt.Errorf("%w: [%d,%d] nodes with %d taxa",
+				ErrNodeBoundsInfeasible, cfg.MinNodes, cfg.MaxNodes, len(taxa))
 		}
 	}
 }

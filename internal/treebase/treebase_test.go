@@ -1,15 +1,36 @@
 package treebase
 
 import (
+	"errors"
 	"testing"
 
 	"treemine/internal/core"
 	"treemine/internal/tree"
 )
 
+// mustNames and mustCorpus unwrap the error-returning constructors for
+// tests whose configs are known-feasible.
+func mustNames(t *testing.T, n int) []string {
+	t.Helper()
+	names, err := Names(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+func mustCorpus(t *testing.T, seed int64, cfg Config) *Corpus {
+	t.Helper()
+	c, err := NewCorpus(seed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func TestNamesDistinctAndPrefixStable(t *testing.T) {
 	n := 2000
-	names := Names(n)
+	names := mustNames(t, n)
 	if len(names) != n {
 		t.Fatalf("len = %d", len(names))
 	}
@@ -20,7 +41,7 @@ func TestNamesDistinctAndPrefixStable(t *testing.T) {
 		}
 		seen[s] = true
 	}
-	short := Names(100)
+	short := mustNames(t, 100)
 	for i := range short {
 		if short[i] != names[i] {
 			t.Fatalf("Names not prefix-stable at %d: %q vs %q", i, short[i], names[i])
@@ -29,7 +50,7 @@ func TestNamesDistinctAndPrefixStable(t *testing.T) {
 }
 
 func TestNamesFullAlphabet(t *testing.T) {
-	names := Names(DefaultAlphabetSize)
+	names := mustNames(t, DefaultAlphabetSize)
 	if len(names) != DefaultAlphabetSize {
 		t.Fatalf("len = %d, want %d", len(names), DefaultAlphabetSize)
 	}
@@ -42,10 +63,43 @@ func TestNamesFullAlphabet(t *testing.T) {
 	}
 }
 
+// TestInfeasibleConfigsReturnErrors pins the panic→error conversion:
+// runtime-input failures (bad CLI flags, absurd experiment configs) must
+// come back as sentinel errors, never crash the process.
+func TestInfeasibleConfigsReturnErrors(t *testing.T) {
+	if _, err := Names(100 * 1000 * 1000); !errors.Is(err, ErrNamespaceExhausted) {
+		t.Fatalf("oversized Names error = %v, want ErrNamespaceExhausted", err)
+	}
+	cfg := DefaultConfig()
+	cfg.NumTrees = 1
+	cfg.AlphabetSize = 100 * 1000 * 1000
+	if _, err := NewCorpus(1, cfg); !errors.Is(err, ErrNamespaceExhausted) {
+		t.Fatalf("oversized-alphabet NewCorpus error = %v, want ErrNamespaceExhausted", err)
+	}
+	if _, err := NewStream(1, cfg); !errors.Is(err, ErrNamespaceExhausted) {
+		t.Fatalf("oversized-alphabet NewStream error = %v, want ErrNamespaceExhausted", err)
+	}
+
+	// Two taxa can never make a 50-node tree: node bounds are infeasible.
+	cfg = DefaultConfig()
+	cfg.NumTrees = 1
+	cfg.MinTaxa, cfg.MaxTaxa = 2, 2
+	if _, err := NewCorpus(1, cfg); !errors.Is(err, ErrNodeBoundsInfeasible) {
+		t.Fatalf("infeasible-bounds NewCorpus error = %v, want ErrNodeBoundsInfeasible", err)
+	}
+	s, err := NewStream(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Next(); !errors.Is(err, ErrNodeBoundsInfeasible) {
+		t.Fatalf("infeasible-bounds Next error = %v, want ErrNodeBoundsInfeasible", err)
+	}
+}
+
 func TestCorpusShape(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NumTrees = 60 // keep the unit test quick; the bench uses 1500
-	c := NewCorpus(1, cfg)
+	c := mustCorpus(t, 1, cfg)
 	if got := c.NumTrees(); got != 60 {
 		t.Fatalf("NumTrees = %d, want 60", got)
 	}
@@ -76,8 +130,8 @@ func TestCorpusShape(t *testing.T) {
 func TestCorpusDeterministic(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NumTrees = 10
-	a := NewCorpus(7, cfg)
-	b := NewCorpus(7, cfg)
+	a := mustCorpus(t, 7, cfg)
+	b := mustCorpus(t, 7, cfg)
 	if a.NumTrees() != b.NumTrees() {
 		t.Fatal("corpus size differs across same-seed runs")
 	}
@@ -95,7 +149,7 @@ func TestStudiesShareTaxa(t *testing.T) {
 	// mining would be vacuous.
 	cfg := DefaultConfig()
 	cfg.NumTrees = 20
-	c := NewCorpus(3, cfg)
+	c := mustCorpus(t, 3, cfg)
 	for _, s := range c.Studies {
 		if len(s.Trees) < 2 {
 			continue

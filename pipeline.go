@@ -8,6 +8,7 @@ package treemine
 // same end-to-end flows.
 
 import (
+	"context"
 	"math/rand"
 
 	"treemine/internal/consensus"
@@ -63,6 +64,14 @@ func ParsimonySearch(rng *rand.Rand, a *Alignment, cfg ParsimonySearchConfig) ([
 	return parsimony.Search(rng, a, cfg)
 }
 
+// ParsimonySearchCtx is ParsimonySearch under a context: cancellation is
+// observed between climb rounds, and a panicking climber surfaces as an
+// error naming its start index. The result is bit-identical to
+// ParsimonySearch when the context is never cancelled.
+func ParsimonySearchCtx(ctx context.Context, rng *rand.Rand, a *Alignment, cfg ParsimonySearchConfig) ([]*Tree, int, error) {
+	return parsimony.SearchCtx(ctx, rng, a, cfg)
+}
+
 // ParsimonyPlateau expands equally parsimonious seed trees by walking
 // zero-cost NNI moves, up to maxTrees distinct topologies.
 func ParsimonyPlateau(seeds []*Tree, a *Alignment, maxTrees int) ([]*Tree, error) {
@@ -113,6 +122,14 @@ func MajorityThreshold(trees []*Tree, frac float64) (*Tree, error) {
 // scaled to the machine. workers ≤ 0 selects GOMAXPROCS.
 func MineForestParallel(trees []*Tree, opts ForestOptions, workers int) []FrequentPair {
 	return core.MineForestParallel(trees, opts, workers)
+}
+
+// MineForestParallelCtx is MineForestParallel under a context:
+// cancellation is observed between trees, and a panicking worker
+// surfaces as an error naming the offending tree index instead of
+// crashing the process.
+func MineForestParallelCtx(ctx context.Context, trees []*Tree, opts ForestOptions, workers int) ([]FrequentPair, error) {
+	return core.MineForestParallelCtx(ctx, trees, opts, workers)
 }
 
 // WeightedTree couples a phylogeny with positive branch lengths for

@@ -8,6 +8,7 @@ package treemine
 // "Scaling" section of the README.
 
 import (
+	"context"
 	"io"
 
 	"treemine/internal/core"
@@ -60,4 +61,20 @@ func MineForestStream(it TreeIterator, opts ForestOptions, workers int) ([]Frequ
 // checkpoint/resume through StreamConfig.
 func MineForestStreamShard(it TreeIterator, opts ForestOptions, cfg StreamConfig) (*SupportShard, error) {
 	return core.MineForestStreamShard(it, opts, cfg)
+}
+
+// MineForestStreamCtx is MineForestStream under a context: cancellation
+// is observed between trees, and the error is context.Canceled (or
+// DeadlineExceeded) once the current batch drains.
+func MineForestStreamCtx(ctx context.Context, it TreeIterator, opts ForestOptions, workers int) ([]FrequentPair, error) {
+	return core.MineForestStreamCtx(ctx, it, opts, workers)
+}
+
+// MineForestStreamShardCtx is MineForestStreamShard under a context. On
+// cancellation the returned shard covers an exact prefix of the stream
+// (SupportShard.Trees names its length), so saving it as a checkpoint
+// and resuming with SkipTrees = Trees yields results identical to an
+// uninterrupted run. Worker panics surface as errors, not crashes.
+func MineForestStreamShardCtx(ctx context.Context, it TreeIterator, opts ForestOptions, cfg StreamConfig) (*SupportShard, error) {
+	return core.MineForestStreamShardCtx(ctx, it, opts, cfg)
 }

@@ -22,7 +22,10 @@ import (
 func TestSystemCorpusToIndexToAnalysis(t *testing.T) {
 	cfg := treebase.DefaultConfig()
 	cfg.NumTrees = 24
-	corpus := treebase.NewCorpus(11, cfg)
+	corpus, err := treebase.NewCorpus(11, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// 1. Export to NEXUS files and reload through the generic reader.
 	dir := t.TempDir()

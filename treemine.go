@@ -26,6 +26,7 @@
 package treemine
 
 import (
+	"context"
 	"io"
 
 	"treemine/internal/consensus"
@@ -179,4 +180,11 @@ func DefaultKernelConfig() KernelConfig { return kernel.DefaultConfig() }
 // cousin-based distance among the selections (§5.3).
 func KernelTrees(groups [][]*Tree, cfg KernelConfig) (*KernelResult, error) {
 	return kernel.Find(groups, cfg)
+}
+
+// KernelTreesCtx is KernelTrees under a context: cancellation is
+// observed between profiling units, matrix rows, search branches, and
+// descent restarts.
+func KernelTreesCtx(ctx context.Context, groups [][]*Tree, cfg KernelConfig) (*KernelResult, error) {
+	return kernel.FindCtx(ctx, groups, cfg)
 }
