@@ -12,12 +12,14 @@
 # BENCH_4.json for the recorded baselines); `make bench-dist` runs just
 # the pairwise-distance-engine benchmarks (BENCH_3.json); `make
 # bench-parsimony` runs just the bit-parallel Fitch engine and parallel
-# search benchmarks (BENCH_4.json).
+# search benchmarks (BENCH_4.json); `make bench-mine` runs the §48
+# mining-core ablation suite plus its regression gate against
+# BENCH_5.json (fails on a >20% ns/op slowdown of the blocked path).
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check vet build test race chaos fuzz bench bench-dist bench-parsimony
+.PHONY: check vet build test race chaos fuzz bench bench-dist bench-parsimony bench-mine
 
 check: vet build test
 
@@ -31,13 +33,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core -run 'Parallel|Forest|Shard|Stream|Differential'
+	$(GO) test -race ./internal/core -run 'Parallel|Forest|Shard|Stream|Differential|LevelVec'
 	$(GO) test -race ./internal/cluster ./internal/kernel -run 'Differential|Reference|Matches'
 	$(GO) test -race ./internal/parsimony -run 'WorkerCount|TiedSet|Search|Incremental'
 
 chaos:
 	$(GO) test -race ./internal/faults ./internal/guard ./internal/sigctx
-	$(GO) test -race ./internal/core -run 'Cancel|Panic|IteratorError|FaultInjection'
+	$(GO) test -race ./internal/core -run 'Cancel|Panic|IteratorError|FaultInjection|LevelVec'
 	$(GO) test -race ./internal/store -run 'Atomic'
 	$(GO) test -race ./internal/parsimony -run 'SearchCancelled|SearchClimb'
 	$(GO) test -race ./internal/kernel -run 'FindCtx'
@@ -57,3 +59,7 @@ bench-dist:
 
 bench-parsimony:
 	$(GO) test ./internal/parsimony -run xxx -bench 'Fitch|ParsimonySearch' -benchmem
+
+bench-mine:
+	$(GO) test ./internal/core -run xxx -bench 'BenchmarkMineCore' -benchmem
+	$(GO) test ./internal/core -run 'BenchMineCoreRegressionGate' -v

@@ -7,11 +7,14 @@
 //
 // Usage:
 //
-//	benchpaper -exp table1|fig4|fig5|fig6|fig6stream|fig7|fig8|fig9|fig10|all [flags]
+//	benchpaper -exp table1|fig4|fig5|fig6|fig6stream|fig6xl|fig7|fig8|fig9|fig10|all [flags]
 //
 // The -full flag runs the experiments at the paper's published scale
 // (e.g. one million trees for Figure 6); the default scale finishes in
-// seconds.
+// seconds. The -maxtrees flag (alias -trees) overrides the tree-count
+// ceiling of the Figure 6 family (fig6, fig6stream, fig6xl) directly,
+// which is how the smoke tests and the BENCH recordings pick their
+// scale.
 package main
 
 import (
@@ -25,10 +28,24 @@ import (
 
 // config carries the experiment-wide knobs.
 type config struct {
-	seed int64
-	full bool
-	csv  bool
-	out  io.Writer
+	seed     int64
+	full     bool
+	csv      bool
+	maxTrees int // Figure 6 family tree-count ceiling; 0 = experiment default
+	out      io.Writer
+}
+
+// sweepMax resolves a Figure 6-family tree-count ceiling: an explicit
+// -maxtrees wins, then -full's published scale, then the experiment
+// default.
+func (c config) sweepMax(def, full int) int {
+	if c.maxTrees > 0 {
+		return c.maxTrees
+	}
+	if c.full {
+		return full
+	}
+	return def
 }
 
 // emit prints an experiment's result table in the selected format.
@@ -54,6 +71,7 @@ func experiments() []experiment {
 		{"fig5", "Single_Tree_Mining time vs tree size for several maxdist", runFig5},
 		{"fig6", "Multiple_Tree_Mining time vs number of synthetic trees", runFig6},
 		{"fig6stream", "streamed Multiple_Tree_Mining at 10× the Figure 6 scale", runFig6Stream},
+		{"fig6xl", "sharded streaming mining of a 100k-tree corpus with worker scaling and peak heap", runFig6XL},
 		{"fig7", "Multiple_Tree_Mining time vs number of phylogenies", runFig7},
 		{"fig8", "co-occurring patterns in the seed-plant phylogenies", runFig8},
 		{"fig9", "consensus-method quality by average similarity score", runFig9},
@@ -79,10 +97,13 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	full := fs.Bool("full", false, "run at the paper's published scale (slow)")
 	csvOut := fs.Bool("csv", false, "emit result tables as CSV for plotting")
+	var maxTrees int
+	fs.IntVar(&maxTrees, "maxtrees", 0, "tree-count ceiling for the Figure 6 family (0 = experiment default)")
+	fs.IntVar(&maxTrees, "trees", 0, "alias for -maxtrees")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := config{seed: *seed, full: *full, csv: *csvOut, out: stdout}
+	cfg := config{seed: *seed, full: *full, csv: *csvOut, maxTrees: maxTrees, out: stdout}
 
 	if *exp == "all" {
 		for _, e := range experiments() {

@@ -39,6 +39,41 @@ func TestFig4(t *testing.T) {
 	}
 }
 
+// TestFig6XL smokes the 100k-tree experiment at a reduced -maxtrees:
+// the sharded stream must complete, report identical shard sizes at
+// every worker count, and honor the flag's ceiling.
+func TestFig6XL(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "fig6xl", "-maxtrees", "300"}, &out); err != nil {
+		t.Fatalf("fig6xl: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"workers", "trees/sec", "peak heap MiB", "300"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fig6xl missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "100000") {
+		t.Errorf("fig6xl ignored -maxtrees:\n%s", s)
+	}
+}
+
+// TestFig6MaxTreesFlag pins the shared sweep runner: -trees (the alias)
+// caps the fig6 sweep.
+func TestFig6MaxTreesFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "fig6", "-trees", "250"}, &out); err != nil {
+		t.Fatalf("fig6: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "250") {
+		t.Errorf("fig6 sweep did not reach the -trees ceiling:\n%s", s)
+	}
+	if strings.Contains(s, "10000") {
+		t.Errorf("fig6 ignored -trees:\n%s", s)
+	}
+}
+
 func TestFig7(t *testing.T) {
 	s := runExp(t, "fig7")
 	for _, want := range []string{"phylogenies", "1500", "frequent pairs"} {

@@ -4,10 +4,15 @@ package main
 // worked example) and Figures 4–7 (scalability).
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"os/signal"
 	"reflect"
+	"runtime"
+	"time"
 
 	"treemine"
 	"treemine/internal/benchutil"
@@ -108,6 +113,36 @@ func runFig5(cfg config) error {
 	return nil
 }
 
+// fig6Pool builds the shared synthetic tree pool of the Figure 6 family
+// (fig6, fig6stream, fig6xl): 2,000 Table 3-default trees cycled to any
+// corpus size, so every variant mines the identical tree sequence.
+func fig6Pool(seed int64) []*treemine.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	p := treegen.DefaultParams()
+	pool := make([]*treemine.Tree, 2000) // reuse a pool; mining cost is per tree
+	for i := range pool {
+		pool[i] = treegen.Fanout(rng, p)
+	}
+	return pool
+}
+
+// runFig6Sweep is the parameterized runner the Figure 6 family shares:
+// it resolves the tree-count ceiling (-maxtrees / -full / default),
+// builds the pool, and calls measure once per sweep point to fill the
+// row beside the tree count.
+func runFig6Sweep(cfg config, def, full int, tb *benchutil.Table, measure func(pool []*treemine.Tree, n int) ([]any, error)) error {
+	maxTrees := cfg.sweepMax(def, full)
+	pool := fig6Pool(cfg.seed)
+	for _, n := range benchutil.Sweep(5, maxTrees/5, maxTrees) {
+		row, err := measure(pool, n)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(append([]any{n}, row...)...)
+	}
+	return cfg.emit(tb)
+}
+
 // runFig6 reproduces Figure 6: Multiple_Tree_Mining over growing numbers
 // of synthetic trees; the paper's headline is linear scaling up to one
 // million trees (-full).
@@ -116,19 +151,9 @@ func runFig6(cfg config) error {
 	// million trees took its K implementation ~2.5 days. The default
 	// scale here finishes in seconds and already exhibits the linear
 	// trend; -full runs the published one-million-tree sweep.
-	maxTrees := 10_000
-	if cfg.full {
-		maxTrees = 1_000_000
-	}
-	rng := rand.New(rand.NewSource(cfg.seed))
-	p := treegen.DefaultParams()
-	pool := make([]*treemine.Tree, 2000) // reuse a pool; mining cost is per tree
-	for i := range pool {
-		pool[i] = treegen.Fanout(rng, p)
-	}
 	opts := treemine.DefaultForestOptions()
 	tb := benchutil.NewTable("trees", "total time", "frequent pairs")
-	for _, n := range benchutil.Sweep(5, maxTrees/5, maxTrees) {
+	return runFig6Sweep(cfg, 10_000, 1_000_000, tb, func(pool []*treemine.Tree, n int) ([]any, error) {
 		forest := make([]*treemine.Tree, n)
 		for i := range forest {
 			forest[i] = pool[i%len(pool)]
@@ -137,12 +162,8 @@ func runFig6(cfg config) error {
 		d := benchutil.Time(func() {
 			fp = treemine.MineForest(forest, opts)
 		})
-		tb.AddRow(n, d, len(fp))
-	}
-	if err := cfg.emit(tb); err != nil {
-		return err
-	}
-	return nil
+		return []any{d, len(fp)}, nil
+	})
 }
 
 // poolIterator cycles n trees out of a fixed pool — the streamed
@@ -169,26 +190,16 @@ func (it *poolIterator) Next() (*treemine.Tree, error) {
 // verifies the streamed output matches MineForest exactly at every
 // point — the paper's linear trend should hold through the 10× sweep.
 func runFig6Stream(cfg config) error {
-	maxTrees := 100_000 // 10× the Figure 6 default
-	if cfg.full {
-		maxTrees = 1_000_000
-	}
-	rng := rand.New(rand.NewSource(cfg.seed))
-	p := treegen.DefaultParams()
-	pool := make([]*treemine.Tree, 2000)
-	for i := range pool {
-		pool[i] = treegen.Fanout(rng, p)
-	}
 	opts := treemine.DefaultForestOptions()
 	tb := benchutil.NewTable("trees", "stream time", "batch time", "frequent pairs", "match")
-	for _, n := range benchutil.Sweep(5, maxTrees/5, maxTrees) {
+	return runFig6Sweep(cfg, 100_000, 1_000_000, tb, func(pool []*treemine.Tree, n int) ([]any, error) {
 		var streamFP []treemine.FrequentPair
 		var streamErr error
 		ds := benchutil.Time(func() {
 			streamFP, streamErr = treemine.MineForestStream(&poolIterator{pool: pool, n: n}, opts, 0)
 		})
 		if streamErr != nil {
-			return streamErr
+			return nil, streamErr
 		}
 		forest := make([]*treemine.Tree, n)
 		for i := range forest {
@@ -198,12 +209,84 @@ func runFig6Stream(cfg config) error {
 		db := benchutil.Time(func() {
 			batchFP = treemine.MineForest(forest, opts)
 		})
-		tb.AddRow(n, ds, db, len(streamFP), reflect.DeepEqual(streamFP, batchFP))
+		return []any{ds, db, len(streamFP), reflect.DeepEqual(streamFP, batchFP)}, nil
+	})
+}
+
+// heapWatcher samples the live heap until stopped and reports the peak
+// it saw, so the 100k-tree run can publish its memory ceiling alongside
+// its time.
+type heapWatcher struct {
+	stop chan struct{}
+	done chan uint64
+}
+
+func watchHeap() *heapWatcher {
+	w := &heapWatcher{stop: make(chan struct{}), done: make(chan uint64)}
+	go func() {
+		var peak uint64
+		var ms runtime.MemStats
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+			select {
+			case <-w.stop:
+				w.done <- peak
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return w
+}
+
+func (w *heapWatcher) peak() uint64 {
+	close(w.stop)
+	return <-w.done
+}
+
+// runFig6XL pushes the Figure 6 experiment to a 100,000-tree corpus
+// through the sharded streaming pipeline (MineForestStreamShardCtx),
+// the scale the ROADMAP calls for on the §48 mining core. The corpus
+// streams once per worker count (1, 4, GOMAXPROCS), under a ctx that a
+// SIGINT cancels mid-stream — the PR 5 entry points guarantee the
+// partial shard is still an exact stream prefix. Each row reports wall
+// time, throughput, the shard's item count, and the peak live heap.
+func runFig6XL(cfg config) error {
+	maxTrees := cfg.sweepMax(100_000, 1_000_000)
+	pool := fig6Pool(cfg.seed)
+	opts := treemine.DefaultForestOptions()
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	workers := []int{1, 4, runtime.GOMAXPROCS(0)}
+	tb := benchutil.NewTable("workers", "trees", "total time", "trees/sec", "shard items", "frequent pairs", "peak heap MiB")
+	seen := map[int]bool{}
+	for _, w := range workers {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		runtime.GC() // level the playing field between worker counts
+		hw := watchHeap()
+		var shard *treemine.SupportShard
+		var err error
+		d := benchutil.Time(func() {
+			shard, err = treemine.MineForestStreamShardCtx(ctx, &poolIterator{pool: pool, n: maxTrees},
+				opts, treemine.StreamConfig{Workers: w})
+		})
+		peak := hw.peak()
+		if err != nil {
+			return err
+		}
+		fp := shard.Finalize(opts.MinSup)
+		tb.AddRow(w, shard.Trees(), d, int(float64(maxTrees)/d.Seconds()),
+			shard.Len(), len(fp), fmt.Sprintf("%.1f", float64(peak)/(1<<20)))
 	}
-	if err := cfg.emit(tb); err != nil {
-		return err
-	}
-	return nil
+	return cfg.emit(tb)
 }
 
 // runFig7 reproduces Figure 7: Multiple_Tree_Mining over 250–1,500

@@ -1,0 +1,59 @@
+package benchutil
+
+// Benchmark-regression gating against the repo's recorded BENCH_*.json
+// files: a recording session stores ns/op per benchmark, and a gate test
+// re-measures the hot path and fails when it has slowed past the
+// tolerated factor. The first consumer is the §48 mining core
+// (BENCH_5.json, gated by TestBenchMineCoreRegressionGate in
+// internal/core).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchRecord is one recorded benchmark entry.
+type BenchRecord struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"B_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// benchFile is the subset of a BENCH_*.json a regression gate reads.
+type benchFile struct {
+	Benchmarks map[string]BenchRecord `json:"benchmarks"`
+}
+
+// LoadBenchRecords reads the "benchmarks" section of a recorded
+// BENCH_*.json file.
+func LoadBenchRecords(path string) (map[string]BenchRecord, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("benchutil: parsing %s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchutil: %s has no benchmarks section", path)
+	}
+	return f.Benchmarks, nil
+}
+
+// CheckNsOp compares a fresh ns/op measurement against the recorded one
+// and returns an error when it regressed beyond the tolerance factor
+// (tol = 1.2 tolerates a 20% slowdown — the recording boxes are small
+// and shared, so some noise headroom is deliberate). Faster is never an
+// error.
+func CheckNsOp(name string, measured float64, recorded BenchRecord, tol float64) error {
+	if recorded.NsOp <= 0 {
+		return fmt.Errorf("benchutil: %s has no recorded ns/op", name)
+	}
+	if measured > recorded.NsOp*tol {
+		return fmt.Errorf("benchutil: %s regressed: %.0f ns/op measured vs %.0f recorded (tolerance %.0f%%)",
+			name, measured, recorded.NsOp, (tol-1)*100)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"treemine/internal/benchutil"
+)
+
+// bench5Path is the recorded §48 mining-core benchmark file at the repo
+// root.
+const bench5Path = "../../BENCH_5.json"
+
+// measureBest re-runs a benchmark body n times and keeps the fastest
+// ns/op — the recording boxes are small, so min-of-N is the stable
+// statistic (noise only ever adds time).
+func measureBest(n int, f func(b *testing.B)) float64 {
+	best := math.MaxFloat64
+	for i := 0; i < n; i++ {
+		r := testing.Benchmark(f)
+		if v := float64(r.NsPerOp()); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// TestBenchMineCoreRegressionGate is the repo's first benchmark
+// regression gate: it re-measures the production mining path
+// (accumulateBlocked) at the recorded BenchmarkMineCore shapes and
+// fails if ns/op regressed more than 20% against BENCH_5.json. Skipped
+// under -short; run explicitly via `make bench-mine`.
+func TestBenchMineCoreRegressionGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark regression gate skipped in -short mode")
+	}
+	if _, err := os.Stat(bench5Path); err != nil {
+		t.Skipf("no recorded %s: %v", bench5Path, err)
+	}
+	recs, err := benchutil.LoadBenchRecords(bench5Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1.2
+	for _, shape := range []string{"fig6", "hub"} {
+		name := "BenchmarkMineCore/" + shape + "/blocked"
+		rec, ok := recs[name]
+		if !ok {
+			t.Fatalf("%s missing from %s", name, bench5Path)
+		}
+		measured := measureBest(3, func(b *testing.B) {
+			benchAccumulate(b, shape, func(m *miner, ac *accum) { m.accumulateBlocked(ac) })
+		})
+		if err := benchutil.CheckNsOp(name, measured, rec, tol); err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -128,6 +128,60 @@ func TestStreamShardCancelCheckpointResumeDifferential(t *testing.T) {
 	}
 }
 
+// TestLevelVecCancelledStreamPrefixDifferential pins the §48 blocked
+// accumulation path under mid-stream cancellation: every tree of this
+// corpus drains through the dense cache-blocked accumulator (the small
+// alphabet keeps the miner in dense mode), and the partial shard a
+// cancelled MineForestStreamShardCtx returns must still be the EXACT
+// support state of a stream prefix — finalizing it equals batch-mining
+// the same prefix tree-for-tree.
+func TestLevelVecCancelledStreamPrefixDifferential(t *testing.T) {
+	const n, seed, size, alpha = 500, 48, 60, 12
+	opts := DefaultForestOptions()
+
+	// Sanity: this shape really exercises the blocked path.
+	probe := newGenIterator(seed, n, size, alpha)
+	tr0, err := probe.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := NewSymbols()
+	syms.InternTree(tr0)
+	m := getMiner(tr0, opts.Options, syms)
+	m.acc.init(syms.Len(), m.nd)
+	if m.acc.dense == nil {
+		m.acc.discard()
+		m.release()
+		t.Fatal("probe tree not in dense mode; corpus would miss the blocked path")
+	}
+	m.acc.discard()
+	m.release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	it := &cancelAfterIterator{inner: newGenIterator(seed, n, size, alpha), cancel: cancel, k: 200}
+	partial, err := MineForestStreamShardCtx(ctx, it, opts, StreamConfig{Workers: 3, BatchSize: 16})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled stream error = %v, want context.Canceled", err)
+	}
+	p := partial.Trees()
+	if p == 0 || p > 200 {
+		t.Fatalf("shard covers %d trees, want a nonempty prefix ≤ the cancellation point 200", p)
+	}
+
+	fresh := newGenIterator(seed, n, size, alpha)
+	forest := make([]*tree.Tree, p)
+	for i := range forest {
+		if forest[i], err = fresh.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := MineForest(forest, opts)
+	if got := partial.Finalize(opts.MinSup); !reflect.DeepEqual(got, want) {
+		t.Fatalf("cancelled shard diverged from its %d-tree prefix: %d vs %d pairs", p, len(got), len(want))
+	}
+}
+
 // TestStreamIteratorErrorNamesTreeAndResumes injects an iterator
 // failure at tree k: the error must name k, the last checkpoint must
 // still load, and resuming from it must finish to the uninterrupted

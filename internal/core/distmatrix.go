@@ -136,11 +136,13 @@ func BuildProfilesCtx(ctx context.Context, trees []*tree.Tree, v Variant, opts O
 }
 
 // ProfileDistMatrix fills the all-pairs distance matrix of pre-built
-// profiles. The upper triangle is split by rows and filled with
-// work-stealing: each worker atomically claims the next unfilled row and
-// merge-joins it against all later profiles, so the shrinking row
-// lengths balance themselves without any locking (rows never overlap).
-// workers ≤ 0 selects GOMAXPROCS.
+// profiles. The upper triangle is split into bands of rows claimed with
+// work-stealing, and each band is filled column-block by column-block:
+// every profile of the block stays cache-hot while it merge-joins
+// against all rows of the band, instead of being re-fetched once per
+// row (§48 applies the same cache-blocking as the mining accumulator).
+// Bands never overlap, so no locking; shrinking band widths balance
+// themselves across workers. workers ≤ 0 selects GOMAXPROCS.
 func ProfileDistMatrix(profiles []*Profile, workers int) *DistMatrix {
 	m, err := ProfileDistMatrixCtx(context.Background(), profiles, workers)
 	if err != nil {
@@ -149,50 +151,87 @@ func ProfileDistMatrix(profiles []*Profile, workers int) *DistMatrix {
 	return m
 }
 
+// matrixRowBand and matrixColBlock are the tile shape of the condensed
+// fill: a worker claims matrixRowBand consecutive rows and joins them
+// against the later profiles matrixColBlock columns at a time. The
+// block bounds the working set (block profiles + band row profiles); the
+// band bounds how many rows each block fetch is amortized over.
+const (
+	matrixRowBand  = 8
+	matrixColBlock = 64
+)
+
 // ProfileDistMatrixCtx is ProfileDistMatrix under a context: workers
-// check ctx between rows (the bounded unit of matrix work), and a
-// panicking worker is contained into an error naming the offending row.
+// check ctx between row bands (the bounded unit of matrix work), and a
+// panicking worker is contained into an error naming the row being
+// filled when it died. Fault injection stays per row — one
+// faults.Hit(MatrixWorker) per row of the band — so chaos coverage is
+// independent of the tile shape.
 func ProfileDistMatrixCtx(ctx context.Context, profiles []*Profile, workers int) (*DistMatrix, error) {
 	n := len(profiles)
 	m := &DistMatrix{n: n, d: make([]float64, n*(n-1)/2)}
 	if n < 2 {
 		return m, nil
 	}
+	bands := (n - 1 + matrixRowBand - 1) / matrixRowBand
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n-1 {
-		workers = n - 1
+	if workers > bands {
+		workers = bands
 	}
-	fillRow := func(i int) error {
+	fillBand := func(lo int) error {
+		hi := lo + matrixRowBand
+		if hi > n-1 {
+			hi = n - 1
+		}
+		cur := lo
 		err := guard.Run(func() error {
-			if err := faults.Hit(faults.MatrixWorker); err != nil {
-				return err
+			for i := lo; i < hi; i++ {
+				cur = i
+				if err := faults.Hit(faults.MatrixWorker); err != nil {
+					return err
+				}
 			}
-			base := i * (2*n - i - 1) / 2
-			pi := profiles[i]
-			for j := i + 1; j < n; j++ {
-				m.d[base+j-i-1] = TDistProfiles(pi, profiles[j])
+			for jb := lo + 1; jb < n; jb += matrixColBlock {
+				je := jb + matrixColBlock
+				if je > n {
+					je = n
+				}
+				// Rows of the band that have entries in this column
+				// block: row i covers columns j > i.
+				for i := lo; i < hi && i < je-1; i++ {
+					j := i + 1
+					if j < jb {
+						j = jb
+					}
+					base := i * (2*n - i - 1) / 2
+					pi := profiles[i]
+					cur = i
+					for ; j < je; j++ {
+						m.d[base+j-i-1] = TDistProfiles(pi, profiles[j])
+					}
+				}
 			}
 			return nil
 		})
 		if err != nil {
-			return wrapWorkerErr(err, fmt.Sprintf("core: distance-matrix row %d", i))
+			return wrapWorkerErr(err, fmt.Sprintf("core: distance-matrix row %d", cur))
 		}
 		return nil
 	}
 	if workers <= 1 {
-		for i := 0; i < n-1; i++ {
+		for lo := 0; lo < n-1; lo += matrixRowBand {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			if err := fillRow(i); err != nil {
+			if err := fillBand(lo); err != nil {
 				return nil, err
 			}
 		}
 		return m, nil
 	}
-	var nextRow atomic.Int64
+	var nextBand atomic.Int64
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -204,11 +243,11 @@ func ProfileDistMatrixCtx(ctx context.Context, profiles []*Profile, workers int)
 					errs[w] = err
 					return
 				}
-				i := int(nextRow.Add(1)) - 1
-				if i >= n-1 {
+				b := int(nextBand.Add(1)) - 1
+				if b >= bands {
 					return
 				}
-				if err := fillRow(i); err != nil {
+				if err := fillBand(b * matrixRowBand); err != nil {
 					errs[w] = err
 					return
 				}

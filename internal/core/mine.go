@@ -51,18 +51,38 @@ func Mine(t *tree.Tree, opts Options) ItemSet {
 		m.acc.init(m.syms.Len(), m.nd)
 		m.accumulate(&m.acc)
 		syms, minOccur := m.syms, opts.MinOccur
+		// Drained cells arrive roughly row-major in (a, b), so memoizing
+		// the two label lookups turns most cells' string work into a
+		// symbol-ID compare.
+		lastA, lastB := ^uint32(0), ^uint32(0)
+		var la, lb string
 		m.acc.drain(func(a, b uint32, dc int, n int32) {
-			if int(n) >= minOccur {
-				items[NewKey(syms.Label(a), syms.Label(b), Dist(dc))] = int(n)
+			if int(n) < minOccur {
+				return
 			}
+			if a != lastA {
+				la, lastA = syms.Label(a), a
+			}
+			if b != lastB {
+				lb, lastB = syms.Label(b), b
+			}
+			items[NewKey(la, lb, Dist(dc))] = int(n)
 		})
 		return items
 	}
-	// Distances beyond MaxPackedDist: enumerate pairs on string keys.
+	// Distances beyond MaxPackedDist: enumerate pairs on string keys,
+	// then prune below-minoccur items in place — no second map.
 	m.forEachPair(func(u, v tree.NodeID, d Dist) {
 		items[NewKey(t.MustLabel(u), t.MustLabel(v), d)]++
 	})
-	return items.FilterMinOccur(opts.MinOccur)
+	if opts.MinOccur > 1 {
+		for k, n := range items {
+			if n < opts.MinOccur {
+				delete(items, k)
+			}
+		}
+	}
+	return items
 }
 
 // Pair is one concrete cousin pair occurrence: two node IDs and their
@@ -129,17 +149,20 @@ type miner struct {
 	maxJ   int // deepest bucket level, clamped to the tree height
 	nd     int // number of valid distance slots (MaxDist+1, min 0)
 
+	// SoA copies of the tree's per-node structure, filled in one pass so
+	// the bucket-building walks touch flat arrays instead of chasing
+	// method calls into the tree.
+	par         []int32       // parent ID per node (root: -1)
+	dep         []int32       // depth per node
+	mld         []int32       // deepest labeled descendant depth below each node (-1: none)
 	nodeSym     []uint32      // symbol ID per labeled node
 	bucketStart []int32       // prefix offsets into flat, len size*maxJ+1
 	bucketFill  []int32       // per-bucket counting/fill cursors
 	flat        []tree.NodeID // bucket storage
 
-	acc  accum // item accumulator (also used per tree by forest mining)
-	wild accum // distance-wildcard scratch for IgnoreDist support
-
-	// MineCounts scratch, reused across LCAs.
-	histI, histJ, totalI, totalJ map[uint32]int32
-	same                         ISet
+	acc  accum     // item accumulator (also used per tree by forest mining)
+	wild accum     // distance-wildcard scratch for IgnoreDist support
+	lv   levelVecs // symbol-vector scratch of the blocked path (§48)
 }
 
 var minerPool = sync.Pool{New: func() any { return new(miner) }}
@@ -155,10 +178,12 @@ func getMiner(t *tree.Tree, opts Options, syms *Symbols) *miner {
 }
 
 // release returns the miner to the pool, dropping tree references but
-// keeping buffers for reuse.
+// keeping buffers for reuse. The level-vector scratch is sanitized so a
+// pass abandoned mid-LCA (contained panic) cannot poison the pool.
 func (m *miner) release() {
 	m.acc.discard()
 	m.wild.discard()
+	m.lv.sanitize()
 	m.t = nil
 	m.syms = nil
 	minerPool.Put(m)
@@ -178,14 +203,6 @@ func (m *miner) reset(t *tree.Tree, opts Options, syms *Symbols) {
 		return
 	}
 	m.nd = int(opts.MaxDist) + 1
-	_, maxJ := opts.MaxDist.Levels()
-	if h := t.Height(); maxJ > h {
-		maxJ = h // no bucket can be deeper than the tree
-	}
-	m.maxJ = maxJ
-	if maxJ == 0 {
-		return
-	}
 
 	if syms != nil {
 		m.syms, m.shared = syms, true
@@ -198,22 +215,31 @@ func (m *miner) reset(t *tree.Tree, opts Options, syms *Symbols) {
 	}
 
 	n := t.Size()
+	m.par = grow32(m.par, n)
+	m.dep = grow32(m.dep, n)
+	m.mld = grow32(m.mld, n)
 	m.nodeSym = growU32(m.nodeSym, n)
-	nb := n * maxJ
-	m.bucketStart = grow32(m.bucketStart, nb+1)
-	m.bucketFill = grow32(m.bucketFill, nb)
-	counts := m.bucketFill
-	for i := range counts {
-		counts[i] = 0
-	}
 
-	// Counting pass: how many nodes land in each (path-child, depth)
-	// bucket; symbols are interned alongside.
-	total := int32(0)
+	// SoA pass: copy parent and depth per node into flat arrays and
+	// intern symbols alongside, so the bucket walks below run on local
+	// int32 slices with no tree method calls. The tree height (for the
+	// maxJ clamp) falls out of the same pass. The depth bound also
+	// replaces the parent != None check in the walks: the ancestor k
+	// edges above v exists iff dep[v] ≥ k.
+	par, dep, mld := m.par, m.dep, m.mld
+	h := 0
 	for v := tree.NodeID(0); v < tree.NodeID(n); v++ {
+		par[v] = int32(t.Parent(v))
+		d := int32(t.Depth(v))
+		dep[v] = d
+		if int(d) > h {
+			h = int(d)
+		}
 		if !t.Labeled(v) {
+			mld[v] = -1
 			continue
 		}
+		mld[v] = 0
 		label := t.MustLabel(v)
 		if m.shared {
 			id, ok := m.syms.Lookup(label)
@@ -224,12 +250,51 @@ func (m *miner) reset(t *tree.Tree, opts Options, syms *Symbols) {
 		} else {
 			m.nodeSym[v] = m.syms.Intern(label)
 		}
-		child, a := v, t.Parent(v)
-		for depth := 1; depth <= maxJ && a != tree.None; depth++ {
-			counts[int(child)*maxJ+depth-1]++
-			total++
-			child, a = a, t.Parent(a)
+	}
+
+	_, maxJ := opts.MaxDist.Levels()
+	if maxJ > h {
+		maxJ = h // no bucket can be deeper than the tree
+	}
+	m.maxJ = maxJ
+	if maxJ == 0 {
+		return
+	}
+
+	// Bottom-up pass for the deepest-labeled-descendant depths, used to
+	// skip empty deep levels per LCA. Valid in one reverse scan because
+	// the Builder assigns every child a higher ID than its parent.
+	for v := n - 1; v > 0; v-- {
+		if c := mld[v] + 1; c > 0 && c > mld[par[v]] {
+			mld[par[v]] = c
 		}
+	}
+
+	nb := n * maxJ
+	m.bucketStart = grow32(m.bucketStart, nb+1)
+	m.bucketFill = grow32(m.bucketFill, nb)
+	counts := m.bucketFill
+	for i := range counts {
+		counts[i] = 0
+	}
+
+	// Counting pass: how many nodes land in each (path-child, depth)
+	// bucket.
+	total := int32(0)
+	for v := 0; v < n; v++ {
+		if !t.Labeled(tree.NodeID(v)) {
+			continue
+		}
+		steps := maxJ
+		if d := int(dep[v]); d < steps {
+			steps = d
+		}
+		child := v
+		for k := 1; k <= steps; k++ {
+			counts[child*maxJ+k-1]++
+			child = int(par[child])
+		}
+		total += int32(steps)
 	}
 
 	// Prefix sums, then the fill pass routes every node into its buckets.
@@ -239,16 +304,21 @@ func (m *miner) reset(t *tree.Tree, opts Options, syms *Symbols) {
 		m.bucketFill[i] = m.bucketStart[i]
 	}
 	m.flat = growNodeID(m.flat, int(total))
-	for v := tree.NodeID(0); v < tree.NodeID(n); v++ {
-		if !t.Labeled(v) {
+	fill := m.bucketFill
+	for v := 0; v < n; v++ {
+		if !t.Labeled(tree.NodeID(v)) {
 			continue
 		}
-		child, a := v, t.Parent(v)
-		for depth := 1; depth <= maxJ && a != tree.None; depth++ {
-			b := int(child)*maxJ + depth - 1
-			m.flat[m.bucketFill[b]] = v
-			m.bucketFill[b]++
-			child, a = a, t.Parent(a)
+		steps := maxJ
+		if d := int(dep[v]); d < steps {
+			steps = d
+		}
+		child := v
+		for k := 1; k <= steps; k++ {
+			b := child*maxJ + k - 1
+			m.flat[fill[b]] = tree.NodeID(v)
+			fill[b]++
+			child = int(par[child])
 		}
 	}
 }
@@ -303,10 +373,25 @@ func (m *miner) forEachPair(visit func(u, v tree.NodeID, d Dist)) {
 	}
 }
 
-// accumulate is forEachPair specialized to the interned hot path: every
-// qualified pair becomes one accumulator increment on symbol IDs, with no
-// callback and no string in sight.
+// accumulate routes one interned mining pass into ac. When the
+// accumulator is dense it takes the symbol-vector blocked path (§48,
+// levelvec.go); in map mode — alphabets too large for a dense table,
+// where sizing per-level count vectors to the alphabet would also be
+// wasteful — it falls back to the seed pair enumeration.
 func (m *miner) accumulate(ac *accum) {
+	if ac.dense != nil {
+		m.accumulateBlocked(ac)
+		return
+	}
+	m.accumulatePairs(ac)
+}
+
+// accumulatePairs is forEachPair specialized to the interned hot path:
+// every qualified pair becomes one accumulator increment on symbol IDs,
+// with no callback and no string in sight. It is the seed enumeration,
+// kept as the map-mode fallback and the ablation baseline; the dense
+// production path is accumulateBlocked.
+func (m *miner) accumulatePairs(ac *accum) {
 	if m.maxJ == 0 {
 		return
 	}
@@ -351,151 +436,15 @@ func (m *miner) accumulate(ac *accum) {
 	}
 }
 
-// MineCounts computes the same ItemSet as Mine without materializing
-// individual node pairs: per potential LCA it aggregates label counts by
-// depth, then derives cross-child pair counts from the totals minus a
-// same-child correction — total(l1)·total(l2) − Σ_c count_c(l1)·count_c(l2)
-// — so the cost per node is driven by the number of distinct labels, not
-// the number of pairs. On label-dense trees (a star of identical leaves,
-// the Table 3 workloads at high fanout) it does asymptotically less work
-// than Mine; the benchmark harness uses the two as an ablation pair. The
-// result is always identical to Mine's. The histograms run on interned
-// symbols; distances beyond MaxPackedDist fall back to pair enumeration.
+// MineCounts computes the same ItemSet as Mine. Historically it was a
+// separate map-based histogram strategy (totals minus a same-child
+// correction); that counting identity is now the production path itself
+// — the symbol-vector enumeration of levelvec.go (DESIGN.md §48) runs
+// it on dense count vectors for every dense-mode mining pass. MineCounts
+// is kept as an alias for API compatibility and for the ablation
+// harnesses that call the two entry points side by side.
 func MineCounts(t *tree.Tree, opts Options) ItemSet {
-	m := getMiner(t, opts, nil)
-	defer m.release()
-	items := make(ItemSet)
-	if m.maxJ == 0 {
-		return items
-	}
-	if !m.packed() {
-		m.forEachPair(func(u, v tree.NodeID, d Dist) {
-			items[NewKey(t.MustLabel(u), t.MustLabel(v), d)]++
-		})
-		return items.FilterMinOccur(opts.MinOccur)
-	}
-	m.initCountsScratch()
-	m.acc.init(m.syms.Len(), m.nd)
-	for a := tree.NodeID(0); a < tree.NodeID(t.Size()); a++ {
-		if t.NumChildren(a) < 2 {
-			continue
-		}
-		for d := Dist(0); d <= opts.MaxDist; d++ {
-			i, j := d.Levels()
-			if j > m.maxJ {
-				break
-			}
-			m.countsAt(a, i, j, d)
-		}
-	}
-	syms, minOccur := m.syms, opts.MinOccur
-	m.acc.drain(func(a, b uint32, dc int, n int32) {
-		if int(n) >= minOccur {
-			items[NewKey(syms.Label(a), syms.Label(b), Dist(dc))] = int(n)
-		}
-	})
-	return items
-}
-
-func (m *miner) initCountsScratch() {
-	if m.histI == nil {
-		m.histI = make(map[uint32]int32)
-		m.histJ = make(map[uint32]int32)
-		m.totalI = make(map[uint32]int32)
-		m.totalJ = make(map[uint32]int32)
-		m.same = make(ISet)
-	}
-}
-
-// hist fills dst with the symbol histogram of the bucket (c, depth) and
-// reports whether it is nonempty.
-func (m *miner) hist(dst map[uint32]int32, c tree.NodeID, depth int) bool {
-	clear(dst)
-	nodes := m.bucket(c, depth)
-	for _, n := range nodes {
-		dst[m.nodeSym[n]]++
-	}
-	return len(nodes) > 0
-}
-
-// countsAt aggregates, for LCA candidate a and distance d with levels
-// (i, j), the cross-child pair counts into m.acc via the totals-minus-
-// same-child identity.
-func (m *miner) countsAt(a tree.NodeID, i, j int, d Dist) {
-	kids := m.t.Children(a)
-	clear(m.totalI)
-	clear(m.totalJ)
-	// Totals across children at each depth, plus the same-child
-	// correction: pairs within one child subtree have a deeper LCA and
-	// must not be counted here.
-	for _, c := range kids {
-		okI := m.hist(m.histI, c, i)
-		if !okI && i == j {
-			continue
-		}
-		hi, hj := m.histI, m.histI
-		okJ := okI
-		if i != j {
-			okJ = m.hist(m.histJ, c, j)
-			hj = m.histJ
-		}
-		for s, n := range hi {
-			m.totalI[s] += n
-		}
-		if i != j {
-			for s, n := range hj {
-				m.totalJ[s] += n
-			}
-		}
-		if !okI || !okJ {
-			continue
-		}
-		for s1, n1 := range hi {
-			for s2, n2 := range hj {
-				if i == j {
-					// Count each unordered same-child symbol combination
-					// once; the cross-product below is also de-duplicated
-					// for i == j.
-					if s1 > s2 {
-						continue
-					}
-					prod := n1 * n2
-					if s1 == s2 {
-						prod = n1 * (n1 - 1) / 2
-					}
-					m.same[NewIKey(s1, s2, d)] += prod
-				} else {
-					m.same[NewIKey(s1, s2, d)] += n1 * n2
-				}
-			}
-		}
-	}
-	totalI, totalJ := m.totalI, m.totalJ
-	if i == j {
-		totalJ = totalI
-	}
-	dc := int(d)
-	for s1, n1 := range totalI {
-		for s2, n2 := range totalJ {
-			if i == j && s1 > s2 {
-				continue
-			}
-			var cross int32
-			if i == j && s1 == s2 {
-				cross = n1 * (n1 - 1) / 2
-			} else {
-				cross = n1 * n2
-			}
-			k := NewIKey(s1, s2, d)
-			// The same-child correction is keyed unordered and holds
-			// both label orientations; consume it exactly once (the
-			// second orientation's iteration then subtracts nothing).
-			if delta := cross - m.same[k]; delta != 0 {
-				m.acc.add(s1, s2, dc, delta)
-			}
-			delete(m.same, k)
-		}
-	}
+	return Mine(t, opts)
 }
 
 // growU32 returns s resized to n, reusing capacity.
