@@ -14,12 +14,15 @@
 # bench-parsimony` runs just the bit-parallel Fitch engine and parallel
 # search benchmarks (BENCH_4.json); `make bench-mine` runs the §48
 # mining-core ablation suite plus its regression gate against
-# BENCH_5.json (fails on a >20% ns/op slowdown of the blocked path).
+# BENCH_5.json (fails on a >20% ns/op slowdown of the blocked path);
+# `make smoke` builds the cousinserve daemon, starts it on the testdata
+# index, runs one query of each kind, and requires a drained exit 0
+# after SIGTERM (see DESIGN.md §49).
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check vet build test race chaos fuzz bench bench-dist bench-parsimony bench-mine
+.PHONY: check vet build test race chaos fuzz smoke bench bench-dist bench-parsimony bench-mine
 
 check: vet build test
 
@@ -36,6 +39,7 @@ race:
 	$(GO) test -race ./internal/core -run 'Parallel|Forest|Shard|Stream|Differential|LevelVec'
 	$(GO) test -race ./internal/cluster ./internal/kernel -run 'Differential|Reference|Matches'
 	$(GO) test -race ./internal/parsimony -run 'WorkerCount|TiedSet|Search|Incremental'
+	$(GO) test -race ./internal/serve -run 'Differential|Race|Cache|Drain|Hammer'
 
 chaos:
 	$(GO) test -race ./internal/faults ./internal/guard ./internal/sigctx
@@ -44,11 +48,16 @@ chaos:
 	$(GO) test -race ./internal/parsimony -run 'SearchCancelled|SearchClimb'
 	$(GO) test -race ./internal/kernel -run 'FindCtx'
 	$(GO) test -race ./cmd/cousinmine -run 'Checkpoint|FaultInjected'
+	$(GO) test -race ./internal/serve -run 'Chaos|Fault'
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) -run '^$$' ./internal/newick
 	$(GO) test -fuzz=FuzzScanner -fuzztime=$(FUZZTIME) -run '^$$' ./internal/newick
 	$(GO) test -fuzz=FuzzStoreRead -fuzztime=$(FUZZTIME) -run '^$$' ./internal/store
+	$(GO) test -fuzz=FuzzQueryParse -fuzztime=$(FUZZTIME) -run '^$$' ./internal/serve
+
+smoke:
+	$(GO) test ./cmd/cousinserve -run 'DaemonSmoke' -v
 
 bench:
 	$(GO) test . -run xxx -bench 'Fig4|Fig5|Fig6MultiTree|Fig7|MineInterned' -benchmem -benchtime=2x

@@ -60,6 +60,20 @@ const (
 	// write and the rename: the temp file is left behind and the
 	// destination untouched, simulating a kill in the rename window.
 	AtomicCrash = "store/atomic/crash"
+	// ServeHandler fires at the top of every cousinserve request
+	// handler, inside the per-request guard — a failing (error mode) or
+	// crashing (panic mode) handler that must surface as a clean 5xx.
+	ServeHandler = "serve/handler"
+	// ServeSlow stalls the handler until the request context is done —
+	// a stuck handler that the per-request deadline must bound.
+	ServeSlow = "serve/handler/slow"
+	// ServeCache fires in the query server's result-cache lookup and
+	// store paths; an armed hit disables the cache for that operation,
+	// so responses must stay correct with the cache out of the loop.
+	ServeCache = "serve/cache"
+	// ServeLoad fires per read while the query server loads its index
+	// at startup — a mid-load I/O failure.
+	ServeLoad = "serve/load"
 )
 
 // ErrInjected is the sentinel all injected failures match with

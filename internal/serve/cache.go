@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"container/list"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheKey identifies one cached response body. Kind discriminates the
+// endpoint; K1/K2 are the endpoint's parameters packed into two machine
+// words — for support queries K1 is the probe's packed core.IKey, for
+// tree-distance queries K1 packs the two tree indices and K2 the
+// variant, for frequent listings K1/K2 pack (minsup, maxdist, limit).
+// Packing the whole query into fixed-width integers keeps lookups
+// allocation-free and makes equal queries collide exactly, never
+// approximately.
+type CacheKey struct {
+	Kind   uint8
+	K1, K2 uint64
+}
+
+// Cache key kinds, one per cacheable endpoint.
+const (
+	kindSupport uint8 = iota + 1
+	kindFrequent
+	kindTDist
+)
+
+// hash mixes the key into a well-distributed word (splitmix64-style
+// finalizer) used to pick a shard.
+func (k CacheKey) hash() uint64 {
+	h := k.K1 ^ bits.RotateLeft64(k.K2, 31) ^ uint64(k.Kind)<<56
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// cacheShardCount is the number of independently locked LRU shards.
+// Requests for different keys usually land on different shards, so the
+// cache never serializes the whole query mix behind one mutex.
+const cacheShardCount = 16
+
+// Cache is a sharded LRU over serialized response bodies. All methods
+// are safe for concurrent use, and safe on a nil *Cache (every lookup
+// misses, every store is dropped) so a disabled cache needs no branches
+// at call sites. Stored bodies are shared by reference: callers must
+// treat both the stored and the returned byte slices as immutable.
+type Cache struct {
+	shards  [cacheShardCount]cacheShard
+	perCap  int
+	hits    atomic.Int64
+	misses  atomic.Int64
+	evicted atomic.Int64
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	m     map[CacheKey]*list.Element
+	order *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key  CacheKey
+	body []byte
+}
+
+// NewCache returns a cache holding at most capacity entries (rounded up
+// to a multiple of the shard count). capacity ≤ 0 returns nil — the
+// disabled cache.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	c := &Cache{perCap: (capacity + cacheShardCount - 1) / cacheShardCount}
+	for i := range c.shards {
+		c.shards[i].m = make(map[CacheKey]*list.Element)
+		c.shards[i].order = list.New()
+	}
+	return c
+}
+
+func (c *Cache) shard(k CacheKey) *cacheShard {
+	return &c.shards[k.hash()%cacheShardCount]
+}
+
+// Get returns the cached body for k, marking it most recently used.
+func (c *Cache) Get(k CacheKey) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	el, ok := s.m[k]
+	if ok {
+		s.order.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under k, evicting the shard's least recently used
+// entry when the shard is full. Storing an existing key refreshes its
+// body and recency.
+func (c *Cache) Put(k CacheKey, body []byte) {
+	if c == nil {
+		return
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	if el, ok := s.m[k]; ok {
+		el.Value.(*cacheEntry).body = body
+		s.order.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.m[k] = s.order.PushFront(&cacheEntry{key: k, body: body})
+	var evictions int
+	for s.order.Len() > c.perCap {
+		last := s.order.Back()
+		s.order.Remove(last)
+		delete(s.m, last.Value.(*cacheEntry).key)
+		evictions++
+	}
+	s.mu.Unlock()
+	if evictions > 0 {
+		c.evicted.Add(int64(evictions))
+	}
+}
+
+// Len returns the number of entries currently cached.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats snapshots the counters. Hits/misses/evictions are monotonic;
+// Entries is the current size.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Entries:   c.Len(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evicted.Load(),
+	}
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func ck(n uint64) CacheKey { return CacheKey{Kind: kindSupport, K1: n} }
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(64)
+	if _, ok := c.Get(ck(1)); ok {
+		t.Error("hit on empty cache")
+	}
+	c.Put(ck(1), []byte("one"))
+	if body, ok := c.Get(ck(1)); !ok || string(body) != "one" {
+		t.Errorf("got %q, %v", body, ok)
+	}
+	// Same K1, different kind: distinct entries.
+	c.Put(CacheKey{Kind: kindTDist, K1: 1}, []byte("tdist"))
+	if body, _ := c.Get(ck(1)); string(body) != "one" {
+		t.Errorf("kind collision: %q", body)
+	}
+	// Re-put refreshes the body.
+	c.Put(ck(1), []byte("uno"))
+	if body, _ := c.Get(ck(1)); string(body) != "uno" {
+		t.Errorf("refresh failed: %q", body)
+	}
+	st := c.Stats()
+	if st.Hits != 3 || st.Misses != 1 || st.Entries != 2 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestCacheNilDisabled(t *testing.T) {
+	var c *Cache
+	if c := NewCache(0); c != nil {
+		t.Error("capacity 0 should disable the cache")
+	}
+	if c := NewCache(-5); c != nil {
+		t.Error("negative capacity should disable the cache")
+	}
+	c.Put(ck(1), []byte("x")) // must not panic
+	if _, ok := c.Get(ck(1)); ok {
+		t.Error("nil cache hit")
+	}
+	if c.Len() != 0 || c.Stats() != (CacheStats{}) {
+		t.Error("nil cache has state")
+	}
+}
+
+// TestCacheLRUEviction pins the per-shard LRU order: with every key
+// forced onto one shard, the least recently used entry is the one that
+// leaves.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(cacheShardCount * 2) // 2 entries per shard
+	shard0 := func(seed uint64) CacheKey {
+		// Probe keys until one lands on shard 0, so all test keys share
+		// one shard and its capacity of 2.
+		for k := seed; ; k++ {
+			key := ck(k)
+			if key.hash()%cacheShardCount == 0 {
+				return key
+			}
+		}
+	}
+	a, b, cc := shard0(0), shard0(1000), shard0(2000)
+	c.Put(a, []byte("a"))
+	c.Put(b, []byte("b"))
+	c.Get(a) // a is now more recent than b
+	c.Put(cc, []byte("c"))
+	if _, ok := c.Get(b); ok {
+		t.Error("least recently used entry b survived eviction")
+	}
+	if _, ok := c.Get(a); !ok {
+		t.Error("recently used entry a was evicted")
+	}
+	if _, ok := c.Get(cc); !ok {
+		t.Error("new entry c missing")
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+}
+
+// TestCacheBoundedUnderLoad: the entry count never exceeds the rounded
+// capacity no matter how many distinct keys stream through.
+func TestCacheBoundedUnderLoad(t *testing.T) {
+	c := NewCache(32)
+	for i := uint64(0); i < 10_000; i++ {
+		c.Put(ck(i), []byte("v"))
+	}
+	if n, bound := c.Len(), ((32+cacheShardCount-1)/cacheShardCount)*cacheShardCount; n > bound {
+		t.Errorf("cache holds %d entries, bound %d", n, bound)
+	}
+}
+
+// TestCacheConcurrentRace hammers one small cache from many goroutines
+// with overlapping keys, so gets, puts, refreshes, and evictions race;
+// run under -race this is the cache's memory-safety proof.
+func TestCacheConcurrentRace(t *testing.T) {
+	c := NewCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := ck(uint64(i % 200))
+				if body, ok := c.Get(k); ok {
+					want := fmt.Sprintf("body-%d", i%200)
+					if string(body) != want {
+						t.Errorf("key %d holds %q, want %q", i%200, body, want)
+						return
+					}
+				} else {
+					c.Put(k, []byte(fmt.Sprintf("body-%d", i%200)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Error("no lookups recorded")
+	}
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"net/url"
+	"testing"
+
+	"treemine/internal/core"
+)
+
+// FuzzQueryParse throws arbitrary query strings at all three request
+// parsers. A parser may reject, but it must never panic, and anything
+// it accepts must satisfy the invariants the handlers and the cache
+// keying rely on (bounded names, bounded distances, positive minsup, a
+// known variant). Seeds live in testdata/fuzz/FuzzQueryParse.
+func FuzzQueryParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"l1=a&l2=b",
+		"l1=a&l2=b&dist=0.5",
+		"l1=%C3%BCn%C3%AF%C3%A7%C3%B8de&l2=qu%22ote&dist=*",
+		"l1=a&l2=b&dist=1e308",
+		"l1=&l2=b",
+		"minsup=2&maxdist=1.5&limit=10",
+		"minsup=-9999999999999999999",
+		"minsup=0&limit=-1",
+		"t1=T00&t2=T01&variant=distocc",
+		"t1=a&t2=b&variant=weird",
+		"l1=a;l2=b&dist=%",
+		"l1=a&l1=b&l2=c",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		vals, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+
+		if q, err := ParseSupportQuery(vals); err == nil {
+			if q.L1 == "" || q.L2 == "" || len(q.L1) > maxNameLen || len(q.L2) > maxNameLen {
+				t.Errorf("support accepted unbounded labels: %+v from %q", q, raw)
+			}
+			if !q.D.IsWild() && (q.D < 0 || q.D > maxQueryDist) {
+				t.Errorf("support accepted out-of-range dist %v from %q", q.D, raw)
+			}
+		}
+
+		if q, err := ParseFrequentQuery(vals); err == nil {
+			if q.MinSup < 1 {
+				t.Errorf("frequent accepted minsup %d from %q", q.MinSup, raw)
+			}
+			if q.Limit < 0 || q.Limit > maxQueryLimit {
+				t.Errorf("frequent accepted limit %d from %q", q.Limit, raw)
+			}
+			if !q.MaxDist.IsWild() && (q.MaxDist < 0 || q.MaxDist > maxQueryDist) {
+				t.Errorf("frequent accepted maxdist %v from %q", q.MaxDist, raw)
+			}
+			// The cache key for any accepted query must be computable.
+			_ = frequentCacheKey(q)
+		}
+
+		if q, err := ParseTDistQuery(vals); err == nil {
+			if q.T1 == "" || q.T2 == "" || len(q.T1) > maxNameLen || len(q.T2) > maxNameLen {
+				t.Errorf("tdist accepted unbounded names: %+v from %q", q, raw)
+			}
+			switch q.Variant {
+			case core.VariantLabel, core.VariantDist, core.VariantOccur, core.VariantDistOccur:
+			default:
+				t.Errorf("tdist accepted unknown variant %v from %q", q.Variant, raw)
+			}
+		}
+	})
+}

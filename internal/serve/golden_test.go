@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenResponses pins the exact wire format of every endpoint —
+// status line plus body — over the fixture forest, including the error
+// paths. Regenerate with
+// `go test ./internal/serve -run Golden -update`.
+func TestGoldenResponses(t *testing.T) {
+	_, ixSrv := newTestServer(t, openBackend(t, fixtureIndex(t)), Config{})
+	_, shSrv := newTestServer(t, fixtureShard(t, false), Config{})
+
+	cases := []struct {
+		name string
+		srv  string // "index" or "shard"
+		path string
+	}{
+		{"root_listing", "index", "/"},
+		{"support_exact", "index", "/v1/support?l1=Gnetum&l2=Welwitschia&dist=0"},
+		{"support_halfdist", "index", "/v1/support?l1=Ephedra&l2=Gnetum&dist=0.5"},
+		{"support_wild", "index", "/v1/support?l1=Ephedra&l2=Ginkgoales"},
+		{"support_unknown_label", "index", "/v1/support?l1=Dinosaur&l2=Gnetum&dist=1"},
+		{"frequent_default", "index", "/v1/frequent"},
+		{"frequent_filtered", "index", "/v1/frequent?minsup=2&maxdist=1&limit=3"},
+		{"tdist_default", "index", "/v1/tdist?t1=tree_1&t2=tree_2"},
+		{"tdist_label", "index", "/v1/tdist?t1=tree_1&t2=tree_3&variant=label"},
+		{"stats_index", "index", "/v1/stats"},
+		{"err_bad_dist", "index", "/v1/support?l1=a&l2=b&dist=nope"},
+		{"err_missing_l2", "index", "/v1/support?l1=a"},
+		{"err_unknown_tree", "index", "/v1/tdist?t1=tree_1&t2=tyrannosaur"},
+		{"err_unknown_param", "index", "/v1/frequent?minsup=2&bogus=1"},
+		{"stats_shard", "shard", "/v1/stats"},
+		{"err_shard_tdist", "shard", "/v1/tdist?t1=tree_1&t2=tree_2"},
+		{"err_shard_wild", "shard", "/v1/support?l1=Gnetum&l2=Welwitschia"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := ixSrv
+			if tc.srv == "shard" {
+				ts = shSrv
+			}
+			st, body := get(t, ts, tc.path)
+			got := fmt.Sprintf("HTTP %d\n%s", st, body)
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("response differs from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"treemine/internal/core"
+)
+
+// Validation bounds. Labels and tree names beyond maxNameLen, distances
+// beyond maxQueryDist, and limits beyond maxQueryLimit are rejected up
+// front, so no request can make a handler walk data proportional to the
+// attacker's input rather than the loaded index.
+const (
+	maxNameLen    = 1024
+	maxQueryDist  = core.Dist(1 << 16)
+	maxQueryLimit = 1 << 30
+)
+
+// QueryError is a request-validation failure; the server maps it to
+// HTTP 400. Every error the parsers return is a QueryError.
+type QueryError struct{ msg string }
+
+func (e *QueryError) Error() string { return "bad query: " + e.msg }
+
+func badQuery(format string, args ...any) error {
+	return &QueryError{msg: fmt.Sprintf(format, args...)}
+}
+
+// SupportQuery is a validated /v1/support request: a label pair and a
+// cousin distance (DistWild to count the pair at any distance).
+type SupportQuery struct {
+	L1, L2 string
+	D      core.Dist
+}
+
+// FrequentQuery is a validated /v1/frequent request. MaxDist is
+// DistWild when no distance filter was given; Limit 0 means unlimited.
+type FrequentQuery struct {
+	MinSup  int
+	MaxDist core.Dist
+	Limit   int
+}
+
+// TDistQuery is a validated /v1/tdist request: two tree names and the
+// distance variant.
+type TDistQuery struct {
+	T1, T2  string
+	Variant core.Variant
+}
+
+// checkParams rejects parameters outside the endpoint's vocabulary, so
+// a typoed filter fails loudly instead of being silently ignored.
+func checkParams(vals url.Values, allowed ...string) error {
+	for key := range vals {
+		found := false
+		for _, a := range allowed {
+			if key == a {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return badQuery("unknown parameter %q", key)
+		}
+		if len(vals[key]) > 1 {
+			return badQuery("parameter %q repeated", key)
+		}
+	}
+	return nil
+}
+
+// parseName validates a required label or tree-name parameter.
+func parseName(vals url.Values, key string) (string, error) {
+	if !vals.Has(key) {
+		return "", badQuery("missing required parameter %q", key)
+	}
+	v := vals.Get(key)
+	if v == "" {
+		return "", badQuery("parameter %q is empty", key)
+	}
+	if len(v) > maxNameLen {
+		return "", badQuery("parameter %q exceeds %d bytes", key, maxNameLen)
+	}
+	return v, nil
+}
+
+// parseDist parses an optional distance parameter, defaulting to def
+// when absent. Wildcards parse to DistWild; concrete distances must be
+// non-negative multiples of 0.5 no larger than maxQueryDist.
+func parseDist(vals url.Values, key string, def core.Dist) (core.Dist, error) {
+	if !vals.Has(key) {
+		return def, nil
+	}
+	d, err := core.ParseDist(vals.Get(key))
+	if err != nil {
+		return 0, badQuery("parameter %q: %v", key, err)
+	}
+	if d > maxQueryDist {
+		return 0, badQuery("parameter %q: distance %s out of range", key, d)
+	}
+	return d, nil
+}
+
+// parseInt parses an optional integer parameter in [min, max],
+// defaulting to def when absent.
+func parseInt(vals url.Values, key string, def, min, max int) (int, error) {
+	if !vals.Has(key) {
+		return def, nil
+	}
+	n, err := strconv.Atoi(vals.Get(key))
+	if err != nil {
+		return 0, badQuery("parameter %q: %v", key, err)
+	}
+	if n < min || n > max {
+		return 0, badQuery("parameter %q: %d out of range [%d, %d]", key, n, min, max)
+	}
+	return n, nil
+}
+
+// ParseSupportQuery validates /v1/support parameters: required labels
+// l1 and l2, optional dist (default "*", the any-distance wildcard).
+func ParseSupportQuery(vals url.Values) (SupportQuery, error) {
+	var q SupportQuery
+	if err := checkParams(vals, "l1", "l2", "dist"); err != nil {
+		return q, err
+	}
+	var err error
+	if q.L1, err = parseName(vals, "l1"); err != nil {
+		return q, err
+	}
+	if q.L2, err = parseName(vals, "l2"); err != nil {
+		return q, err
+	}
+	if q.D, err = parseDist(vals, "dist", core.DistWild); err != nil {
+		return q, err
+	}
+	return q, nil
+}
+
+// ParseFrequentQuery validates /v1/frequent parameters: optional minsup
+// (default 2, ≥ 1), optional maxdist filter (default none), optional
+// limit (default 0 = all).
+func ParseFrequentQuery(vals url.Values) (FrequentQuery, error) {
+	var q FrequentQuery
+	if err := checkParams(vals, "minsup", "maxdist", "limit"); err != nil {
+		return q, err
+	}
+	var err error
+	if q.MinSup, err = parseInt(vals, "minsup", 2, 1, maxQueryLimit); err != nil {
+		return q, err
+	}
+	if q.MaxDist, err = parseDist(vals, "maxdist", core.DistWild); err != nil {
+		return q, err
+	}
+	if q.Limit, err = parseInt(vals, "limit", 0, 0, maxQueryLimit); err != nil {
+		return q, err
+	}
+	return q, nil
+}
+
+// ParseTDistQuery validates /v1/tdist parameters: required tree names
+// t1 and t2, optional variant (default distocc, the paper's
+// tdist_{occ,dist}).
+func ParseTDistQuery(vals url.Values) (TDistQuery, error) {
+	var q TDistQuery
+	if err := checkParams(vals, "t1", "t2", "variant"); err != nil {
+		return q, err
+	}
+	var err error
+	if q.T1, err = parseName(vals, "t1"); err != nil {
+		return q, err
+	}
+	if q.T2, err = parseName(vals, "t2"); err != nil {
+		return q, err
+	}
+	switch v := vals.Get("variant"); v {
+	case "", "distocc":
+		q.Variant = core.VariantDistOccur
+	case "label":
+		q.Variant = core.VariantLabel
+	case "dist":
+		q.Variant = core.VariantDist
+	case "occ":
+		q.Variant = core.VariantOccur
+	default:
+		return q, badQuery("parameter %q: unknown variant %q (want label, dist, occ, or distocc)", "variant", v)
+	}
+	return q, nil
+}

@@ -1,0 +1,363 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"net/url"
+	"sync/atomic"
+	"time"
+
+	"treemine/internal/core"
+	"treemine/internal/faults"
+	"treemine/internal/guard"
+)
+
+// metrics is the process-wide expvar map the daemon exposes at
+// /debug/vars: per-endpoint request and error counters plus cache
+// hit/miss/bypass tallies. One map per process, shared by every Server.
+var metrics = expvar.NewMap("cousinserve")
+
+// Config tunes a Server.
+type Config struct {
+	// CacheEntries bounds the result cache (total entries across
+	// shards). 0 selects the default (4096); negative disables caching.
+	CacheEntries int
+	// RequestTimeout is the per-request deadline. 0 selects the default
+	// (5s); negative disables the deadline.
+	RequestTimeout time.Duration
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultCacheEntries   = 4096
+	DefaultRequestTimeout = 5 * time.Second
+)
+
+// Server answers cousin-pair queries over HTTP+JSON from one loaded
+// Backend. The backend is immutable and the cache is internally
+// synchronized, so one Server handles any number of concurrent
+// requests. Create with New, mount Handler on an http.Server, and stop
+// with http.Server.Shutdown — the handlers hold no state that outlives
+// a request, so a drained shutdown needs no cooperation from Server.
+type Server struct {
+	b        *Backend
+	cache    *Cache
+	timeout  time.Duration
+	mux      *http.ServeMux
+	inflight atomic.Int64
+}
+
+// New returns a Server over b. cfg selects cache size and per-request
+// deadline; the zero Config selects the defaults.
+func New(b *Backend, cfg Config) *Server {
+	entries := cfg.CacheEntries
+	if entries == 0 {
+		entries = DefaultCacheEntries
+	}
+	timeout := cfg.RequestTimeout
+	if timeout == 0 {
+		timeout = DefaultRequestTimeout
+	}
+	s := &Server{
+		b:       b,
+		cache:   NewCache(entries), // nil when entries < 0: cache disabled
+		timeout: timeout,
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/support", s.endpoint("support", s.handleSupport))
+	s.mux.HandleFunc("/v1/frequent", s.endpoint("frequent", s.handleFrequent))
+	s.mux.HandleFunc("/v1/tdist", s.endpoint("tdist", s.handleTDist))
+	s.mux.HandleFunc("/v1/stats", s.endpoint("stats", s.handleStats))
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux.HandleFunc("/", s.handleRoot)
+	return s
+}
+
+// Handler returns the server's routing handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats snapshots the result cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// InFlight returns the number of endpoint requests currently being
+// handled — the gauge a graceful drain watches go to zero.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// errorResponse is the JSON body of every non-200 answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// supportResponse answers /v1/support. The pair echoes in canonical
+// (sorted) order — the same order core.Key stores — so equal probes
+// produce equal bodies regardless of parameter order.
+type supportResponse struct {
+	L1      string    `json:"l1"`
+	L2      string    `json:"l2"`
+	Dist    core.Dist `json:"dist"`
+	Support int       `json:"support"`
+	Trees   int       `json:"trees"`
+}
+
+// pairJSON is one frequent pair in a listing.
+type pairJSON struct {
+	L1      string    `json:"l1"`
+	L2      string    `json:"l2"`
+	Dist    core.Dist `json:"dist"`
+	Support int       `json:"support"`
+}
+
+// frequentResponse answers /v1/frequent. Count is the number of
+// matching pairs before the limit truncation.
+type frequentResponse struct {
+	MinSup  int        `json:"minsup"`
+	MaxDist core.Dist  `json:"maxdist"`
+	Trees   int        `json:"trees"`
+	Count   int        `json:"count"`
+	Pairs   []pairJSON `json:"pairs"`
+}
+
+// tdistResponse answers /v1/tdist: the requested variant's tree
+// distance (Eq. 6) and the similarity score σ (Eq. 4).
+type tdistResponse struct {
+	T1      string  `json:"t1"`
+	T2      string  `json:"t2"`
+	Variant string  `json:"variant"`
+	TDist   float64 `json:"tdist"`
+	Sim     float64 `json:"sim"`
+}
+
+// marshal renders a response body: compact JSON plus a trailing
+// newline. All differential and golden tests compare these bytes, so
+// the encoding must stay deterministic (encoding/json is, for the
+// struct types above).
+func marshal(v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+// statusOf maps a handler error to its HTTP status.
+func statusOf(err error) int {
+	var qe *QueryError
+	switch {
+	case errors.As(err, &qe):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrUnknownTree):
+		return http.StatusNotFound
+	case errors.Is(err, ErrUnsupported):
+		return http.StatusNotImplemented
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// endpoint wraps a handler with the per-request runtime: the deadline
+// context, the serve/handler and serve/handler/slow failpoints, panic
+// containment via guard.Run, error→status mapping, and metrics. The
+// response body is fully materialized before the first byte is written,
+// so a failing handler can never emit a torn 200.
+func (s *Server) endpoint(name string, fn func(ctx context.Context, vals url.Values) ([]byte, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		metrics.Add(name+".requests", 1)
+		if r.Method != http.MethodGet {
+			metrics.Add(name+".errors", 1)
+			body, _ := marshal(errorResponse{Error: "method not allowed (GET only)"})
+			writeBody(w, http.StatusMethodNotAllowed, body)
+			return
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		ctx := r.Context()
+		if s.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.timeout)
+			defer cancel()
+		}
+		var body []byte
+		err := guard.Run(func() error {
+			if err := faults.Hit(faults.ServeHandler); err != nil {
+				return err
+			}
+			if faults.Hit(faults.ServeSlow) != nil {
+				// A stuck handler: wait for the request deadline (or the
+				// client giving up) instead of answering.
+				<-ctx.Done()
+				return ctx.Err()
+			}
+			var ferr error
+			body, ferr = fn(ctx, r.URL.Query())
+			return ferr
+		})
+		if err != nil {
+			metrics.Add(name+".errors", 1)
+			eb, _ := marshal(errorResponse{Error: err.Error()})
+			writeBody(w, statusOf(err), eb)
+			return
+		}
+		writeBody(w, http.StatusOK, body)
+	}
+}
+
+// cacheGet consults the result cache, honoring the serve/cache
+// failpoint (an armed hit bypasses the cache entirely — the "cache
+// disabled" chaos path).
+func (s *Server) cacheGet(key CacheKey, cacheable bool) ([]byte, bool) {
+	if !cacheable || s.cache == nil || faults.Hit(faults.ServeCache) != nil {
+		metrics.Add("cache.bypass", 1)
+		return nil, false
+	}
+	body, ok := s.cache.Get(key)
+	if ok {
+		metrics.Add("cache.hits", 1)
+	} else {
+		metrics.Add("cache.misses", 1)
+	}
+	return body, ok
+}
+
+// cachePut stores a computed body, under the same bypass rules as
+// cacheGet.
+func (s *Server) cachePut(key CacheKey, cacheable bool, body []byte) {
+	if !cacheable || s.cache == nil || faults.Hit(faults.ServeCache) != nil {
+		return
+	}
+	s.cache.Put(key, body)
+}
+
+func (s *Server) handleSupport(ctx context.Context, vals url.Values) ([]byte, error) {
+	q, err := ParseSupportQuery(vals)
+	if err != nil {
+		return nil, err
+	}
+	key, cacheable := s.b.supportCacheKey(q.L1, q.L2, q.D)
+	if body, ok := s.cacheGet(key, cacheable); ok {
+		return body, nil
+	}
+	n, err := s.b.Support(ctx, q.L1, q.L2, q.D)
+	if err != nil {
+		return nil, err
+	}
+	k := core.NewKey(q.L1, q.L2, q.D)
+	body, err := marshal(supportResponse{
+		L1:      k.A,
+		L2:      k.B,
+		Dist:    k.D,
+		Support: n,
+		Trees:   s.b.Trees(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.cachePut(key, cacheable, body)
+	return body, nil
+}
+
+func (s *Server) handleFrequent(ctx context.Context, vals url.Values) ([]byte, error) {
+	q, err := ParseFrequentQuery(vals)
+	if err != nil {
+		return nil, err
+	}
+	key := frequentCacheKey(q)
+	if body, ok := s.cacheGet(key, true); ok {
+		return body, nil
+	}
+	pairs, total, err := s.b.Frequent(ctx, q.MinSup, q.MaxDist, q.Limit)
+	if err != nil {
+		return nil, err
+	}
+	resp := frequentResponse{
+		MinSup:  q.MinSup,
+		MaxDist: q.MaxDist,
+		Trees:   s.b.Trees(),
+		Count:   total,
+		Pairs:   make([]pairJSON, len(pairs)),
+	}
+	for i, p := range pairs {
+		resp.Pairs[i] = pairJSON{L1: p.Key.A, L2: p.Key.B, Dist: p.Key.D, Support: p.Support}
+	}
+	body, err := marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	s.cachePut(key, true, body)
+	return body, nil
+}
+
+func (s *Server) handleTDist(ctx context.Context, vals url.Values) ([]byte, error) {
+	q, err := ParseTDistQuery(vals)
+	if err != nil {
+		return nil, err
+	}
+	key, cacheable := s.b.tdistCacheKey(q.T1, q.T2, q.Variant)
+	if body, ok := s.cacheGet(key, cacheable); ok {
+		return body, nil
+	}
+	td, sim, err := s.b.TDist(q.T1, q.T2, q.Variant)
+	if err != nil {
+		return nil, err
+	}
+	body, err := marshal(tdistResponse{
+		T1:      q.T1,
+		T2:      q.T2,
+		Variant: q.Variant.String(),
+		TDist:   td,
+		Sim:     sim,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.cachePut(key, cacheable, body)
+	return body, nil
+}
+
+func (s *Server) handleStats(ctx context.Context, vals url.Values) ([]byte, error) {
+	if err := checkParams(vals); err != nil {
+		return nil, err
+	}
+	return marshal(s.b.Stats())
+}
+
+// handleRoot lists the query endpoints at "/" and 404s everything else.
+func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		body, _ := marshal(errorResponse{Error: "no such endpoint"})
+		writeBody(w, http.StatusNotFound, body)
+		return
+	}
+	body, _ := marshal(struct {
+		Endpoints []string `json:"endpoints"`
+	}{Endpoints: []string{
+		"/v1/support?l1=A&l2=B[&dist=0.5|*]",
+		"/v1/frequent[?minsup=2][&maxdist=1.5][&limit=100]",
+		"/v1/tdist?t1=NAME&t2=NAME[&variant=label|dist|occ|distocc]",
+		"/v1/stats",
+		"/healthz",
+		"/debug/vars",
+		"/debug/pprof/",
+	}})
+	writeBody(w, http.StatusOK, body)
+}

@@ -51,18 +51,18 @@ func LoadShard(r io.Reader) (*core.SupportShard, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magicV3))
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadMagic, err)
 	}
 	if string(head) != magicV3 {
 		return nil, ErrBadMagic
 	}
 	var saved savedShardV3
 	if err := gob.NewDecoder(br).Decode(&saved); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	sh, err := core.RestoreShard(saved.Opts, saved.Trees, saved.Labels, saved.Items)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	return sh, nil
 }

@@ -220,13 +220,13 @@ func Load(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magicV2))
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadMagic, err)
 	}
 	switch string(head) {
 	case magicV2:
 		var saved savedIndexV2
 		if err := gob.NewDecoder(br).Decode(&saved); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 		}
 		ix := &Index{Options: saved.Options, Entries: make([]TreeEntry, len(saved.Trees))}
 		for i, st := range saved.Trees {
@@ -243,7 +243,7 @@ func Load(r io.Reader) (*Index, error) {
 	case magicV1:
 		var saved savedIndexV1
 		if err := gob.NewDecoder(br).Decode(&saved); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 		}
 		return &Index{Options: saved.Options, Entries: saved.Entries}, nil
 	default:

@@ -1,0 +1,39 @@
+package treemine
+
+// The query-service facade: load a mined index or shard checkpoint
+// read-only and serve pair-support, frequent-pair, tree-distance, and
+// stats queries over HTTP+JSON — the library half of the cousinserve
+// daemon, for embedding the same endpoints in another process. See the
+// "Serving queries" section of the README.
+
+import (
+	"io"
+
+	"treemine/internal/serve"
+)
+
+// QueryBackend answers cousin-pair queries from one immutably loaded
+// index; it is safe for unlimited concurrent readers.
+type QueryBackend = serve.Backend
+
+// QueryServerConfig tunes a QueryServer (result-cache size, per-request
+// deadline); the zero value selects the defaults.
+type QueryServerConfig = serve.Config
+
+// QueryServer serves a QueryBackend over HTTP+JSON: mount Handler() on
+// an http.Server and stop with http.Server.Shutdown.
+type QueryServer = serve.Server
+
+// QueryCacheStats is a snapshot of a QueryServer's result-cache
+// counters.
+type QueryCacheStats = serve.CacheStats
+
+// OpenQueryBackend loads a store file — a cousindex v1/v2 index (all
+// endpoints) or a cousinmine v3 shard checkpoint (support, frequent,
+// and stats only) — and returns the backend serving it.
+func OpenQueryBackend(r io.Reader) (*QueryBackend, error) { return serve.Open(r) }
+
+// NewQueryServer returns an HTTP query server over the backend.
+func NewQueryServer(b *QueryBackend, cfg QueryServerConfig) *QueryServer {
+	return serve.New(b, cfg)
+}

@@ -1,0 +1,67 @@
+package treemine_test
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	treemine "treemine"
+	"treemine/internal/store"
+)
+
+// TestQueryServerFacade exercises the public serving surface the way an
+// embedding process would: mine a forest, persist the index, reload it
+// through OpenQueryBackend, and answer queries over HTTP.
+func TestQueryServerFacade(t *testing.T) {
+	forest := `
+((Gnetum,Welwitschia),(Ephedra,Ginkgoales));
+((Gnetum,Welwitschia),Ephedra,(Pinaceae,Ginkgoales));
+(((Gnetum,Welwitschia),Ephedra),(Angiosperms,Cycadales));
+`
+	trees, err := treemine.ParseNewickAll(strings.NewReader(forest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := store.Build(trees, nil, treemine.Options{MaxDist: treemine.D(3), MinOccur: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := treemine.OpenQueryBackend(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := treemine.NewQueryServer(b, treemine.QueryServerConfig{CacheEntries: 32})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, q := range []struct {
+		path, frag string
+	}{
+		{"/v1/support?l1=Gnetum&l2=Welwitschia&dist=0", `"support":3`},
+		{"/v1/frequent?minsup=3", `"minsup":3`},
+		{"/v1/tdist?t1=tree_1&t2=tree_2", `"tdist"`},
+		{"/v1/stats", `"backend":"index"`},
+	} {
+		resp, err := ts.Client().Get(ts.URL + q.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || !strings.Contains(string(body), q.frag) {
+			t.Errorf("%s: %d %s", q.path, resp.StatusCode, body)
+		}
+	}
+
+	var st treemine.QueryCacheStats = s.CacheStats()
+	if st.Misses == 0 {
+		t.Errorf("cache never consulted: %+v", st)
+	}
+}
