@@ -66,9 +66,13 @@ type Backend struct {
 	sets  []core.ItemSet
 	names map[string]int
 
-	// Shard mode: packed support counts over syms, plus the shard's
-	// mining options.
+	// Shard mode: support counts plus the shard's mining options. A
+	// packed shard (MaxDist ≤ MaxPackedDist) probes sup by packed IKey;
+	// a generic shard (mined past MaxPackedDist, so its distances do not
+	// fit IKey's 4-bit field) keeps string keys in gsup, exactly as
+	// core.SupportShard itself does. Exactly one of the two maps is set.
 	sup    map[core.IKey]int64
+	gsup   map[core.Key]int64
 	shOpts core.ForestOptions
 }
 
@@ -134,21 +138,31 @@ func newIndexBackend(ix *store.Index) *Backend {
 
 // newShardBackend wraps a loaded v3 support shard. The snapshot's label
 // table is re-interned in order, so snapshot symbol IDs and backend
-// symbol IDs coincide and the packed counts can be probed directly.
+// symbol IDs coincide and packed counts can be probed directly. A shard
+// mined past MaxPackedDist keeps string keys instead: its distances
+// overflow IKey's 4-bit field — NewIKey(a, b, 15) == NewIKey(a, b+1,
+// DistWild) — which would silently merge counts of distinct pairs.
 func newShardBackend(sh *core.SupportShard) *Backend {
 	opts, trees, labels, items := sh.Snapshot()
 	b := &Backend{
 		kind:   "shard",
 		syms:   core.NewSymbols(),
 		trees:  trees,
-		sup:    make(map[core.IKey]int64, len(items)),
 		shOpts: opts,
 	}
 	for _, l := range labels {
 		b.syms.Intern(l)
 	}
-	for _, it := range items {
-		b.sup[core.NewIKey(it.A, it.B, it.D)] += it.N
+	if opts.MaxDist <= core.MaxPackedDist {
+		b.sup = make(map[core.IKey]int64, len(items))
+		for _, it := range items {
+			b.sup[core.NewIKey(it.A, it.B, it.D)] += it.N
+		}
+	} else {
+		b.gsup = make(map[core.Key]int64, len(items))
+		for _, it := range items {
+			b.gsup[core.NewKey(labels[it.A], labels[it.B], it.D)] += it.N
+		}
 	}
 	b.full = sh.Finalize(1)
 	return b
@@ -192,6 +206,17 @@ func (b *Backend) Support(ctx context.Context, l1, l2 string, d core.Dist) (int,
 			return 0, fmt.Errorf("%w: shard was mined distance-insensitively (use dist=*)", ErrUnsupported)
 		}
 		return 0, fmt.Errorf("%w: wildcard support is not derivable from a distance-keyed shard", ErrUnsupported)
+	}
+	if b.gsup != nil {
+		// Generic-mode shard: string-keyed counts answer any distance.
+		return int(b.gsup[core.NewKey(l1, l2, d)]), nil
+	}
+	if d > b.shOpts.MaxDist {
+		// Nothing was mined past MaxDist, so the true count is 0 — and a
+		// packed probe there would overflow IKey's distance field and
+		// read some other pair's count (parseDist admits distances up to
+		// 1<<16 halves, far past MaxPackedDist).
+		return 0, nil
 	}
 	a, ok1 := b.syms.Lookup(l1)
 	bb, ok2 := b.syms.Lookup(l2)

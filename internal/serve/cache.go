@@ -94,9 +94,13 @@ func (c *Cache) Get(k CacheKey) ([]byte, bool) {
 	}
 	s := c.shard(k)
 	s.mu.Lock()
+	var body []byte
 	el, ok := s.m[k]
 	if ok {
 		s.order.MoveToFront(el)
+		// Capture the body before unlocking: Put's refresh path rewrites
+		// entry.body under the lock, so reading it afterwards races.
+		body = el.Value.(*cacheEntry).body
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -104,7 +108,7 @@ func (c *Cache) Get(k CacheKey) ([]byte, bool) {
 		return nil, false
 	}
 	c.hits.Add(1)
-	return el.Value.(*cacheEntry).body, true
+	return body, true
 }
 
 // Put stores body under k, evicting the shard's least recently used

@@ -96,6 +96,35 @@ func TestCacheBoundedUnderLoad(t *testing.T) {
 	}
 }
 
+// TestCacheRefreshRace races Put's existing-key refresh path (which
+// rewrites the stored body in place) against concurrent Gets of the
+// same key. Under -race this pins the contract that Get captures the
+// body inside the shard lock; the assertion catches a torn read either
+// way.
+func TestCacheRefreshRace(t *testing.T) {
+	c := NewCache(16)
+	k := ck(7)
+	bodies := [][]byte{[]byte("alpha"), []byte("bravo")}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if g%2 == 0 {
+					c.Put(k, bodies[i%2])
+				} else if body, ok := c.Get(k); ok {
+					if s := string(body); s != "alpha" && s != "bravo" {
+						t.Errorf("torn body %q", s)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
 // TestCacheConcurrentRace hammers one small cache from many goroutines
 // with overlapping keys, so gets, puts, refreshes, and evictions race;
 // run under -race this is the cache's memory-safety proof.

@@ -6,9 +6,11 @@ import (
 	"math/rand"
 	"net/http/httptest"
 	"net/url"
+	"strings"
 	"testing"
 
 	"treemine/internal/core"
+	"treemine/internal/newick"
 	"treemine/internal/store"
 	"treemine/internal/tree"
 	"treemine/internal/treegen"
@@ -242,6 +244,106 @@ func TestServerDifferentialShard(t *testing.T) {
 	// Outside the shard's semantics: clean 501s, never wrong numbers.
 	getTwice(t, ts, "/v1/support?l1=a&l2=b", 501, "")
 	getTwice(t, ts, "/v1/tdist?t1=T00&t2=T01", 501, "")
+}
+
+// deepChainForest appends to a diffForest two-armed chain trees whose
+// leaf pairs sit at cousin distances well past MaxPackedDist, so the
+// forest is guaranteed to mine items a packed IKey cannot carry.
+func deepChainForest(t *testing.T, seed int64, n int) []*tree.Tree {
+	t.Helper()
+	trees, _ := diffForest(t, seed, n)
+	nest := func(label string, depth int) string {
+		return strings.Repeat("(", depth) + label + strings.Repeat(")", depth)
+	}
+	labels := diffLabels()
+	var src strings.Builder
+	for i := 0; i < 4; i++ {
+		l1, l2 := labels[i*2%len(labels)], labels[(i*2+1)%len(labels)]
+		depth := 9 + i // cousin distance 8..11 = D(16)..D(22), all > MaxPackedDist
+		fmt.Fprintf(&src, "(%s,%s);\n", nest(l1, depth), nest(l2, depth))
+	}
+	chains, err := newick.ParseAll(strings.NewReader(src.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(trees, chains...)
+}
+
+// TestServerDifferentialShardGeneric: a shard mined past MaxPackedDist
+// runs in core's generic string-keyed mode, whose distances do not fit
+// the packed IKey's 4-bit field (NewIKey(a,b,15) == NewIKey(a,b+1,
+// DistWild)) — repacking such a shard used to silently merge counts of
+// distinct pairs. Every concrete-distance probe, including distances
+// past 7 and past the shard's own MaxDist, must match the index built
+// over the same forest; frequent listings must match the shard's own
+// Finalize.
+func TestServerDifferentialShardGeneric(t *testing.T) {
+	trees := deepChainForest(t, 63, 16)
+	opts := core.Options{MaxDist: core.MaxPackedDist + 8, MinOccur: 1}
+	fopts := core.ForestOptions{Options: opts, MinSup: 2}
+
+	sh := core.NewSupportShard(fopts)
+	for _, tr := range trees {
+		sh.AddTree(tr)
+	}
+	var buf bytes.Buffer
+	if err := store.SaveShard(&buf, sh); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, b, Config{CacheEntries: 256})
+
+	ix, err := store.Build(trees, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The region under test must actually exist in the mined data.
+	deep := 0
+	for _, p := range ix.Frequent(1) {
+		if p.Key.D > core.MaxPackedDist {
+			deep++
+		}
+	}
+	if deep == 0 {
+		t.Fatal("fixture mined no items past MaxPackedDist; the overflow region is untested")
+	}
+
+	labels := diffLabels()
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		if rng.Intn(3) > 0 {
+			l1, l2 := labels[rng.Intn(len(labels))], labels[rng.Intn(len(labels))]
+			// Bias toward the overflow region: distances past
+			// MaxPackedDist, including past the shard's own MaxDist.
+			d := core.Dist(rng.Intn(int(opts.MaxDist) + 6))
+			if rng.Intn(2) == 0 {
+				d += core.MaxPackedDist
+			}
+			k := core.NewKey(l1, l2, d)
+			want := expect(t, supportResponse{
+				L1: k.A, L2: k.B, Dist: k.D,
+				Support: ix.Support(l1, l2, d), // independent library path
+				Trees:   len(trees),
+			})
+			q := url.Values{"l1": {l1}, "l2": {l2}, "dist": {d.String()}}
+			getTwice(t, ts, "/v1/support?"+q.Encode(), 200, want)
+		} else {
+			minsup := 1 + rng.Intn(4)
+			lib := sh.Finalize(minsup)
+			resp := frequentResponse{
+				MinSup: minsup, MaxDist: core.DistWild, Trees: len(trees),
+				Count: len(lib), Pairs: make([]pairJSON, len(lib)),
+			}
+			for j, p := range lib {
+				resp.Pairs[j] = pairJSON{L1: p.Key.A, L2: p.Key.B, Dist: p.Key.D, Support: p.Support}
+			}
+			q := url.Values{"minsup": {fmt.Sprint(minsup)}}
+			getTwice(t, ts, "/v1/frequent?"+q.Encode(), 200, expect(t, resp))
+		}
+	}
 }
 
 // TestServerDifferentialShardIgnoreDist: an IgnoreDist shard answers

@@ -211,6 +211,16 @@ func TestShardBackendCapabilities(t *testing.T) {
 	if st, _ := get(t, ts, "/v1/frequent?minsup=2"); st != http.StatusOK {
 		t.Errorf("frequent on shard: %d", st)
 	}
+	// Distances past the shard's MaxDist were never mined, so the answer
+	// is 0 — in particular past MaxPackedDist (e.g. 8 = 16 halves), where
+	// a packed probe would overflow IKey's 4-bit distance field and could
+	// surface a different pair's nonzero count.
+	for _, d := range []string{"2", "7.5", "8", "32000"} {
+		path := "/v1/support?l1=Gnetum&l2=Welwitschia&dist=" + d
+		if st, body := get(t, ts, path); st != http.StatusOK || !strings.Contains(body, `"support":0`) {
+			t.Errorf("support past shard maxdist %s: %d %s, want support 0", d, st, body)
+		}
+	}
 
 	_, ts = newTestServer(t, fixtureShard(t, true), Config{})
 	if st, _ := get(t, ts, "/v1/support?l1=Gnetum&l2=Welwitschia"); st != http.StatusOK {
