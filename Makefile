@@ -17,12 +17,14 @@
 # BENCH_5.json (fails on a >20% ns/op slowdown of the blocked path);
 # `make smoke` builds the cousinserve daemon, starts it on the testdata
 # index, runs one query of each kind, and requires a drained exit 0
-# after SIGTERM (see DESIGN.md §49).
+# after SIGTERM (see DESIGN.md §49); `make bench-serve` regenerates the
+# zero-copy serving recording (BENCH_6.json): decoded vs memory-mapped
+# v4 open/query cost on the 100k-tree corpus (see DESIGN.md §50).
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check vet build test race chaos fuzz smoke bench bench-dist bench-parsimony bench-mine
+.PHONY: check vet build test race chaos fuzz smoke bench bench-dist bench-parsimony bench-mine bench-serve
 
 check: vet build test
 
@@ -72,3 +74,6 @@ bench-parsimony:
 bench-mine:
 	$(GO) test ./internal/core -run xxx -bench 'BenchmarkMineCore' -benchmem
 	$(GO) test ./internal/core -run 'BenchMineCoreRegressionGate' -v
+
+bench-serve:
+	$(GO) run ./cmd/benchpaper -exp serveopen -maxtrees 100000

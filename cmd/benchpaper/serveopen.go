@@ -1,0 +1,154 @@
+package main
+
+// The zero-copy serving experiment (§50): daemon startup and per-query
+// cost of the decoded v3 shard backend vs the memory-mapped v4 backend
+// over the same mined corpus. This is the recording behind BENCH_6.json:
+// run with -maxtrees 100000 for the acceptance-scale corpus.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"treemine"
+	"treemine/internal/benchutil"
+	"treemine/internal/core"
+	"treemine/internal/serve"
+	"treemine/internal/store"
+)
+
+// serveOpenQueries is how many /v1/support probes each backend answers
+// for the per-query column; the same pregenerated sequence runs against
+// both backends.
+const serveOpenQueries = 20000
+
+// runServeOpen mines the Figure 6 corpus once, persists it both ways —
+// a v3 shard checkpoint (the decoded load path) and a v4 compacted file
+// (the mmap path) — and measures what a daemon restart costs on each:
+// open time (decoded = parse + intern + build maps + Finalize(1);
+// mapped = mmap + validate), live heap retained by the opened backend,
+// per-query support cost, and one full frequent listing. The headline
+// is the open-time ratio: v4 startup is O(1) in index size.
+func runServeOpen(cfg config) error {
+	maxTrees := cfg.sweepMax(10_000, 100_000)
+	pool := fig6Pool(cfg.seed)
+	opts := treemine.DefaultForestOptions()
+	shard, err := treemine.MineForestStreamShardCtx(context.Background(),
+		&poolIterator{pool: pool, n: maxTrees}, opts, treemine.StreamConfig{})
+	if err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "serveopen")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	v3 := filepath.Join(dir, "corpus.shard")
+	v4 := filepath.Join(dir, "corpus.v4")
+	if err := store.AtomicWrite(v3, func(w io.Writer) error {
+		return store.SaveShard(w, shard)
+	}); err != nil {
+		return err
+	}
+	if err := store.CompactShardV4(v4, shard); err != nil {
+		return err
+	}
+
+	// One query mix for both backends: random label pairs (most mined,
+	// some absent) at random concrete distances within the mined range.
+	_, _, labels, _ := shard.Snapshot()
+	rng := rand.New(rand.NewSource(cfg.seed))
+	type probe struct {
+		l1, l2 string
+		d      core.Dist
+	}
+	probes := make([]probe, serveOpenQueries)
+	for i := range probes {
+		probes[i] = probe{
+			l1: labels[rng.Intn(len(labels))],
+			l2: labels[rng.Intn(len(labels))],
+			d:  core.Dist(rng.Intn(int(opts.MaxDist) + 1)),
+		}
+	}
+
+	tb := benchutil.NewTable("backend", "file bytes", "open time", "live heap MiB", "support ns/op", "frequent time", "pairs")
+	openTimes := map[string]time.Duration{}
+	for _, bk := range []struct {
+		name, path string
+	}{{"decoded", v3}, {"mapped", v4}} {
+		// Live heap retained by the open backend, against a settled
+		// baseline. mmap pages are kernel-managed, not heap, which is the
+		// point: the mapped backend's resident cost is whatever the query
+		// mix pages in, not a decoded copy of the index.
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+
+		var b *serve.Backend
+		open := benchutil.Time(func() {
+			var oerr error
+			b, oerr = serve.OpenPath(bk.path)
+			if oerr != nil {
+				err = oerr
+			}
+		})
+		if err != nil {
+			return err
+		}
+		openTimes[bk.name] = open
+
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		live := float64(after.HeapAlloc) - float64(before.HeapAlloc)
+
+		ctx := context.Background()
+		var sink int
+		qd := benchutil.Time(func() {
+			for _, p := range probes {
+				n, qerr := b.Support(ctx, p.l1, p.l2, p.d)
+				if qerr != nil {
+					err = qerr
+					return
+				}
+				sink += n
+			}
+		})
+		if err != nil {
+			return err
+		}
+		var pairs int
+		fd := benchutil.Time(func() {
+			_, pairs, err = b.Frequent(ctx, opts.MinSup, core.DistWild, 0)
+		})
+		if err != nil {
+			return err
+		}
+
+		st, err := os.Stat(bk.path)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(bk.name, st.Size(), open,
+			fmt.Sprintf("%.1f", live/(1<<20)),
+			int(qd.Nanoseconds())/len(probes), fd, pairs)
+		if err := b.Close(); err != nil {
+			return err
+		}
+		_ = sink
+	}
+	if err := cfg.emit(tb); err != nil {
+		return err
+	}
+	if m := openTimes["mapped"]; m > 0 {
+		fmt.Fprintf(cfg.out, "\nopen speedup: %.0fx (mapped vs decoded, %d trees)\n",
+			float64(openTimes["decoded"])/float64(m), shard.Trees())
+	}
+	return nil
+}

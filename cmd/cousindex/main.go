@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	cousindex build -o db.idx [flags] trees.nwk ...
+//	cousindex build -o db.idx [-compact db.v4] [flags] trees.nwk ...
+//	cousindex compact -i db.idx -o db.v4
 //	cousindex frequent -i db.idx [-minsup 2]
 //	cousindex query -i db.idx -pair "Gnetum,Welwitschia" [-pair ...] [-dist 0|0.5|*]
 //	cousindex info -i db.idx
@@ -12,6 +13,12 @@
 // -pair may repeat; all probes run against the item sets mined once at
 // build time (core.SupportOf), so querying many pairs costs one index
 // load, not one mining pass per pair.
+//
+// compact streams any index, shard checkpoint, or v4 file into the v4
+// zero-copy layout cousinserve memory-maps for O(1) startup; build
+// -compact writes one alongside the index in the same run. frequent and
+// info accept v4 files directly; query needs the per-tree item sets
+// only a v1/v2 index keeps.
 package main
 
 import (
@@ -43,6 +50,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	switch cmd {
 	case "build":
 		return runBuild(rest, stdin, stdout)
+	case "compact":
+		return runCompact(rest, stdout)
 	case "frequent":
 		return runFrequent(rest, stdout)
 	case "query":
@@ -50,7 +59,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	case "info":
 		return runInfo(rest, stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want build, frequent, query, or info)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want build, compact, frequent, query, or info)", cmd)
 	}
 }
 
@@ -58,6 +67,7 @@ func runBuild(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("cousindex build", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	out := fs.String("o", "", "output index file (required)")
+	compact := fs.String("compact", "", "also write a v4 zero-copy index to this file")
 	maxDist := fs.String("maxdist", "1.5", "maximum cousin distance to index")
 	minOccur := fs.Int("minoccur", 1, "minimum within-tree occurrences to index")
 	if err := fs.Parse(args); err != nil {
@@ -88,7 +98,63 @@ func runBuild(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "indexed %d trees into %s\n", ix.NumTrees(), *out)
+	if *compact != "" {
+		if err := store.CompactIndexV4(*compact, ix); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "compacted v4 index into %s\n", *compact)
+	}
 	return nil
+}
+
+// runCompact streams an existing store file — v1/v2 index, v3 shard
+// checkpoint, or v4 (validated verbatim copy) — into the v4 layout.
+func runCompact(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cousindex compact", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	in := fs.String("i", "", "source index, shard, or v4 file (required)")
+	out := fs.String("o", "", "output v4 file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("compact: -i and -o are required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := store.CompactV4(*out, f); err != nil {
+		return err
+	}
+	m, err := store.OpenMapped(*out)
+	if err != nil {
+		return fmt.Errorf("verify %s: %w", *out, err)
+	}
+	defer m.Close()
+	fmt.Fprintf(stdout, "compacted %s into %s (%d trees, %d pairs, %d bytes)\n",
+		*in, *out, m.Trees(), m.Len(), m.Size())
+	return nil
+}
+
+// openMappedIf returns the mapped view when path holds a v4 file, nil
+// when it holds anything else (the caller falls back to loadIndex).
+func openMappedIf(path string) (*store.Mapped, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-i index file is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var head [12]byte
+	_, rerr := io.ReadFull(f, head[:])
+	f.Close()
+	if rerr != nil || string(head[:]) != "TREEMINEIDX4" {
+		return nil, nil
+	}
+	return store.OpenMapped(path)
 }
 
 func loadIndex(path string) (*store.Index, error) {
@@ -111,12 +177,21 @@ func runFrequent(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ix, err := loadIndex(*in)
-	if err != nil {
+	var pairs []core.FrequentPair
+	if m, err := openMappedIf(*in); err != nil {
 		return err
+	} else if m != nil {
+		defer m.Close()
+		pairs = m.Frequent(*minSup)
+	} else {
+		ix, err := loadIndex(*in)
+		if err != nil {
+			return err
+		}
+		pairs = ix.Frequent(*minSup)
 	}
 	tb := benchutil.NewTable("label1", "label2", "dist", "support")
-	for _, p := range ix.Frequent(*minSup) {
+	for _, p := range pairs {
 		tb.AddRow(p.Key.A, p.Key.B, p.Key.D.String(), p.Support)
 	}
 	tb.Fprint(stdout)
@@ -150,6 +225,12 @@ func runQuery(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if m, merr := openMappedIf(*in); merr != nil {
+		return merr
+	} else if m != nil {
+		m.Close()
+		return fmt.Errorf("query: %s is a v4 aggregate without per-tree item sets; query the v1/v2 index it was compacted from, or serve it with cousinserve and use /v1/support", *in)
+	}
 	ix, err := loadIndex(*in)
 	if err != nil {
 		return err
@@ -182,6 +263,19 @@ func runInfo(args []string, stdout io.Writer) error {
 	in := fs.String("i", "", "index file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if m, merr := openMappedIf(*in); merr != nil {
+		return merr
+	} else if m != nil {
+		defer m.Close()
+		opts := m.Options()
+		keying := "packed"
+		if m.Generic() {
+			keying = "generic"
+		}
+		fmt.Fprintf(stdout, "format: v4 (zero-copy, %s keys)\ntrees: %d\npairs: %d\nlabels: %d\nmaxdist: %s\nminoccur: %d\nignoredist: %v\nbytes: %d\n",
+			keying, m.Trees(), m.Len(), m.NumSymbols(), opts.MaxDist, opts.MinOccur, opts.IgnoreDist, m.Size())
+		return nil
 	}
 	ix, err := loadIndex(*in)
 	if err != nil {

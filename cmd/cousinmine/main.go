@@ -24,7 +24,9 @@
 // support shard to FILE (atomically, every -checkpoint-every trees) and
 // resumes from it when the file already exists, skipping the trees it
 // has already folded in. The output is byte-identical to the
-// non-streamed run.
+// non-streamed run. -compact FILE additionally writes the final mined
+// shard as a v4 zero-copy index (the format cousinserve memory-maps for
+// O(1) startup).
 package main
 
 import (
@@ -71,6 +73,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 	shards := fs.Int("shards", 0, "streaming worker count; 0 uses all CPUs")
 	checkpoint := fs.String("checkpoint", "", "shard checkpoint file: written during -stream runs, resumed from when present")
 	ckptEvery := fs.Int("checkpoint-every", 500, "trees mined between checkpoint writes")
+	compact := fs.String("compact", "", "also write the mined shard as a v4 zero-copy index to this file (requires -stream)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,6 +90,10 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 	}
 	opts := treemine.Options{MaxDist: d, MinOccur: *minOccur}
 
+	if *compact != "" && !*stream {
+		return fmt.Errorf("-compact requires -stream (the shard to compact is the stream's result)")
+	}
+
 	if *stream {
 		if *mode != "multi" {
 			return fmt.Errorf("-stream requires -mode multi")
@@ -96,7 +103,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 			MinSup:     *minSup,
 			IgnoreDist: *ignoreDist,
 		}
-		fp, nTrees, err := mineStream(ctx, fs.Args(), stdin, fopts, *shards, *checkpoint, *ckptEvery)
+		fp, nTrees, err := mineStream(ctx, fs.Args(), stdin, fopts, *shards, *checkpoint, *ckptEvery, *compact)
 		if err != nil {
 			return err
 		}
@@ -173,7 +180,7 @@ func emitMulti(stdout io.Writer, format string, fp []treemine.FrequentPair, nTre
 // the named file. On cancellation the drained shard is flushed to the
 // checkpoint before the context error is returned, so an interrupted
 // run resumes exactly where it stopped.
-func mineStream(ctx context.Context, files []string, stdin io.Reader, fopts treemine.ForestOptions, shards int, checkpoint string, every int) ([]treemine.FrequentPair, int, error) {
+func mineStream(ctx context.Context, files []string, stdin io.Reader, fopts treemine.ForestOptions, shards int, checkpoint string, every int, compact string) ([]treemine.FrequentPair, int, error) {
 	cfg := treemine.StreamConfig{Workers: shards}
 	if checkpoint != "" {
 		if f, err := os.Open(checkpoint); err == nil {
@@ -205,6 +212,15 @@ func mineStream(ctx context.Context, files []string, stdin io.Reader, fopts tree
 				sh.Trees(), checkpoint)
 		}
 		return nil, 0, err
+	}
+	if compact != "" {
+		// The compacted file is written atomically after the stream
+		// completes, so an interrupted run leaves any previous compaction
+		// intact and never a torn one.
+		if err := store.CompactShardV4(compact, sh); err != nil {
+			return nil, 0, fmt.Errorf("compact %s: %w", compact, err)
+		}
+		fmt.Fprintf(os.Stderr, "cousinmine: wrote v4 index %s (%d trees)\n", compact, sh.Trees())
 	}
 	return sh.Finalize(fopts.MinSup), sh.Trees(), nil
 }

@@ -7,9 +7,12 @@
 //	cousinserve -index db.idx [-addr :8437] [-cache 4096]
 //	            [-timeout 5s] [-drain 10s] [-addr-file PATH]
 //
-// The -index file is either a cousindex v1/v2 index (all endpoints) or
-// a cousinmine v3 shard checkpoint (support/frequent/stats only; a
-// shard holds aggregate counts, not per-tree item sets).
+// The -index file is a cousindex v1/v2 index (all endpoints), a
+// cousinmine v3 shard checkpoint (support/frequent/stats only; a
+// shard holds aggregate counts, not per-tree item sets), or a v4
+// compacted file (cousindex compact) — detected by magic. v4 files are
+// memory-mapped: startup is O(1) regardless of index size and queries
+// binary-search the file in place.
 //
 // Endpoints:
 //
@@ -85,15 +88,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf("-index is required")
 	}
 
-	f, err := os.Open(*index)
-	if err != nil {
-		return err
-	}
-	b, err := serve.Open(f)
-	f.Close()
+	b, err := serve.OpenPath(*index)
 	if err != nil {
 		return fmt.Errorf("load %s: %w", *index, err)
 	}
+	defer b.Close()
 
 	s := serve.New(b, serve.Config{CacheEntries: *cache, RequestTimeout: *timeout})
 	publishCacheStats(s)

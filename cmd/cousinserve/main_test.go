@@ -73,6 +73,80 @@ var smokeQueries = []string{
 	"/healthz",
 }
 
+// writeIndexV4 compacts the testdata index into a v4 zero-copy file.
+func writeIndexV4(t *testing.T) string {
+	t.Helper()
+	idx := writeIndex(t)
+	f, err := os.Open(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	path := filepath.Join(t.TempDir(), "forest.v4")
+	if err := store.CompactV4(path, f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// smokeQueriesV4 mirrors smokeQueries for a mapped v4 backend: the
+// aggregate serves support/frequent/stats; tdist needs per-tree item
+// sets and must answer a clean 501, never a wrong number.
+var smokeQueriesV4 = []struct {
+	path string
+	want int
+}{
+	{"/v1/support?l1=Gnetum&l2=Welwitschia&dist=0", http.StatusOK},
+	{"/v1/frequent?minsup=2", http.StatusOK},
+	{"/v1/tdist?t1=tree_1&t2=tree_2", http.StatusNotImplemented},
+	{"/v1/stats", http.StatusOK},
+	{"/healthz", http.StatusOK},
+}
+
+// TestDaemonSmokeV4: the daemon auto-detects a compacted v4 file by
+// magic, memory-maps it, reports the mapped backend, answers the smoke
+// queries, and drains cleanly — the CI v4 smoke in-process.
+func TestDaemonSmokeV4(t *testing.T) {
+	v4 := writeIndexV4(t)
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-index", v4, "-addr", "127.0.0.1:0", "-addr-file", addrFile, "-drain", "5s",
+		}, &out)
+	}()
+
+	base := "http://" + waitAddr(t, addrFile)
+	for _, q := range smokeQueriesV4 {
+		resp, err := http.Get(base + q.path)
+		if err != nil {
+			t.Fatalf("%s: %v", q.path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != q.want {
+			t.Errorf("%s: status %d (want %d) body %s", q.path, resp.StatusCode, q.want, body)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after cancel", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+	if !strings.Contains(out.String(), "mapped backend") {
+		t.Errorf("stdout missing mapped-backend banner:\n%s", out.String())
+	}
+}
+
 func TestRunFlagValidation(t *testing.T) {
 	ctx := context.Background()
 	cases := []struct {

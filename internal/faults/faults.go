@@ -74,6 +74,10 @@ const (
 	// ServeLoad fires per read while the query server loads its index
 	// at startup — a mid-load I/O failure.
 	ServeLoad = "serve/load"
+	// StoreMmap fires in store.OpenMapped before the file is mapped — a
+	// failing mmap (address space exhaustion, a filesystem that refuses
+	// the mapping) that must surface as a clean open error.
+	StoreMmap = "store/mmap"
 )
 
 // ErrInjected is the sentinel all injected failures match with

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 
 	"treemine/internal/core"
 	"treemine/internal/faults"
@@ -44,7 +45,7 @@ const ctxCheckEvery = 4096
 // symbol table — which is what makes a Backend safe for any number of
 // concurrent readers with no locking.
 type Backend struct {
-	kind string // "index" or "shard"
+	kind string // "index", "shard", or "mapped"
 
 	// syms interns every label the loaded data mentions; it is used
 	// read-only (Lookup) after load, for cache-key packing and, in shard
@@ -71,9 +72,18 @@ type Backend struct {
 	// a generic shard (mined past MaxPackedDist, so its distances do not
 	// fit IKey's 4-bit field) keeps string keys in gsup, exactly as
 	// core.SupportShard itself does. Exactly one of the two maps is set.
+	// shOpts also carries the mining options in mapped mode, so the
+	// aggregate capability rules below read one field for both.
 	sup    map[core.IKey]int64
 	gsup   map[core.Key]int64
 	shOpts core.ForestOptions
+
+	// Mapped mode: a v4 file queried in place. No syms, no full listing,
+	// no maps — support probes binary-search the mapped bytes and
+	// frequent listings walk the file's support-descending permutation,
+	// so opening is O(1) and resident memory is whatever the kernel has
+	// paged in.
+	m *store.Mapped
 }
 
 // faultReader injects the serve/load failpoint into every read, so the
@@ -91,14 +101,28 @@ func (fr faultReader) Read(p []byte) (int, error) {
 // index file (cousindex build) serves every endpoint; a v3 shard
 // checkpoint (cousinmine -checkpoint) serves support, frequent, and
 // stats — a shard holds aggregate counts, not per-tree item sets, so
-// tree-distance queries report ErrUnsupported.
+// tree-distance queries report ErrUnsupported. A v4 compacted file
+// (cousindex compact) serves the same aggregate endpoints; Open has
+// only a reader, so the bytes are held in memory — prefer OpenPath,
+// which memory-maps v4 files instead.
 func Open(r io.Reader) (*Backend, error) {
 	br := bufio.NewReader(faultReader{r})
 	head, err := br.Peek(len("TREEMINEIDX3"))
 	if err != nil {
 		return nil, fmt.Errorf("serve: read index header: %w", err)
 	}
-	if string(head) == "TREEMINEIDX3" {
+	switch string(head) {
+	case "TREEMINEIDX4":
+		raw, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("serve: read v4 index: %w", err)
+		}
+		m, err := store.OpenMappedBytes(raw)
+		if err != nil {
+			return nil, err
+		}
+		return newMappedBackend(m), nil
+	case "TREEMINEIDX3":
 		sh, err := store.LoadShard(br)
 		if err != nil {
 			return nil, err
@@ -110,6 +134,47 @@ func Open(r io.Reader) (*Backend, error) {
 		return nil, err
 	}
 	return newIndexBackend(ix), nil
+}
+
+// OpenPath opens the store file at path, auto-detecting the format by
+// magic: v4 files are memory-mapped (store.OpenMapped — O(1) startup,
+// zero-copy queries), everything else goes through Open's decode path.
+// Close the returned backend when done serving.
+func OpenPath(path string) (*Backend, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var head [len("TREEMINEIDX4")]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return nil, fmt.Errorf("serve: read index header: %w", err)
+	}
+	if string(head[:]) == "TREEMINEIDX4" {
+		// The mmap path does no incremental reads, so give the serve/load
+		// failpoint its one shot at the open instead.
+		if err := faults.Hit(faults.ServeLoad); err != nil {
+			return nil, err
+		}
+		m, err := store.OpenMapped(path)
+		if err != nil {
+			return nil, err
+		}
+		return newMappedBackend(m), nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return Open(f)
+}
+
+// Close releases backend resources — the mmap in mapped mode, nothing
+// elsewhere. No queries may be in flight or issued afterwards.
+func (b *Backend) Close() error {
+	if b.m != nil {
+		return b.m.Close()
+	}
+	return nil
 }
 
 // newIndexBackend wraps a loaded (or built) store.Index.
@@ -168,7 +233,21 @@ func newShardBackend(sh *core.SupportShard) *Backend {
 	return b
 }
 
-// Kind reports which store format backs the server: "index" or "shard".
+// newMappedBackend wraps an opened v4 file. Nothing is decoded or
+// copied: the backend is a thin capability layer over the mapped
+// accessors, with the same aggregate semantics as a shard backend.
+func newMappedBackend(m *store.Mapped) *Backend {
+	return &Backend{
+		kind:   "mapped",
+		trees:  m.Trees(),
+		items:  int(m.Items()),
+		shOpts: m.Options(),
+		m:      m,
+	}
+}
+
+// Kind reports which store format backs the server: "index", "shard",
+// or "mapped" (a memory-mapped v4 file).
 func (b *Backend) Kind() string { return b.kind }
 
 // Trees returns the number of trees the loaded data covers.
@@ -207,6 +286,16 @@ func (b *Backend) Support(ctx context.Context, l1, l2 string, d core.Dist) (int,
 		}
 		return 0, fmt.Errorf("%w: wildcard support is not derivable from a distance-keyed shard", ErrUnsupported)
 	}
+	if b.m != nil {
+		if !d.IsWild() && !b.m.Generic() && d > b.shOpts.MaxDist {
+			// Same guard as the packed map below: the true count is 0, and
+			// a packed probe past MaxPackedDist would overflow IKey's
+			// distance field. (A generic file compares distances as
+			// integers, so its lookup is total.)
+			return 0, nil
+		}
+		return int(b.m.Support(l1, l2, d)), nil
+	}
 	if b.gsup != nil {
 		// Generic-mode shard: string-keyed counts answer any distance.
 		return int(b.gsup[core.NewKey(l1, l2, d)]), nil
@@ -234,6 +323,34 @@ func (b *Backend) Support(ctx context.Context, l1, l2 string, d core.Dist) (int,
 // since they carry no concrete distance to test.
 func (b *Backend) Frequent(ctx context.Context, minSup int, maxDist core.Dist, limit int) (pairs []core.FrequentPair, total int, err error) {
 	pairs = []core.FrequentPair{}
+	if b.m != nil {
+		// Walk the file's support-descending permutation: the base record
+		// order is CompareKeys order, so a stable support sort over it is
+		// exactly the Finalize(1) total order the decoded backends use.
+		// Supports along the walk are non-increasing, so the minsup
+		// cutoff ends the scan; pairs only materialize when listed.
+		for i, n := 0, b.m.Len(); i < n; i++ {
+			if i%ctxCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, 0, err
+				}
+			}
+			rec := b.m.PermAt(i)
+			if b.m.SupportAt(rec) < int64(minSup) {
+				break
+			}
+			if !maxDist.IsWild() {
+				if d := b.m.DistAt(rec); !d.IsWild() && d > maxDist {
+					continue
+				}
+			}
+			total++
+			if limit <= 0 || len(pairs) < limit {
+				pairs = append(pairs, b.m.PairAt(rec))
+			}
+		}
+		return pairs, total, nil
+	}
 	for i, p := range b.full {
 		if i%ctxCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
@@ -304,14 +421,23 @@ func (b *Backend) Stats() Stats {
 	st := Stats{
 		Backend: b.kind,
 		Trees:   b.trees,
-		Labels:  b.syms.Len(),
-		Pairs:   len(b.full),
 		Items:   b.items,
 	}
-	if b.ix != nil {
+	switch {
+	case b.m != nil:
+		st.Labels = b.m.NumSymbols()
+		st.Pairs = b.m.Len()
+		st.MaxDist = b.shOpts.MaxDist
+		st.MinOccur = b.shOpts.MinOccur
+		st.IgnoreDist = b.shOpts.IgnoreDist
+	case b.ix != nil:
+		st.Labels = b.syms.Len()
+		st.Pairs = len(b.full)
 		st.MaxDist = b.ix.Options.MaxDist
 		st.MinOccur = b.ix.Options.MinOccur
-	} else {
+	default:
+		st.Labels = b.syms.Len()
+		st.Pairs = len(b.full)
 		st.MaxDist = b.shOpts.MaxDist
 		st.MinOccur = b.shOpts.MinOccur
 		st.IgnoreDist = b.shOpts.IgnoreDist
@@ -327,8 +453,17 @@ func (b *Backend) supportCacheKey(l1, l2 string, d core.Dist) (CacheKey, bool) {
 	if d > core.MaxPackedDist {
 		return CacheKey{}, false
 	}
-	a, ok1 := b.syms.Lookup(l1)
-	bb, ok2 := b.syms.Lookup(l2)
+	var a, bb uint32
+	var ok1, ok2 bool
+	if b.m != nil {
+		// Mapped mode has no intern table; label ranks in the sorted
+		// symbol section are just as collision-free within one backend.
+		a, ok1 = b.m.LookupSymbol(l1)
+		bb, ok2 = b.m.LookupSymbol(l2)
+	} else {
+		a, ok1 = b.syms.Lookup(l1)
+		bb, ok2 = b.syms.Lookup(l2)
+	}
 	if !ok1 || !ok2 {
 		return CacheKey{}, false
 	}

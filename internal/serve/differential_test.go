@@ -171,10 +171,16 @@ func TestServerDifferentialIndex(t *testing.T) {
 					distinct[k.B] = struct{}{}
 				}
 			}
-			want := expect(t, Stats{
-				Backend: "index", Trees: ix.NumTrees(), Labels: len(distinct),
-				Pairs: len(ix.Frequent(1)), Items: items,
-				MaxDist: opts.MaxDist, MinOccur: opts.MinOccur,
+			// Stats answers aren't cached and stats requests don't touch
+			// the cache, so the counter snapshot taken here is exactly what
+			// both fetches must report.
+			want := expect(t, statsResponse{
+				Stats: Stats{
+					Backend: "index", Trees: ix.NumTrees(), Labels: len(distinct),
+					Pairs: len(ix.Frequent(1)), Items: items,
+					MaxDist: opts.MaxDist, MinOccur: opts.MinOccur,
+				},
+				Cache: s.CacheStats(),
 			})
 			getTwice(t, ts, "/v1/stats", 200, want)
 		}

@@ -68,6 +68,10 @@ func New(b *Backend, cfg Config) *Server {
 		timeout: timeout,
 		mux:     http.NewServeMux(),
 	}
+	// Export the result-cache counters at /debug/vars. The map is
+	// process-wide, so the newest Server wins the key — the daemon runs
+	// exactly one.
+	metrics.Set("cache", expvar.Func(func() any { return s.cache.Stats() }))
 	s.mux.HandleFunc("/v1/support", s.endpoint("support", s.handleSupport))
 	s.mux.HandleFunc("/v1/frequent", s.endpoint("frequent", s.handleFrequent))
 	s.mux.HandleFunc("/v1/tdist", s.endpoint("tdist", s.handleTDist))
@@ -334,11 +338,19 @@ func (s *Server) handleTDist(ctx context.Context, vals url.Values) ([]byte, erro
 	return body, nil
 }
 
+// statsResponse answers /v1/stats: the backend description plus a
+// point-in-time snapshot of the result-cache counters. Stats responses
+// are never cached, so the counters are always current.
+type statsResponse struct {
+	Stats
+	Cache CacheStats `json:"cache"`
+}
+
 func (s *Server) handleStats(ctx context.Context, vals url.Values) ([]byte, error) {
 	if err := checkParams(vals); err != nil {
 		return nil, err
 	}
-	return marshal(s.b.Stats())
+	return marshal(statsResponse{Stats: s.b.Stats(), Cache: s.cache.Stats()})
 }
 
 // handleRoot lists the query endpoints at "/" and 404s everything else.

@@ -2,6 +2,11 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"treemine/internal/core"
@@ -36,12 +41,30 @@ func FuzzStoreRead(f *testing.F) {
 	f.Add(v2.Bytes()[:len(v2.Bytes())/2])
 
 	// A genuine v3 shard checkpoint.
+	sh := mineShard(forest, core.DefaultForestOptions())
 	var v3 bytes.Buffer
-	if err := SaveShard(&v3, mineShard(forest, core.DefaultForestOptions())); err != nil {
+	if err := SaveShard(&v3, sh); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(v3.Bytes())
 	f.Add(v3.Bytes()[:len(v3.Bytes())-3])
+
+	// A genuine v4 flat image plus near-misses: truncated header,
+	// truncated payload, flipped payload byte (checksum mismatch), and a
+	// bare magic. The reader must reject all of them with errors.
+	opts, trees, labels, items := sh.Snapshot()
+	img, err := imageFromSnapshot(opts, trees, labels, items)
+	if err != nil {
+		f.Fatal(err)
+	}
+	v4 := img.appendV4()
+	f.Add(v4)
+	f.Add([]byte("TREEMINEIDX4"))
+	f.Add(v4[:v4HeaderLen-2])
+	f.Add(v4[:len(v4)-5])
+	flipped := bytes.Clone(v4)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if ix, err := Load(bytes.NewReader(data)); err == nil && ix == nil {
@@ -55,5 +78,79 @@ func FuzzStoreRead(f *testing.F) {
 			// invariants; finalizing it must be safe.
 			sh.Finalize(1)
 		}
+		if m, err := OpenMappedBytes(bytes.Clone(data)); err == nil {
+			// Whatever validates must be safely queryable end to end:
+			// every record reachable through the permutation, every label
+			// resolvable, point lookups total.
+			for i, n := 0, m.Len(); i < n; i++ {
+				p := m.PairAt(m.PermAt(i))
+				if m.Support(p.Key.A, p.Key.B, p.Key.D) != int64(p.Support) {
+					t.Fatalf("validated image disagrees with itself at record %d", i)
+				}
+			}
+			for i := 0; i < m.NumSymbols(); i++ {
+				if _, ok := m.LookupSymbol(m.Symbol(i)); !ok {
+					t.Fatalf("symbol %d not found by its own label", i)
+				}
+			}
+		}
 	})
+}
+
+// TestRegenerateV4FuzzCorpus rewrites the checked-in v4 seed corpus
+// under testdata/fuzz/FuzzStoreRead. It is a no-op unless
+// TREEMINE_WRITE_FUZZ_SEEDS=1 — run it after changing the v4 layout so
+// the corpus keeps exercising the deep validation paths: a genuine
+// image, a truncated header, a flipped payload byte (checksum
+// mismatch), unsorted postings, and an out-of-bounds string offset.
+func TestRegenerateV4FuzzCorpus(t *testing.T) {
+	if os.Getenv("TREEMINE_WRITE_FUZZ_SEEDS") == "" {
+		t.Skip("set TREEMINE_WRITE_FUZZ_SEEDS=1 to rewrite the corpus")
+	}
+	sh := mineShard(shardForest(11, 3, 20), core.DefaultForestOptions())
+	opts, trees, labels, items := sh.Snapshot()
+	img, err := imageFromSnapshot(opts, trees, labels, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v4 := img.appendV4()
+	le := binary.LittleEndian
+
+	unsorted := bytes.Clone(v4)
+	post := le.Uint64(unsorted[v4HdrPostOff:])
+	var tmp [v4PostRecLen]byte
+	copy(tmp[:], unsorted[post:])
+	copy(unsorted[post:], unsorted[post+v4PostRecLen:post+2*v4PostRecLen])
+	copy(unsorted[post+v4PostRecLen:], tmp[:])
+	fixCRCs(unsorted)
+
+	badOffset := bytes.Clone(v4)
+	symIdx := le.Uint64(badOffset[v4HdrSymIdxOff:])
+	le.PutUint64(badOffset[symIdx+8:], le.Uint64(badOffset[v4HdrSymDataLen:])+1000)
+	fixCRCs(badOffset)
+
+	flipped := bytes.Clone(v4)
+	flipped[len(flipped)/2] ^= 0x40
+
+	dir := filepath.Join("testdata", "fuzz", "FuzzStoreRead")
+	for name, data := range map[string][]byte{
+		"seed-v4-genuine":         v4,
+		"seed-v4-short-header":    v4[:v4HeaderLen-2],
+		"seed-v4-payload-bitflip": flipped,
+		"seed-v4-unsorted-posts":  unsorted,
+		"seed-v4-string-oob":      badOffset,
+	} {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// fixCRCs recomputes both checksums in place so a seed trips a targeted
+// structural check rather than the CRC gate.
+func fixCRCs(b []byte) {
+	le := binary.LittleEndian
+	le.PutUint32(b[v4HdrPayloadCRC:], crc32.Checksum(b[v4HeaderLen:], v4CRCTable))
+	le.PutUint32(b[v4HdrHeaderCRC:], crc32.Checksum(b[:v4HdrHeaderCRC], v4CRCTable))
 }

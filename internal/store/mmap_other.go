@@ -1,0 +1,19 @@
+//go:build !unix
+
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without a memory-mapping syscall wrapper falls
+// back to reading the whole file into memory. Queries behave
+// identically; only the page-cache sharing and lazy paging are lost.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

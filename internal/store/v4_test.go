@@ -1,0 +1,449 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"treemine/internal/core"
+	"treemine/internal/faults"
+)
+
+// compactShardToTemp compacts a shard to a v4 file in a temp dir and
+// opens it mapped.
+func compactShardToTemp(t *testing.T, sh *core.SupportShard) (*Mapped, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "idx.v4")
+	if err := CompactShardV4(path, sh); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m, path
+}
+
+// TestCompactShardV4RoundTrip: across both keying modes and
+// distance-insensitive mining, a mapped v4 file answers every support
+// query identically to the source shard and renders Finalize(1) order
+// exactly from its permutation.
+func TestCompactShardV4RoundTrip(t *testing.T) {
+	forest := shardForest(21, 14, 30)
+	for _, tc := range []struct {
+		name   string
+		maxD   core.Dist
+		ignore bool
+	}{
+		{"packed", core.D(4), false},
+		{"generic", core.MaxPackedDist + 3, false},
+		{"ignoredist", core.D(4), true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := core.ForestOptions{
+				Options:    core.Options{MaxDist: tc.maxD, MinOccur: 1},
+				MinSup:     2,
+				IgnoreDist: tc.ignore,
+			}
+			sh := mineShard(forest, opts)
+			m, _ := compactShardToTemp(t, sh)
+
+			if m.Trees() != sh.Trees() {
+				t.Fatalf("trees = %d, want %d", m.Trees(), sh.Trees())
+			}
+			if m.Len() != sh.Len() {
+				t.Fatalf("records = %d, want %d", m.Len(), sh.Len())
+			}
+			if m.Options() != opts {
+				t.Fatalf("options = %+v, want %+v", m.Options(), opts)
+			}
+			wantGeneric := tc.maxD > core.MaxPackedDist
+			if m.Generic() != wantGeneric {
+				t.Fatalf("generic = %v, want %v", m.Generic(), wantGeneric)
+			}
+
+			// Every finalized pair must be retrievable by point query, and
+			// the permutation walk must reproduce Finalize order exactly —
+			// including the support-then-CompareKeys tie-breaks.
+			for _, minsup := range []int{1, 2, 4} {
+				want := sh.Finalize(minsup)
+				got := m.Frequent(minsup)
+				if len(want) == 0 && len(got) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("minsup=%d: mapped Frequent diverges from Finalize (%d vs %d pairs)",
+						minsup, len(got), len(want))
+				}
+			}
+			for _, p := range sh.Finalize(1) {
+				if got := m.Support(p.Key.A, p.Key.B, p.Key.D); got != int64(p.Support) {
+					t.Fatalf("Support(%v) = %d, want %d", p.Key, got, p.Support)
+				}
+				// Argument order must not matter: lookups canonicalize.
+				if got := m.Support(p.Key.B, p.Key.A, p.Key.D); got != int64(p.Support) {
+					t.Fatalf("Support(swapped %v) = %d, want %d", p.Key, got, p.Support)
+				}
+			}
+			// Absent pairs and unknown labels answer 0, never an error.
+			if got := m.Support("zz-not-a-label", "also-absent", core.D(1)); got != 0 {
+				t.Fatalf("unknown label support = %d", got)
+			}
+		})
+	}
+}
+
+// TestCompactIndexV4RoundTrip: a v1/v2 per-tree index compacts into a
+// v4 aggregate whose support and frequent listings match the index.
+func TestCompactIndexV4RoundTrip(t *testing.T) {
+	forest := fixtureForest(22, 15)
+	ix, err := Build(forest, nil, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "idx.v4")
+	if err := CompactIndexV4(path, ix); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if m.Trees() != ix.NumTrees() {
+		t.Fatalf("trees = %d, want %d", m.Trees(), ix.NumTrees())
+	}
+	var items int64
+	for _, e := range ix.Entries {
+		items += int64(len(e.Items))
+	}
+	if m.Items() != items {
+		t.Fatalf("items = %d, want %d", m.Items(), items)
+	}
+	for _, minsup := range []int{2, 3} {
+		want := ix.Frequent(minsup)
+		got := m.Frequent(minsup)
+		if len(want) != 0 || len(got) != 0 {
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("minsup=%d: mapped Frequent diverges from index (%d vs %d pairs)",
+					minsup, len(got), len(want))
+			}
+		}
+	}
+	for _, p := range ix.Frequent(1)[:10] {
+		if got := m.Support(p.Key.A, p.Key.B, p.Key.D); got != int64(p.Support) {
+			t.Fatalf("Support(%v) = %d, want %d", p.Key, got, p.Support)
+		}
+	}
+}
+
+// TestCompactV4Streams: CompactV4 accepts every on-disk format — v2
+// index, v3 shard, v4 itself (validated verbatim copy) — and rejects
+// garbage without creating the destination.
+func TestCompactV4Streams(t *testing.T) {
+	dir := t.TempDir()
+	forest := shardForest(23, 10, 25)
+
+	var v2 bytes.Buffer
+	ix, err := Build(forest, nil, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Save(&v2); err != nil {
+		t.Fatal(err)
+	}
+	var v3 bytes.Buffer
+	sh := mineShard(forest, core.DefaultForestOptions())
+	if err := SaveShard(&v3, sh); err != nil {
+		t.Fatal(err)
+	}
+
+	fromV2 := filepath.Join(dir, "from-v2.v4")
+	if err := CompactV4(fromV2, bytes.NewReader(v2.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	fromV3 := filepath.Join(dir, "from-v3.v4")
+	if err := CompactV4(fromV3, bytes.NewReader(v3.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// v4 → v4 must be byte-identical.
+	raw, err := os.ReadFile(fromV3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromV4 := filepath.Join(dir, "from-v4.v4")
+	if err := CompactV4(fromV4, bytes.NewReader(raw)); err != nil {
+		t.Fatal(err)
+	}
+	copied, err := os.ReadFile(fromV4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, copied) {
+		t.Fatal("v4 → v4 compaction is not a verbatim copy")
+	}
+	// The v3-sourced file answers like the shard.
+	m, err := OpenMapped(fromV3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if want := sh.Finalize(2); !reflect.DeepEqual(m.Frequent(2), want) {
+		t.Fatal("CompactV4(v3) diverges from shard Finalize")
+	}
+
+	bad := filepath.Join(dir, "bad.v4")
+	if err := CompactV4(bad, bytes.NewReader([]byte("NOTANINDEX_AT_ALL"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("garbage input error = %v, want ErrBadMagic", err)
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatal("failed compaction created the destination")
+	}
+}
+
+// corruptAt returns a copy of img with f applied, header CRC refreshed
+// (so only the targeted invariant trips, not the checksum).
+func corruptAt(img []byte, fixCRCs bool, f func(b []byte)) []byte {
+	b := bytes.Clone(img)
+	f(b)
+	if fixCRCs {
+		le := binary.LittleEndian
+		le.PutUint32(b[v4HdrPayloadCRC:], crc32.Checksum(b[v4HeaderLen:], v4CRCTable))
+		le.PutUint32(b[v4HdrHeaderCRC:], crc32.Checksum(b[:v4HdrHeaderCRC], v4CRCTable))
+	}
+	return b
+}
+
+// TestOpenMappedBytesValidation: every class of corruption the reader
+// defends against errors cleanly — wrong magic, truncation, checksum
+// mismatches, unsorted sections, out-of-bounds offsets, fake
+// permutations — and never panics.
+func TestOpenMappedBytesValidation(t *testing.T) {
+	sh := mineShard(shardForest(24, 10, 25), core.DefaultForestOptions())
+	path := filepath.Join(t.TempDir(), "idx.v4")
+	if err := CompactShardV4(path, sh); err != nil {
+		t.Fatal(err)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMappedBytes(img); err != nil {
+		t.Fatalf("pristine image rejected: %v", err)
+	}
+
+	le := binary.LittleEndian
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrBadMagic},
+		{"short header", img[:v4HeaderLen-1], ErrBadMagic},
+		{"wrong magic", corruptAt(img, false, func(b []byte) { b[0] = 'X' }), ErrBadMagic},
+		{"header bitflip", corruptAt(img, false, func(b []byte) { b[v4HdrTrees] ^= 0xff }), ErrCorrupt},
+		{"payload bitflip", corruptAt(img, false, func(b []byte) { b[len(b)-1] ^= 0x01 }), ErrCorrupt},
+		{"truncated payload", img[:len(img)-8], ErrCorrupt},
+		{"file size lies", corruptAt(img, true, func(b []byte) {
+			le.PutUint64(b[v4HdrFileSize:], uint64(len(b))+64)
+		}), ErrCorrupt},
+		{"unknown flags", corruptAt(img, true, func(b []byte) {
+			le.PutUint64(b[v4HdrFlags:], 1<<7)
+		}), ErrCorrupt},
+		{"symbol index out of bounds", corruptAt(img, true, func(b []byte) {
+			le.PutUint64(b[v4HdrSymIdxOff:], uint64(len(b)))
+		}), ErrCorrupt},
+		{"symbol count overflow", corruptAt(img, true, func(b []byte) {
+			le.PutUint64(b[v4HdrSymCount:], 1<<40)
+		}), ErrCorrupt},
+		{"string offset past data", corruptAt(img, true, func(b []byte) {
+			symIdx := le.Uint64(b[v4HdrSymIdxOff:])
+			le.PutUint64(b[symIdx+8:], le.Uint64(b[v4HdrSymDataLen:])+100)
+		}), ErrCorrupt},
+		{"unsorted symbols", corruptAt(img, true, func(b []byte) {
+			// Force the first label above every successor, leaving
+			// offsets intact: table no longer sorted.
+			symData := le.Uint64(b[v4HdrSymDataOff:])
+			b[symData] = 0xff
+		}), ErrCorrupt},
+		{"unsorted postings", corruptAt(img, true, func(b []byte) {
+			post := le.Uint64(b[v4HdrPostOff:])
+			// Swap records 0 and 1 wholesale.
+			var tmp [v4PostRecLen]byte
+			copy(tmp[:], b[post:])
+			copy(b[post:], b[post+v4PostRecLen:post+2*v4PostRecLen])
+			copy(b[post+v4PostRecLen:], tmp[:])
+		}), ErrCorrupt},
+		{"zero count posting", corruptAt(img, true, func(b []byte) {
+			post := le.Uint64(b[v4HdrPostOff:])
+			le.PutUint64(b[post+8:], 0)
+		}), ErrCorrupt},
+		{"perm out of range", corruptAt(img, true, func(b []byte) {
+			perm := le.Uint64(b[v4HdrPermOff:])
+			le.PutUint32(b[perm:], uint32(le.Uint64(b[v4HdrPostCount:])))
+		}), ErrCorrupt},
+		{"perm repeats", corruptAt(img, true, func(b []byte) {
+			perm := le.Uint64(b[v4HdrPermOff:])
+			copy(b[perm+4:perm+8], b[perm:perm+4])
+		}), ErrCorrupt},
+		{"generic flag mismatch", corruptAt(img, true, func(b []byte) {
+			le.PutUint64(b[v4HdrFlags:], le.Uint64(b[v4HdrFlags:])|v4FlagGeneric)
+		}), ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := OpenMappedBytes(tc.data)
+			if err == nil {
+				t.Fatalf("corrupt image accepted (%d records)", m.Len())
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestMappedSupportZeroAlloc: the point-lookup path must not allocate —
+// the zero-copy contract that keeps mapped query latency flat.
+func TestMappedSupportZeroAlloc(t *testing.T) {
+	for _, generic := range []bool{false, true} {
+		maxD := core.D(4)
+		if generic {
+			maxD = core.MaxPackedDist + 2
+		}
+		sh := mineShard(shardForest(25, 10, 30), core.ForestOptions{
+			Options: core.Options{MaxDist: maxD, MinOccur: 1},
+			MinSup:  1,
+		})
+		m, _ := compactShardToTemp(t, sh)
+		pairs := sh.Finalize(1)
+		if len(pairs) == 0 {
+			t.Fatal("fixture mined no pairs")
+		}
+		p := pairs[len(pairs)/2]
+		var got int64
+		allocs := testing.AllocsPerRun(100, func() {
+			got = m.Support(p.Key.A, p.Key.B, p.Key.D)
+		})
+		if got != int64(p.Support) {
+			t.Fatalf("generic=%v: Support = %d, want %d", generic, got, p.Support)
+		}
+		if allocs != 0 {
+			t.Fatalf("generic=%v: Support allocates %.1f per op, want 0", generic, allocs)
+		}
+	}
+}
+
+// TestCompactV4AtomicTornKeepsSource: the chaos acceptance criterion —
+// a torn CompactV4 write must leave both the source checkpoint and any
+// previous destination intact, and the torn temp file must never
+// validate as a v4 index.
+func TestCompactV4AtomicTornKeepsSource(t *testing.T) {
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.v3")
+	dst := filepath.Join(dir, "idx.v4")
+
+	old := mineShard(shardForest(26, 8, 25), core.DefaultForestOptions())
+	if err := AtomicWrite(src, func(w io.Writer) error { return SaveShard(w, old) }); err != nil {
+		t.Fatal(err)
+	}
+	srcBefore, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A previous good v4 at the destination, to prove it isn't shadowed.
+	if err := CompactShardV4(dst, old); err != nil {
+		t.Fatal(err)
+	}
+	dstBefore, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	compactFromFile := func() error {
+		f, err := os.Open(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		return CompactV4(dst, f)
+	}
+
+	for _, fp := range []string{faults.AtomicTorn, faults.AtomicCrash, faults.AtomicSync} {
+		faults.Reset()
+		faults.Enable(fp, faults.Spec{Mode: faults.ModeError, Count: 1})
+		if err := compactFromFile(); !errors.Is(err, faults.ErrInjected) {
+			t.Fatalf("%s: compact error = %v, want injected", fp, err)
+		}
+		srcAfter, err := os.ReadFile(src)
+		if err != nil || !bytes.Equal(srcBefore, srcAfter) {
+			t.Fatalf("%s: source checkpoint modified by failed compaction (%v)", fp, err)
+		}
+		dstAfter, err := os.ReadFile(dst)
+		if err != nil || !bytes.Equal(dstBefore, dstAfter) {
+			t.Fatalf("%s: previous v4 shadowed by failed compaction (%v)", fp, err)
+		}
+		if m, err := OpenMapped(dst); err != nil {
+			t.Fatalf("%s: previous v4 unreadable after failed compaction: %v", fp, err)
+		} else {
+			m.Close()
+		}
+		// A torn temp file must never open as a valid index. (AtomicCrash
+		// fires after the durable temp write, so its temp file is whole —
+		// only the mid-flush tear leaves a half-written image behind.)
+		if fp == faults.AtomicTorn {
+			if _, err := os.Stat(dst + ".tmp"); err != nil {
+				t.Fatalf("%s: expected a torn temp file: %v", fp, err)
+			}
+			if _, err := OpenMapped(dst + ".tmp"); err == nil {
+				t.Fatalf("%s: torn temp file validated as a v4 index", fp)
+			}
+		}
+	}
+
+	// Disarmed, the same compaction goes through.
+	faults.Reset()
+	if err := compactFromFile(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapped(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if !reflect.DeepEqual(m.Frequent(1), old.Finalize(1)) {
+		t.Fatal("recovered compaction diverges from source shard")
+	}
+}
+
+// TestOpenMappedFailpoint: an armed store/mmap failpoint surfaces as a
+// clean open error.
+func TestOpenMappedFailpoint(t *testing.T) {
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	sh := mineShard(shardForest(27, 5, 20), core.DefaultForestOptions())
+	path := filepath.Join(t.TempDir(), "idx.v4")
+	if err := CompactShardV4(path, sh); err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable(faults.StoreMmap, faults.Spec{Mode: faults.ModeError, Count: 1})
+	if _, err := OpenMapped(path); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("armed mmap failpoint: err = %v, want injected", err)
+	}
+	faults.Reset()
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+}
