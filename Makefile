@@ -19,12 +19,21 @@
 # index, runs one query of each kind, and requires a drained exit 0
 # after SIGTERM (see DESIGN.md §49); `make bench-serve` regenerates the
 # zero-copy serving recording (BENCH_6.json): decoded vs memory-mapped
-# v4 open/query cost on the 100k-tree corpus (see DESIGN.md §50).
+# v4 open/query cost on the 100k-tree corpus (see DESIGN.md §50);
+# `make bench-merge` runs the merge-path benchmarks plus their
+# regression gate against BENCH_7.json (fails on a >20% ns/op slowdown
+# of mergeRuns or FoldTranslated); `make bench-distmine` regenerates
+# the distributed-mining recording (BENCH_7.json tables): plan/worker/
+# merge over the 100k-tree corpus at 1/2/4 workers plus the
+# out-of-core leg (see DESIGN.md §51); `make smoke-dist` runs the
+# plan → workers → merge pipeline end to end over the checked-in
+# fixture forest and requires the master to agree with the
+# single-process run.
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check vet build test race chaos fuzz smoke bench bench-dist bench-parsimony bench-mine bench-serve
+.PHONY: check vet build test race chaos fuzz smoke smoke-dist bench bench-dist bench-parsimony bench-mine bench-serve bench-merge bench-distmine
 
 check: vet build test
 
@@ -38,18 +47,20 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core -run 'Parallel|Forest|Shard|Stream|Differential|LevelVec'
+	$(GO) test -race ./internal/core -run 'Parallel|Forest|Shard|Stream|Differential|LevelVec|MergeAssociation|FoldTranslated|DrainSorted'
 	$(GO) test -race ./internal/cluster ./internal/kernel -run 'Differential|Reference|Matches'
 	$(GO) test -race ./internal/parsimony -run 'WorkerCount|TiedSet|Search|Incremental'
 	$(GO) test -race ./internal/serve -run 'Differential|Race|Cache|Drain|Hammer'
+	$(GO) test -race ./internal/store -run 'Spill|Manifest|FoldShardFile'
+	$(GO) test -race ./cmd/cousinmine -run 'DistributedDifferential|DistGolden'
 
 chaos:
 	$(GO) test -race ./internal/faults ./internal/guard ./internal/sigctx
 	$(GO) test -race ./internal/core -run 'Cancel|Panic|IteratorError|FaultInjection|LevelVec'
-	$(GO) test -race ./internal/store -run 'Atomic'
+	$(GO) test -race ./internal/store -run 'Atomic|SpillWriteFailpoint|FoldShardFileTorn'
 	$(GO) test -race ./internal/parsimony -run 'SearchCancelled|SearchClimb'
 	$(GO) test -race ./internal/kernel -run 'FindCtx'
-	$(GO) test -race ./cmd/cousinmine -run 'Checkpoint|FaultInjected'
+	$(GO) test -race ./cmd/cousinmine -run 'Checkpoint|FaultInjected|DistWorker'
 	$(GO) test -race ./internal/serve -run 'Chaos|Fault'
 
 fuzz:
@@ -60,6 +71,9 @@ fuzz:
 
 smoke:
 	$(GO) test ./cmd/cousinserve -run 'DaemonSmoke' -v
+
+smoke-dist:
+	$(GO) test ./cmd/cousinmine -run 'DistributedEndToEnd|DistGolden' -v
 
 bench:
 	$(GO) test . -run xxx -bench 'Fig4|Fig5|Fig6MultiTree|Fig7|MineInterned' -benchmem -benchtime=2x
@@ -77,3 +91,10 @@ bench-mine:
 
 bench-serve:
 	$(GO) run ./cmd/benchpaper -exp serveopen -maxtrees 100000
+
+bench-merge:
+	$(GO) test ./internal/store -run xxx -bench 'BenchmarkMergePath' -benchmem
+	$(GO) test ./internal/store -run 'BenchMergeRegressionGate' -v
+
+bench-distmine:
+	$(GO) run ./cmd/benchpaper -exp distmine -maxtrees 100000

@@ -1,0 +1,206 @@
+package main
+
+// The distributed-mining experiment (§51): coordinator/worker mining of
+// the Figure 6 corpus through the real cousinmine binary — plan, N
+// worker processes, merge — against the single-process streaming run of
+// the same corpus. This is the recording behind BENCH_7.json: run with
+// -maxtrees 100000 for the acceptance-scale corpus. Every leg's merged
+// master must be byte-identical to the single-process checkpoint; the
+// table reports end-to-end wall, the slowest worker, the largest worker
+// RSS (the out-of-core leg is the one whose budget caps it), and the
+// merge cost.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"treemine"
+	"treemine/internal/benchutil"
+	"treemine/internal/newick"
+)
+
+// distMineLeg is one row of the experiment: a worker count plus an
+// optional -max-resident budget for the out-of-core leg.
+type distMineLeg struct {
+	name        string
+	workers     int
+	maxResident string // empty = fully resident workers
+}
+
+// procStats is what one finished process cost.
+type procStats struct {
+	wall   time.Duration
+	rssMiB float64
+}
+
+// runProc runs argv to completion, discarding stdout, and reports wall
+// time and peak RSS (ru_maxrss).
+func runProc(bin string, args ...string) (procStats, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	start := time.Now()
+	err := cmd.Run()
+	st := procStats{wall: time.Since(start)}
+	if ps := cmd.ProcessState; ps != nil {
+		if ru, ok := ps.SysUsage().(*syscall.Rusage); ok {
+			st.rssMiB = float64(ru.Maxrss) / 1024 // ru_maxrss is KiB on Linux
+		}
+	}
+	if err != nil {
+		return st, fmt.Errorf("%s %v: %w", filepath.Base(bin), args, err)
+	}
+	return st, nil
+}
+
+// writeDistCorpus serializes maxTrees pool trees as a Newick file —
+// the pool is serialized once and cycled, matching poolIterator's tree
+// sequence exactly.
+func writeDistCorpus(path string, pool []*treemine.Tree, maxTrees int) error {
+	lines := make([][]byte, len(pool))
+	for i, t := range pool {
+		lines[i] = append([]byte(newick.Write(t)), '\n')
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	for i := 0; i < maxTrees; i++ {
+		if _, err := bw.Write(lines[i%len(lines)]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runDistMine builds cousinmine, writes the Figure 6 corpus to disk,
+// records the single-process streaming reference, then runs each
+// distributed leg end to end (plan → concurrent worker processes →
+// merge) and checks its master shard byte-identical to the reference
+// checkpoint. The recording box has one CPU, so extra workers cannot
+// cut wall time here — the table's honest claims are the RSS bound of
+// the out-of-core leg and the merge cost staying a small fraction of
+// the mining, with byte-identity holding on every leg.
+func runDistMine(cfg config) error {
+	maxTrees := cfg.sweepMax(10_000, 100_000)
+	dir, err := os.MkdirTemp("", "distmine")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	bin := filepath.Join(dir, "cousinmine")
+	if out, err := exec.Command("go", "build", "-o", bin, "treemine/cmd/cousinmine").CombinedOutput(); err != nil {
+		return fmt.Errorf("building cousinmine: %v\n%s", err, out)
+	}
+
+	corpus := filepath.Join(dir, "corpus.nwk")
+	if err := writeDistCorpus(corpus, fig6Pool(cfg.seed), maxTrees); err != nil {
+		return err
+	}
+
+	// Single-process reference: one streaming mine over the same file,
+	// checkpointing the shard every leg must reproduce byte for byte.
+	ref := filepath.Join(dir, "single.shard")
+	single, err := runProc(bin, "-mode", "multi", "-stream", "-checkpoint", ref, corpus)
+	if err != nil {
+		return err
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		return err
+	}
+
+	tb := benchutil.NewTable("leg", "workers", "budget", "total wall", "slowest worker", "worker RSS MiB", "merge", "identical")
+	tb.AddRow("single", 1, "-", single.wall, single.wall, fmt.Sprintf("%.1f", single.rssMiB), "-", "-")
+
+	legs := []distMineLeg{
+		{"dist", 1, ""},
+		{"dist", 2, ""},
+		{"dist", 4, ""},
+		{"dist+spill", 2, "512K"},
+	}
+	for _, leg := range legs {
+		work := filepath.Join(dir, fmt.Sprintf("%s-%d", leg.name, leg.workers))
+		if err := os.MkdirAll(work, 0o755); err != nil {
+			return err
+		}
+		plan := filepath.Join(work, "plan.json")
+		start := time.Now()
+		if _, err := runProc(bin, "-plan", plan, "-parts", strconv.Itoa(leg.workers), corpus); err != nil {
+			return err
+		}
+
+		stats := make([]procStats, leg.workers)
+		errs := make([]error, leg.workers)
+		var wg sync.WaitGroup
+		for i := 0; i < leg.workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				args := []string{"-manifest", plan, "-worker", strconv.Itoa(i)}
+				if leg.maxResident != "" {
+					args = append(args, "-max-resident", leg.maxResident)
+				}
+				stats[i], errs[i] = runProc(bin, args...)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		merge, err := runProc(bin, "-merge", "-manifest", plan)
+		if err != nil {
+			return err
+		}
+		total := time.Since(start)
+
+		var slowest time.Duration
+		var peakRSS float64
+		for _, st := range stats {
+			if st.wall > slowest {
+				slowest = st.wall
+			}
+			if st.rssMiB > peakRSS {
+				peakRSS = st.rssMiB
+			}
+		}
+		got, err := os.ReadFile(filepath.Join(work, "master.shard"))
+		if err != nil {
+			return err
+		}
+		identical := bytes.Equal(got, want)
+		budget := leg.maxResident
+		if budget == "" {
+			budget = "-"
+		}
+		tb.AddRow(leg.name, leg.workers, budget, total, slowest,
+			fmt.Sprintf("%.1f", peakRSS), merge.wall, identical)
+		if !identical {
+			return fmt.Errorf("distmine: %s workers=%d master shard differs from the single-process checkpoint", leg.name, leg.workers)
+		}
+	}
+	if err := cfg.emit(tb); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out, "\n%d trees; single-process reference %s; every master byte-identical to its checkpoint\n",
+		maxTrees, single.wall.Round(time.Millisecond))
+	return nil
+}

@@ -236,3 +236,27 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		}
 	}
 }
+
+// TestDistMine smokes the distributed-mining experiment at a reduced
+// corpus: it builds the real cousinmine binary, runs every leg, and the
+// experiment itself fails unless each merged master is byte-identical
+// to the single-process checkpoint — the test only needs the run to
+// survive and the table to carry the distinguishing columns.
+func TestDistMine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real cousinmine binary")
+	}
+	var out strings.Builder
+	if err := run([]string{"-exp", "distmine", "-maxtrees", "400"}, &out); err != nil {
+		t.Fatalf("distmine: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"single", "dist+spill", "worker RSS MiB", "merge", "400 trees", "byte-identical"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("distmine missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "false") {
+		t.Errorf("distmine reported a non-identical master:\n%s", s)
+	}
+}

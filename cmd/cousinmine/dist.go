@@ -1,0 +1,317 @@
+package main
+
+// Distributed coordinator/worker mining (DESIGN.md §51). The corpus is
+// split by tree range: -plan counts the corpus (skimming, not parsing)
+// and writes a partition manifest; -worker N mines one manifest range
+// to its own shard file, optionally spilling past a -max-resident
+// budget; -merge folds every worker shard — across disjoint symbol
+// tables — into the master, verifying per-partition provenance so a
+// missing or torn shard names exactly the range to re-mine;
+// -distributed N runs the whole plan→workers→merge pipeline with N
+// local worker processes. Because SupportShard.Snapshot is canonical,
+// the merged master is byte-identical to a single-process mine of the
+// same corpus, whatever the partition count or merge order.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"treemine"
+	"treemine/internal/phyloio"
+	"treemine/internal/store"
+)
+
+// distFlags carries the distributed-mode flag values out of run.
+type distFlags struct {
+	plan        string
+	parts       int
+	worker      int
+	manifest    string
+	merge       bool
+	distributed int
+	workdir     string
+	maxResident string
+	shards      int
+	format      string
+	compact     string
+}
+
+// active reports whether any distributed mode was selected.
+func (d *distFlags) active() bool {
+	return d.plan != "" || d.worker >= 0 || d.merge || d.distributed > 0
+}
+
+// runDist dispatches the selected distributed mode. Exactly one of
+// plan/worker/merge/distributed may be active; worker and merge take
+// their mining options from the manifest, so the CLI mining flags only
+// matter to plan and distributed.
+func runDist(ctx context.Context, d *distFlags, files []string, fopts treemine.ForestOptions, stdout io.Writer) error {
+	modes := 0
+	for _, on := range []bool{d.plan != "", d.worker >= 0, d.merge, d.distributed > 0} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-plan, -worker, -merge, and -distributed are mutually exclusive")
+	}
+	switch {
+	case d.plan != "":
+		return runPlan(d.plan, files, d.parts, fopts, stdout)
+	case d.worker >= 0:
+		return runWorker(ctx, d, stdout)
+	case d.merge:
+		return runMerge(d.manifest, d.format, d.compact, stdout)
+	default:
+		return runDistributed(ctx, d, files, fopts, stdout)
+	}
+}
+
+// runPlan counts the corpus and writes the partition manifest. Inputs
+// must be files — workers re-open them by path, so stdin cannot be
+// partitioned.
+func runPlan(planPath string, files []string, parts int, fopts treemine.ForestOptions, stdout io.Writer) error {
+	if len(files) == 0 {
+		return fmt.Errorf("-plan requires file inputs (workers re-read the corpus by path; stdin cannot be partitioned)")
+	}
+	abs := make([]string, len(files))
+	for i, f := range files {
+		a, err := filepath.Abs(f)
+		if err != nil {
+			return err
+		}
+		abs[i] = a
+	}
+	total, err := phyloio.CountTrees(abs, nil)
+	if err != nil {
+		return err
+	}
+	if total == 0 {
+		return fmt.Errorf("no input trees")
+	}
+	m, err := store.NewManifest(abs, total, parts, fopts)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(planPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "planned %d trees into %d partitions\n", total, len(m.Partitions))
+	for _, p := range m.Partitions {
+		fmt.Fprintf(stdout, "partition %d: trees %d..%d -> %s\n", p.Index, p.Skip, p.Skip+p.Trees-1, p.Shard)
+	}
+	return nil
+}
+
+// spillBytesPerEntry is the resident cost the -max-resident budget is
+// divided by: an 8-byte packed key, an 8-byte count, and the map
+// bucket overhead around them.
+const spillBytesPerEntry = 64
+
+// runWorker mines one manifest partition to its shard file. With a
+// -max-resident budget the accumulator spills to sorted segments
+// beside the shard and the final file is their streaming merge;
+// without one, a plain v3 checkpoint is written. Either way the write
+// is atomic — a worker killed mid-range leaves no shard, which the
+// merge reports as exactly that range needing a re-mine.
+func runWorker(ctx context.Context, d *distFlags, stdout io.Writer) error {
+	if d.manifest == "" {
+		return fmt.Errorf("-worker requires -manifest")
+	}
+	m, err := store.LoadManifest(d.manifest)
+	if err != nil {
+		return err
+	}
+	if d.worker >= len(m.Partitions) {
+		return fmt.Errorf("partition %d out of range (manifest has %d)", d.worker, len(m.Partitions))
+	}
+	p := m.Partitions[d.worker]
+	opts := m.Options.ForestOptions()
+	shardPath := m.ShardPath(d.worker)
+
+	cfg := treemine.StreamConfig{Workers: d.shards}
+	var acc *store.SpillAccumulator
+	var spillDir string
+	if d.maxResident != "" {
+		budget, err := parseBytes(d.maxResident)
+		if err != nil {
+			return fmt.Errorf("-max-resident: %w", err)
+		}
+		maxEntries := int(budget / spillBytesPerEntry)
+		if maxEntries < 1 {
+			return fmt.Errorf("-max-resident %s is below one resident entry (~%d bytes)", d.maxResident, spillBytesPerEntry)
+		}
+		sh := treemine.NewSupportShard(opts)
+		spillDir = shardPath + ".spill"
+		if err := os.MkdirAll(spillDir, 0o777); err != nil {
+			return err
+		}
+		acc, err = store.NewSpillAccumulator(sh, maxEntries, spillDir)
+		if err != nil {
+			return err
+		}
+		cfg.Resume = sh
+		cfg.AfterRound = acc.AfterRound
+	}
+
+	src := phyloio.OpenTreesRange(m.Inputs, nil, p.Skip, p.Trees)
+	defer src.Close()
+	sh, err := treemine.MineForestStreamShardCtx(ctx, src, opts, cfg)
+	if err != nil {
+		return fmt.Errorf("worker %d (trees %d..%d): %w", p.Index, p.Skip, p.Skip+p.Trees-1, err)
+	}
+	if sh.Trees() != p.Trees {
+		return fmt.Errorf("worker %d mined %d trees, plan assigned %d — the corpus changed since -plan ran",
+			p.Index, sh.Trees(), p.Trees)
+	}
+	if acc != nil {
+		segs := acc.Segments()
+		if err := acc.Finish(shardPath); err != nil {
+			return err
+		}
+		os.RemoveAll(spillDir)
+		fmt.Fprintf(os.Stderr, "cousinmine: worker %d mined trees %d..%d -> %s (%d spill segments)\n",
+			p.Index, p.Skip, p.Skip+p.Trees-1, shardPath, segs)
+		return nil
+	}
+	if err := writeShardAtomic(shardPath, sh); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cousinmine: worker %d mined trees %d..%d -> %s\n",
+		p.Index, p.Skip, p.Skip+p.Trees-1, shardPath)
+	return nil
+}
+
+// runMerge folds every partition's shard into the master, checking
+// provenance as it goes: a shard that is missing, torn, mined under
+// different options, or covering the wrong tree count fails the merge
+// with the exact -worker command that re-mines its range. On success
+// the master shard is written beside the manifest and its frequent
+// pairs printed — byte-identical to a single-process run's output.
+func runMerge(manifestPath, format, compact string, stdout io.Writer) error {
+	if manifestPath == "" {
+		return fmt.Errorf("-merge requires -manifest")
+	}
+	m, err := store.LoadManifest(manifestPath)
+	if err != nil {
+		return err
+	}
+	opts := m.Options.ForestOptions()
+	master := treemine.NewSupportShard(opts)
+	for _, p := range m.Partitions {
+		trees, err := store.FoldShardFile(master, m.ShardPath(p.Index))
+		if err != nil {
+			return fmt.Errorf("partition %d (trees %d..%d): %w\nre-mine it with: cousinmine -manifest %s -worker %d",
+				p.Index, p.Skip, p.Skip+p.Trees-1, err, manifestPath, p.Index)
+		}
+		if trees != p.Trees {
+			return fmt.Errorf("partition %d shard covers %d trees, plan assigned %d\nre-mine it with: cousinmine -manifest %s -worker %d",
+				p.Index, trees, p.Trees, manifestPath, p.Index)
+		}
+	}
+	if master.Trees() != m.TotalTrees {
+		return fmt.Errorf("merged master covers %d trees, corpus has %d", master.Trees(), m.TotalTrees)
+	}
+	if err := writeShardAtomic(m.MasterPath(), master); err != nil {
+		return err
+	}
+	if compact != "" {
+		if err := store.CompactShardV4(compact, master); err != nil {
+			return fmt.Errorf("compact %s: %w", compact, err)
+		}
+		fmt.Fprintf(os.Stderr, "cousinmine: wrote v4 index %s (%d trees)\n", compact, master.Trees())
+	}
+	return emitMulti(stdout, format, master.Finalize(opts.MinSup), master.Trees())
+}
+
+// runDistributed is the end-to-end convenience: plan into a work
+// directory, run one OS process per partition (all concurrently — the
+// point is that the processes are independent), then merge. The work
+// directory is temporary unless -workdir names one to keep.
+func runDistributed(ctx context.Context, d *distFlags, files []string, fopts treemine.ForestOptions, stdout io.Writer) error {
+	workdir := d.workdir
+	cleanup := false
+	if workdir == "" {
+		var err error
+		workdir, err = os.MkdirTemp("", "cousinmine-dist-*")
+		if err != nil {
+			return err
+		}
+		cleanup = true
+	} else if err := os.MkdirAll(workdir, 0o777); err != nil {
+		return err
+	}
+	planPath := filepath.Join(workdir, "plan.json")
+	if err := runPlan(planPath, files, d.distributed, fopts, io.Discard); err != nil {
+		return err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	m, err := store.LoadManifest(planPath)
+	if err != nil {
+		return err
+	}
+
+	errs := make([]error, len(m.Partitions))
+	var wg sync.WaitGroup
+	for i := range m.Partitions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			args := []string{"-manifest", planPath, "-worker", strconv.Itoa(i)}
+			if d.maxResident != "" {
+				args = append(args, "-max-resident", d.maxResident)
+			}
+			if d.shards != 0 {
+				args = append(args, "-shards", strconv.Itoa(d.shards))
+			}
+			cmd := exec.CommandContext(ctx, exe, args...)
+			cmd.Stderr = os.Stderr
+			if err := cmd.Run(); err != nil {
+				errs[i] = fmt.Errorf("worker %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if err := runMerge(planPath, d.format, d.compact, stdout); err != nil {
+		return err
+	}
+	if cleanup {
+		os.RemoveAll(workdir)
+	}
+	return nil
+}
+
+// parseBytes parses a byte size with an optional K/M/G suffix (powers
+// of 1024).
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	t := strings.ToUpper(strings.TrimSpace(s))
+	switch {
+	case strings.HasSuffix(t, "K"):
+		mult, t = 1<<10, t[:len(t)-1]
+	case strings.HasSuffix(t, "M"):
+		mult, t = 1<<20, t[:len(t)-1]
+	case strings.HasSuffix(t, "G"):
+		mult, t = 1<<30, t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q (want a positive integer with optional K/M/G suffix)", s)
+	}
+	return n * mult, nil
+}

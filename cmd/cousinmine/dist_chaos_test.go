@@ -1,0 +1,164 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"treemine/internal/faults"
+)
+
+// hugeForestFile writes a corpus large enough that a worker's range
+// takes real wall time — room to SIGKILL it mid-mine.
+func hugeForestFile(t *testing.T, copies int) string {
+	t.Helper()
+	fixture, err := os.ReadFile("testdata/forest.nwk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for i := 0; i < copies; i++ {
+		b.Write(fixture)
+	}
+	path := filepath.Join(t.TempDir(), "huge.nwk")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDistWorkerFaultInjectedKill is the failpoint half of the
+// distributed chaos drill: a worker dies on an injected spill-write
+// failure mid-range, leaves no shard (so the merge names exactly that
+// range), and re-mining just that range yields a master byte-identical
+// to an uninterrupted single-process streaming run.
+func TestDistWorkerFaultInjectedKill(t *testing.T) {
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	input := bigForestFile(t)
+
+	// Uninterrupted single-process reference shard.
+	ref := filepath.Join(t.TempDir(), "single.shard")
+	distRun(t, "-mode", "multi", "-stream", "-checkpoint", ref, input)
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	work := t.TempDir()
+	plan := filepath.Join(work, "plan.json")
+	distRun(t, "-plan", plan, "-parts", "3", input)
+	distRun(t, "-manifest", plan, "-worker", "0", "-max-resident", "256")
+	distRun(t, "-manifest", plan, "-worker", "2")
+
+	// Worker 1 dies on its second spill.
+	faults.Enable(faults.SpillWrite, faults.Spec{Mode: faults.ModeError, After: 1, Count: 1})
+	err = run(context.Background(), []string{"-manifest", plan, "-worker", "1", "-max-resident", "256"},
+		strings.NewReader(""), &strings.Builder{})
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("faulted worker error = %v, want injected", err)
+	}
+	if _, serr := os.Stat(filepath.Join(work, "worker-001.shard")); !os.IsNotExist(serr) {
+		t.Fatalf("killed worker left a shard behind (stat: %v)", serr)
+	}
+
+	// The merge detects the missing range and names it.
+	err = run(context.Background(), []string{"-merge", "-manifest", plan}, strings.NewReader(""), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "partition 1") {
+		t.Fatalf("merge error %q does not name the dead worker's range", err)
+	}
+
+	// Re-mine only that range; the master must be byte-identical to the
+	// single-process run.
+	faults.Reset()
+	distRun(t, "-manifest", plan, "-worker", "1", "-max-resident", "256")
+	distRun(t, "-merge", "-manifest", plan)
+	got, err := os.ReadFile(filepath.Join(work, "master.shard"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("master after re-mine differs from the uninterrupted single-process shard")
+	}
+}
+
+// TestDistWorkerSIGKILL is the real-process half: a worker process is
+// SIGKILLed mid-range, verifiably leaving no shard (the atomic write
+// never completed), and re-mining the range converges on a master
+// byte-identical to the single-process run. Needs the built binary.
+func TestDistWorkerSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills the real binary")
+	}
+	input := hugeForestFile(t, 15000) // 60k trees: seconds of mining
+	bin := buildCousinmine(t)
+
+	work := t.TempDir()
+	plan := filepath.Join(work, "plan.json")
+	planCmd := exec.Command(bin, "-plan", plan, "-parts", "2", input)
+	if outb, err := planCmd.CombinedOutput(); err != nil {
+		t.Fatalf("plan: %v\n%s", err, outb)
+	}
+
+	// Start worker 0 and kill it mid-range. If the box is so fast the
+	// worker finishes first, retry with a shorter fuse.
+	killed := false
+	for _, fuse := range []time.Duration{300 * time.Millisecond, 50 * time.Millisecond, 5 * time.Millisecond} {
+		os.Remove(filepath.Join(work, "worker-000.shard"))
+		cmd := exec.Command(bin, "-manifest", plan, "-worker", "0")
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(fuse)
+		cmd.Process.Signal(syscall.SIGKILL)
+		err := cmd.Wait()
+		var ee *exec.ExitError
+		if errors.As(err, &ee) && ee.ProcessState.Sys().(syscall.WaitStatus).Signal() == syscall.SIGKILL {
+			killed = true
+			break
+		}
+	}
+	if !killed {
+		t.Skip("worker finished before every SIGKILL fuse; box too fast to test mid-range kill")
+	}
+	if _, err := os.Stat(filepath.Join(work, "worker-000.shard")); !os.IsNotExist(err) {
+		t.Fatalf("SIGKILLed worker left a shard (stat: %v)", err)
+	}
+
+	// Finish the job: both workers, then merge.
+	for i := 0; i < 2; i++ {
+		wcmd := exec.Command(bin, "-manifest", plan, "-worker", strconv.Itoa(i))
+		if outb, err := wcmd.CombinedOutput(); err != nil {
+			t.Fatalf("worker %d: %v\n%s", i, err, outb)
+		}
+	}
+	mcmd := exec.Command(bin, "-merge", "-manifest", plan)
+	if outb, err := mcmd.CombinedOutput(); err != nil {
+		t.Fatalf("merge: %v\n%s", err, outb)
+	}
+
+	// Byte-identity against the uninterrupted single-process run.
+	ref := filepath.Join(t.TempDir(), "single.shard")
+	scmd := exec.Command(bin, "-mode", "multi", "-stream", "-checkpoint", ref, input)
+	if outb, err := scmd.CombinedOutput(); err != nil {
+		t.Fatalf("single-process reference: %v\n%s", err, outb)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(work, "master.shard"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("master after SIGKILL re-mine differs from the uninterrupted single-process shard")
+	}
+}

@@ -1,0 +1,248 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// distRun invokes the CLI in-process and returns its stdout; fatal on
+// unexpected error.
+func distRun(t *testing.T, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(context.Background(), args, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	return out.String()
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting
+// it under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestDistGolden pins the plan/worker/merge pipeline's exact CLI
+// output over the fixture forest, work-directory paths normalized to
+// $WORK. Regenerate with -update.
+func TestDistGolden(t *testing.T) {
+	work := t.TempDir()
+	plan := filepath.Join(work, "plan.json")
+
+	planOut := distRun(t, "-plan", plan, "-parts", "3", "testdata/forest.nwk")
+	checkGolden(t, "dist_plan", planOut)
+
+	for i := 0; i < 3; i++ {
+		if got := distRun(t, "-manifest", plan, "-worker", strconv.Itoa(i)); got != "" {
+			t.Fatalf("worker %d wrote to stdout: %q", i, got)
+		}
+	}
+	mergeOut := distRun(t, "-merge", "-manifest", plan)
+	checkGolden(t, "dist_merge", mergeOut)
+
+	// The merge output is emitMulti's — identical to a single-process
+	// run over the same corpus.
+	single := distRun(t, "-mode", "multi", "-stream", "testdata/forest.nwk")
+	if mergeOut != single {
+		t.Errorf("merge output differs from single-process run:\n--- merge ---\n%s--- single ---\n%s", mergeOut, single)
+	}
+}
+
+// TestDistGoldenErrors pins the corrupt-manifest and missing-shard
+// error paths, with volatile paths normalized to $WORK.
+func TestDistGoldenErrors(t *testing.T) {
+	work := t.TempDir()
+	plan := filepath.Join(work, "plan.json")
+	distRun(t, "-plan", plan, "-parts", "2", "testdata/forest.nwk")
+
+	normalize := func(s string) string {
+		return strings.ReplaceAll(s, work, "$WORK") + "\n"
+	}
+
+	t.Run("missing_worker_shard", func(t *testing.T) {
+		// Only worker 1 ran; partition 0's shard is absent.
+		distRun(t, "-manifest", plan, "-worker", "1")
+		err := run(context.Background(), []string{"-merge", "-manifest", plan}, strings.NewReader(""), &strings.Builder{})
+		if err == nil {
+			t.Fatal("merge succeeded with a missing worker shard")
+		}
+		checkGolden(t, "dist_missing_shard", normalize(err.Error()))
+	})
+
+	t.Run("corrupt_manifest", func(t *testing.T) {
+		bad := filepath.Join(work, "bad.json")
+		data, rerr := os.ReadFile(plan)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		// Break range contiguity: bump the second partition's skip.
+		broken := strings.Replace(string(data), `"skip": 2`, `"skip": 3`, 1)
+		if broken == string(data) {
+			t.Fatal("fixture manifest did not contain the expected skip")
+		}
+		if werr := os.WriteFile(bad, []byte(broken), 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		err := run(context.Background(), []string{"-merge", "-manifest", bad}, strings.NewReader(""), &strings.Builder{})
+		if err == nil {
+			t.Fatal("merge accepted a corrupt manifest")
+		}
+		checkGolden(t, "dist_corrupt_manifest", normalize(err.Error()))
+	})
+
+	t.Run("torn_worker_shard", func(t *testing.T) {
+		// Both shards exist, but worker 1's is truncated; the merge must
+		// name partition 1.
+		distRun(t, "-manifest", plan, "-worker", "0")
+		m := filepath.Join(work, "worker-001.shard")
+		data, rerr := os.ReadFile(m)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if werr := os.WriteFile(m, data[:len(data)/2], 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		err := run(context.Background(), []string{"-merge", "-manifest", plan}, strings.NewReader(""), &strings.Builder{})
+		if err == nil {
+			t.Fatal("merge accepted a torn worker shard")
+		}
+		if !strings.Contains(err.Error(), "partition 1") || !strings.Contains(err.Error(), "-worker 1") {
+			t.Fatalf("torn-shard error %q does not name the range to re-mine", err)
+		}
+	})
+}
+
+// TestDistributedDifferential is the acceptance proof: for any
+// partition count, with workers mixing spilled and resident
+// accumulation (so their symbol tables are disjoint and their file
+// formats differ), the merged master shard is byte-identical to the
+// single-process streaming run's checkpoint of the same corpus.
+func TestDistributedDifferential(t *testing.T) {
+	input := bigForestFile(t)
+
+	// Single-process reference: the final checkpoint of a -stream run.
+	refDir := t.TempDir()
+	ref := filepath.Join(refDir, "single.shard")
+	distRun(t, "-mode", "multi", "-stream", "-checkpoint", ref, input)
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleOut := distRun(t, "-mode", "multi", "-stream", input)
+
+	for _, parts := range []int{1, 2, 3, 5} {
+		t.Run(fmt.Sprintf("parts=%d", parts), func(t *testing.T) {
+			work := t.TempDir()
+			plan := filepath.Join(work, "plan.json")
+			distRun(t, "-plan", plan, "-parts", strconv.Itoa(parts), input)
+			for i := 0; i < parts; i++ {
+				args := []string{"-manifest", plan, "-worker", strconv.Itoa(i)}
+				// Odd workers spill through a tiny budget, even workers stay
+				// resident — the merge must not care.
+				if i%2 == 1 {
+					args = append(args, "-max-resident", "256")
+				}
+				distRun(t, args...)
+			}
+			mergeOut := distRun(t, "-merge", "-manifest", plan)
+			if mergeOut != singleOut {
+				t.Error("merge output differs from the single-process run")
+			}
+			got, err := os.ReadFile(filepath.Join(work, "master.shard"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("parts=%d: master shard is not byte-identical to the single-process checkpoint", parts)
+			}
+		})
+	}
+}
+
+// buildCousinmine compiles the real binary — -distributed re-execs
+// itself to spawn workers, so it only makes sense as an OS process.
+func buildCousinmine(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cousinmine")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if outb, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, outb)
+	}
+	return bin
+}
+
+// TestDistributedEndToEnd covers the -distributed convenience path —
+// real worker processes — including -workdir persistence and
+// -max-resident passthrough.
+func TestDistributedEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	input := bigForestFile(t)
+	singleOut := distRun(t, "-mode", "multi", "-stream", input)
+
+	bin := buildCousinmine(t)
+	work := filepath.Join(t.TempDir(), "work")
+	cmd := exec.Command(bin, "-distributed", "3", "-workdir", work, "-max-resident", "256", input)
+	var out strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("-distributed run: %v", err)
+	}
+	if out.String() != singleOut {
+		t.Errorf("-distributed output differs from single-process run:\n--- dist ---\n%s--- single ---\n%s", out.String(), singleOut)
+	}
+	if _, err := os.Stat(filepath.Join(work, "master.shard")); err != nil {
+		t.Fatalf("-workdir did not keep the master shard: %v", err)
+	}
+}
+
+// TestDistFlagValidation pins the mode-interaction guards.
+func TestDistFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"plan needs files", []string{"-plan", "p.json"}, "file inputs"},
+		{"worker needs manifest", []string{"-worker", "0"}, "-manifest"},
+		{"merge needs manifest", []string{"-merge"}, "-manifest"},
+		{"exclusive modes", []string{"-plan", "p.json", "-merge"}, "mutually exclusive"},
+		{"no stream", []string{"-merge", "-manifest", "m.json", "-stream"}, "drop -stream"},
+		{"max-resident placement", []string{"-max-resident", "1M"}, "-max-resident"},
+		{"bad size", []string{"-worker", "0", "-manifest", "m.json", "-max-resident", "zap"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(context.Background(), tc.args, strings.NewReader(""), &strings.Builder{})
+			if err == nil {
+				t.Fatal("accepted invalid flags")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -27,6 +27,14 @@
 // non-streamed run. -compact FILE additionally writes the final mined
 // shard as a v4 zero-copy index (the format cousinserve memory-maps for
 // O(1) startup).
+//
+// Distributed mining splits a corpus by tree range across worker
+// processes (see DESIGN.md §51): -plan FILE -parts N writes a partition
+// manifest; -worker I -manifest FILE mines partition I to its shard,
+// spilling to disk past an optional -max-resident budget; -merge
+// -manifest FILE folds the worker shards into the master and prints its
+// frequent pairs — byte-identical to a single-process run; -distributed
+// N runs the whole pipeline with N local workers.
 package main
 
 import (
@@ -73,7 +81,15 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 	shards := fs.Int("shards", 0, "streaming worker count; 0 uses all CPUs")
 	checkpoint := fs.String("checkpoint", "", "shard checkpoint file: written during -stream runs, resumed from when present")
 	ckptEvery := fs.Int("checkpoint-every", 500, "trees mined between checkpoint writes")
-	compact := fs.String("compact", "", "also write the mined shard as a v4 zero-copy index to this file (requires -stream)")
+	compact := fs.String("compact", "", "also write the mined shard as a v4 zero-copy index to this file (requires -stream or -merge)")
+	plan := fs.String("plan", "", "write a distributed-mining partition manifest to this file (requires file inputs)")
+	parts := fs.Int("parts", 2, "partition count for -plan")
+	worker := fs.Int("worker", -1, "mine one partition (by index) of -manifest to its shard file")
+	manifest := fs.String("manifest", "", "partition manifest consumed by -worker and -merge")
+	mergeMode := fs.Bool("merge", false, "fold the worker shards named by -manifest into the master shard and print its frequent pairs")
+	distributed := fs.Int("distributed", 0, "run plan -> N local worker processes -> merge end to end")
+	workdir := fs.String("workdir", "", "work directory for -distributed (default: a temp dir, removed on success)")
+	maxResident := fs.String("max-resident", "", "worker resident-memory budget (e.g. 64M); past it support counts spill to sorted disk segments")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,6 +105,25 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		return fmt.Errorf("-maxdist must be a concrete distance, not %q", *maxDist)
 	}
 	opts := treemine.Options{MaxDist: d, MinOccur: *minOccur}
+
+	df := &distFlags{
+		plan: *plan, parts: *parts, worker: *worker, manifest: *manifest,
+		merge: *mergeMode, distributed: *distributed, workdir: *workdir,
+		maxResident: *maxResident, shards: *shards, format: *format, compact: *compact,
+	}
+	if df.active() {
+		if *stream || *checkpoint != "" {
+			return fmt.Errorf("the distributed modes manage their own streaming; drop -stream and -checkpoint")
+		}
+		if *maxResident != "" && df.worker < 0 && df.distributed == 0 {
+			return fmt.Errorf("-max-resident applies to workers; use it with -worker or -distributed")
+		}
+		fopts := treemine.ForestOptions{Options: opts, MinSup: *minSup, IgnoreDist: *ignoreDist}
+		return runDist(ctx, df, fs.Args(), fopts, stdout)
+	}
+	if *maxResident != "" {
+		return fmt.Errorf("-max-resident applies to workers; use it with -worker or -distributed")
+	}
 
 	if *compact != "" && !*stream {
 		return fmt.Errorf("-compact requires -stream (the shard to compact is the stream's result)")

@@ -133,32 +133,133 @@ func (sh *SupportShard) addTreePacked(t *tree.Tree) {
 }
 
 // Merge folds other's counts and tree tally into sh. The two shards'
-// options must be equal; symbol IDs are remapped through their labels,
-// so the shards may have been built over different (even disjoint) label
-// sets in any order — Merge is commutative and associative in the final
-// counts. other is read under its own lock and left unchanged; the two
-// locks are never held together, so concurrent AddTree and Merge calls
-// on any shard arrangement cannot deadlock.
+// options must be equal; symbol IDs are remapped through their labels
+// (cross-table symbol translation), so the shards may have been built
+// over different (even disjoint) label sets in any order — Merge is
+// commutative and associative in the final counts. other is read under
+// its own lock and left unchanged; the two locks are never held
+// together, so concurrent AddTree and Merge calls on any shard
+// arrangement cannot deadlock.
+//
+// Merge is the in-memory half of distributed mining: worker processes
+// each mine a tree range into a private shard, and the coordinator folds
+// them — in any association order — into one master whose canonical
+// Snapshot is identical to a single-process run's.
 func (sh *SupportShard) Merge(other *SupportShard) error {
 	if other.opts != sh.opts {
 		return fmt.Errorf("core: merging shards with different options (%+v vs %+v)", other.opts, sh.opts)
 	}
-	_, otherTrees, labels, items := other.Snapshot()
+	otherTrees, labels, items := other.snapshotLocal()
+	return sh.FoldTranslated(otherTrees, labels, items)
+}
+
+// FoldTranslated folds support entries coded against a foreign label
+// table into sh: trees is added to the tally, and each item's symbol
+// indices are translated through labels into sh's own table. It is the
+// primitive Merge and the spill/merge streaming paths share — a batch
+// folds under one lock acquisition, with the label translation vector
+// built once per call. Items referencing labels out of range are
+// rejected (the batch may have come from a corrupt file), though entries
+// folded before the offending one remain — callers treating a fold error
+// as fatal should discard sh.
+func (sh *SupportShard) FoldTranslated(trees int, labels []string, items []ShardItem) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sh.trees += otherTrees
+	sh.trees += trees
 	if sh.sup != nil {
+		trans := make([]uint32, len(labels))
+		for i, l := range labels {
+			trans[i] = sh.syms.Intern(l)
+		}
 		for _, it := range items {
-			a := sh.syms.Intern(labels[it.A])
-			b := sh.syms.Intern(labels[it.B])
-			sh.sup[NewIKey(a, b, it.D)] += it.N
+			if int(it.A) >= len(labels) || int(it.B) >= len(labels) {
+				return fmt.Errorf("core: fold: symbol id out of range (%d labels)", len(labels))
+			}
+			sh.sup[NewIKey(trans[it.A], trans[it.B], it.D)] += it.N
 		}
 		return nil
 	}
 	for _, it := range items {
+		if int(it.A) >= len(labels) || int(it.B) >= len(labels) {
+			return fmt.Errorf("core: fold: symbol id out of range (%d labels)", len(labels))
+		}
 		sh.gsup[NewKey(labels[it.A], labels[it.B], it.D)] += it.N
 	}
 	return nil
+}
+
+// snapshotLocal exports the shard's state without canonicalizing: labels
+// in intern order, items in map order coded against them. It is the O(n)
+// export Merge uses — the canonical Snapshot sorts twice, which matters
+// when merging every round of a streaming run.
+func (sh *SupportShard) snapshotLocal() (trees int, labels []string, items []ShardItem) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	trees = sh.trees
+	if sh.sup != nil {
+		labels = make([]string, sh.syms.Len())
+		for id := range labels {
+			labels[id] = sh.syms.Label(uint32(id))
+		}
+		items = make([]ShardItem, 0, len(sh.sup))
+		for k, n := range sh.sup {
+			a, b := k.Syms()
+			items = append(items, ShardItem{A: a, B: b, D: k.Dist(), N: n})
+		}
+		return trees, labels, items
+	}
+	syms := NewSymbols()
+	items = make([]ShardItem, 0, len(sh.gsup))
+	for k, n := range sh.gsup {
+		items = append(items, ShardItem{A: syms.Intern(k.A), B: syms.Intern(k.B), D: k.D, N: n})
+	}
+	labels = make([]string, syms.Len())
+	for id := range labels {
+		labels[id] = syms.Label(uint32(id))
+	}
+	return trees, labels, items
+}
+
+// DrainSorted exports and clears the shard's current support entries:
+// the items come back coded against the shard's own symbol table, sorted
+// by (A, B, D), and the count map is reset while the symbol table and
+// tree tally stay — so symbol IDs remain stable across successive
+// drains. This is the spill primitive: an out-of-core accumulator drains
+// the resident counts to a sorted on-disk run whenever they grow past
+// its budget, and the union of all drained runs (summed per key) equals
+// the counts an undrained shard would hold. Only packed shards
+// (MaxDist ≤ MaxPackedDist) support draining: a generic shard has no
+// persistent table to keep IDs stable against.
+func (sh *SupportShard) DrainSorted() ([]ShardItem, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.sup == nil {
+		return nil, fmt.Errorf("core: drain: shard mined past MaxPackedDist has no stable symbol table")
+	}
+	items := make([]ShardItem, 0, len(sh.sup))
+	for k, n := range sh.sup {
+		a, b := k.Syms()
+		items = append(items, ShardItem{A: a, B: b, D: k.Dist(), N: n})
+	}
+	sortShardItems(items)
+	clear(sh.sup)
+	return items, nil
+}
+
+// LocalLabels returns the shard's label table in intern (symbol ID)
+// order — the table DrainSorted items are coded against. Generic shards
+// return nil (they keep string keys, not a table).
+func (sh *SupportShard) LocalLabels() []string {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.syms == nil {
+		return nil
+	}
+	labels := make([]string, sh.syms.Len())
+	for id := range labels {
+		labels[id] = sh.syms.Label(uint32(id))
+	}
+	return labels
 }
 
 // Finalize renders the accumulated counts into the public result: the
@@ -196,37 +297,46 @@ type ShardItem struct {
 	N    int64
 }
 
-// Snapshot exports the shard's state for serialization: its options,
-// tree tally, label table, and support entries coded against that table,
-// sorted by (A, B, D) so identical shards snapshot identically.
+// Snapshot exports the shard's state for serialization in canonical
+// form: its options, tree tally, the label table sorted
+// lexicographically, and the support entries re-coded against that
+// sorted table, ordered by (A, B, D). Canonicalizing erases intern
+// order — which depends on tree arrival order, worker interleaving, and
+// merge association — so two shards holding the same logical counts
+// snapshot identically no matter how they were assembled. That is the
+// invariant distributed mining's differential proof rests on: a master
+// merged from any partitioning serializes to the same v3 bytes as a
+// single-process run.
 func (sh *SupportShard) Snapshot() (opts ForestOptions, trees int, labels []string, items []ShardItem) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	opts, trees = sh.opts, sh.trees
-	if sh.sup != nil {
-		labels = make([]string, sh.syms.Len())
-		for id := range labels {
-			labels[id] = sh.syms.Label(uint32(id))
+	var local []string
+	opts = sh.opts
+	trees, local, items = sh.snapshotLocal()
+	labels, trans := canonicalLabels(local)
+	for i := range items {
+		a, b := trans[items[i].A], trans[items[i].B]
+		if b < a {
+			a, b = b, a
 		}
-		items = make([]ShardItem, 0, len(sh.sup))
-		for k, n := range sh.sup {
-			a, b := k.Syms()
-			items = append(items, ShardItem{A: a, B: b, D: k.Dist(), N: n})
-		}
-	} else {
-		// Generic mode has no symbol table; build one over the keys.
-		syms := NewSymbols()
-		items = make([]ShardItem, 0, len(sh.gsup))
-		for k, n := range sh.gsup {
-			items = append(items, ShardItem{A: syms.Intern(k.A), B: syms.Intern(k.B), D: k.D, N: n})
-		}
-		labels = make([]string, syms.Len())
-		for id := range labels {
-			labels[id] = syms.Label(uint32(id))
-		}
+		items[i].A, items[i].B = a, b
 	}
 	sortShardItems(items)
 	return opts, trees, labels, items
+}
+
+// canonicalLabels sorts a label table lexicographically and returns the
+// translation vector from old IDs to canonical ranks.
+func canonicalLabels(local []string) (sorted []string, trans []uint32) {
+	sorted = append([]string(nil), local...)
+	sort.Strings(sorted)
+	rank := make(map[string]uint32, len(sorted))
+	for i, l := range sorted {
+		rank[l] = uint32(i)
+	}
+	trans = make([]uint32, len(local))
+	for i, l := range local {
+		trans[i] = rank[l]
+	}
+	return sorted, trans
 }
 
 func sortShardItems(items []ShardItem) {

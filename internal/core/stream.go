@@ -60,6 +60,12 @@ type StreamConfig struct {
 	// serialize it through internal/store. The shard is quiescent for
 	// the duration of the call. A non-nil error aborts the stream.
 	Checkpoint func(*SupportShard) error
+	// AfterRound, when non-nil, runs after every mined round while the
+	// master shard is quiescent — before any checkpoint due that round.
+	// It is the out-of-core hook: a spill accumulator checks the shard's
+	// resident entry count here and drains it to disk past its budget. A
+	// non-nil error aborts the stream.
+	AfterRound func(*SupportShard) error
 	// Resume, when non-nil, is the shard to continue into (e.g. one
 	// reloaded from a checkpoint file) instead of a fresh one. Its
 	// options must equal the mining options.
@@ -187,6 +193,11 @@ func MineForestStreamShardCtx(ctx context.Context, it TreeIterator, opts ForestO
 			// heap bounded by one round.
 			for i := range buf {
 				buf[i] = nil
+			}
+			if cfg.AfterRound != nil {
+				if err := cfg.AfterRound(master); err != nil {
+					return master, fmt.Errorf("core: stream: after round at %d trees: %w", master.Trees(), err)
+				}
 			}
 		}
 

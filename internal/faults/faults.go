@@ -78,6 +78,11 @@ const (
 	// failing mmap (address space exhaustion, a filesystem that refuses
 	// the mapping) that must surface as a clean open error.
 	StoreMmap = "store/mmap"
+	// SpillWrite fires in the out-of-core accumulator just before a
+	// spill segment (or the final merged spill file) is written — a disk
+	// failure mid-spill that must abort the worker cleanly, leaving the
+	// destination shard absent so the coordinator re-mines the range.
+	SpillWrite = "store/spill/write"
 )
 
 // ErrInjected is the sentinel all injected failures match with

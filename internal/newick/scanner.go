@@ -37,11 +37,42 @@ func NewScanner(r io.Reader) *Scanner {
 // input. After any error the Scanner is done and keeps returning it
 // or io.EOF.
 func (s *Scanner) Next() (*tree.Tree, error) {
+	chunkStart := s.offset
+	if err := s.chunk(); err != nil {
+		return nil, err
+	}
+	t, err := Parse(string(s.buf))
+	if err != nil {
+		s.done = true
+		var pe *ParseError
+		if errors.As(err, &pe) {
+			pe.Offset += chunkStart
+		}
+		return nil, err
+	}
+	return t, nil
+}
+
+// Skim consumes the next tree chunk without parsing it — the same
+// syntax-aware chunking as Next (quoted and commented ';' do not
+// terminate), but the tree is never built. It returns io.EOF when the
+// stream is exhausted. Skimming is how range-addressed mining seeks a
+// worker's partition: the trees before its range are chunk-scanned at
+// I/O speed instead of parsed, so K workers each fast-forwarding over
+// the corpus prefix cost bytes, not tree builds. A chunk Skim accepted
+// may still fail to parse — the worker that owns that range surfaces
+// the error; skimming counts chunks, exactly the trees Next would
+// attempt.
+func (s *Scanner) Skim() error {
+	return s.chunk()
+}
+
+// chunk scans one semicolon-terminated tree chunk into s.buf.
+func (s *Scanner) chunk() error {
 	if s.done {
-		return nil, io.EOF
+		return io.EOF
 	}
 	s.buf = s.buf[:0]
-	chunkStart := s.offset
 	inQuote := false
 	commentDepth := 0
 	for {
@@ -49,13 +80,13 @@ func (s *Scanner) Next() (*tree.Tree, error) {
 		if err == io.EOF {
 			s.done = true
 			if isBlank(string(s.buf)) {
-				return nil, io.EOF
+				return io.EOF
 			}
-			return nil, &ParseError{Offset: s.offset, Msg: "missing ';'"}
+			return &ParseError{Offset: s.offset, Msg: "missing ';'"}
 		}
 		if err != nil {
 			s.done = true
-			return nil, fmt.Errorf("newick: read: %w", err)
+			return fmt.Errorf("newick: read: %w", err)
 		}
 		s.offset++
 		s.buf = append(s.buf, c)
@@ -77,16 +108,7 @@ func (s *Scanner) Next() (*tree.Tree, error) {
 		case c == '[':
 			commentDepth++
 		case c == ';':
-			t, err := Parse(string(s.buf))
-			if err != nil {
-				s.done = true
-				var pe *ParseError
-				if errors.As(err, &pe) {
-					pe.Offset += chunkStart
-				}
-				return nil, err
-			}
-			return t, nil
+			return nil
 		}
 	}
 }

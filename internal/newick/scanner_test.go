@@ -143,3 +143,42 @@ func TestScannerOffsetProgress(t *testing.T) {
 		t.Fatalf("Offset after first tree = %d, want 6", sc.Offset())
 	}
 }
+
+// TestScannerSkim: Skim consumes exactly the chunks Next would —
+// including quoted and commented semicolons — and interleaves with
+// Next without desynchronizing.
+func TestScannerSkim(t *testing.T) {
+	const input = "(a,b);('x;y',c);[c;mm](d,e);(f,g);"
+	s := NewScanner(strings.NewReader(input))
+	if err := s.Skim(); err != nil {
+		t.Fatalf("skim 0: %v", err)
+	}
+	tr, err := s.Next()
+	if err != nil {
+		t.Fatalf("next after skim: %v", err)
+	}
+	if got := tr.MustLabel(tr.Children(tr.Root())[0]); got != "x;y" {
+		t.Fatalf("tree after skim starts with %q, want the quoted label", got)
+	}
+	if err := s.Skim(); err != nil {
+		t.Fatalf("skim 2: %v", err)
+	}
+	if _, err := s.Next(); err != nil {
+		t.Fatalf("next 3: %v", err)
+	}
+	if err := s.Skim(); err != io.EOF {
+		t.Fatalf("skim past end = %v, want io.EOF", err)
+	}
+}
+
+// TestScannerSkimAcceptsMalformed: a chunk that would fail to parse
+// still skims — parse errors belong to whoever calls Next on it.
+func TestScannerSkimAcceptsMalformed(t *testing.T) {
+	s := NewScanner(strings.NewReader("((broken;(a,b);"))
+	if err := s.Skim(); err != nil {
+		t.Fatalf("skim over malformed chunk: %v", err)
+	}
+	if _, err := s.Next(); err != nil {
+		t.Fatalf("next after malformed skim: %v", err)
+	}
+}

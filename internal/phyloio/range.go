@@ -1,0 +1,139 @@
+package phyloio
+
+import (
+	"fmt"
+	"io"
+
+	"treemine/internal/tree"
+)
+
+// Range-addressed streaming: the coordinator/worker mining mode splits a
+// corpus into contiguous tree ranges, and each worker needs to reach its
+// range without materializing (or even parsing) the trees before it.
+// CountTrees sizes the corpus for the planner by skimming chunks;
+// OpenTreesRange gives a worker an iterator over exactly its slice,
+// fast-forwarding past the prefix at chunk-scan speed.
+
+// skimmer is the optional fast-skip capability of an input iterator:
+// consume one tree without building it. The Newick scanner implements
+// it by chunk-scanning; inputs without it (NEXUS, which is parsed whole
+// anyway) fall back to Next.
+type skimmer interface {
+	Skim() error
+}
+
+// Skim advances past the next tree across all inputs without parsing it
+// where the input format allows (Newick chunks are scanned, not built;
+// NEXUS trees are already parsed and simply dropped). It returns io.EOF
+// when every input is exhausted, and a terminal error naming the
+// offending input. Skim and Next interleave freely and consume the same
+// underlying tree sequence.
+func (s *TreeSource) Skim() error {
+	if s.err != nil {
+		return s.err
+	}
+	for {
+		if s.cur == nil {
+			if err := s.advance(); err != nil {
+				return s.fail(err)
+			}
+			if s.cur == nil {
+				s.err = io.EOF
+				return io.EOF
+			}
+		}
+		var err error
+		if sk, ok := s.cur.(skimmer); ok {
+			err = sk.Skim()
+		} else {
+			_, err = s.cur.Next()
+		}
+		if err == io.EOF {
+			s.closeCur()
+			continue
+		}
+		if err != nil {
+			return s.fail(fmt.Errorf("%s: %w", s.name, err))
+		}
+		return nil
+	}
+}
+
+// Skim drops the next decoded tree — the NEXUS-path counterpart of the
+// scanner's chunk skim.
+func (it *sliceIter) Skim() error {
+	if it.i >= len(it.trees) {
+		return io.EOF
+	}
+	it.i++
+	return nil
+}
+
+// CountTrees streams through the named inputs and returns the number of
+// trees they contain, without materializing a forest: Newick inputs are
+// chunk-skimmed, so counting costs one pass of I/O. This is how the
+// partition planner sizes a corpus before splitting it. A chunk that
+// would later fail to parse still counts — parse errors surface when
+// the owning worker mines its range.
+func CountTrees(files []string, stdin io.Reader) (int, error) {
+	src := OpenTrees(files, stdin)
+	defer src.Close()
+	n := 0
+	for {
+		err := src.Skim()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("counting tree %d: %w", n, err)
+		}
+		n++
+	}
+}
+
+// RangeSource yields one contiguous tree range [skip, skip+count) of a
+// corpus: the prefix is skimmed (not parsed) on the first Next, then
+// count trees are parsed and yielded, then io.EOF — regardless of how
+// many trees follow the range. It satisfies core.TreeIterator.
+type RangeSource struct {
+	src     *TreeSource
+	skip    int
+	remain  int
+	skipped bool
+}
+
+// OpenTreesRange opens the named inputs (or stdin when none) positioned
+// at the tree range [skip, skip+count). A range that extends past the
+// corpus simply ends early — the caller can compare trees yielded
+// against the planned count.
+func OpenTreesRange(files []string, stdin io.Reader, skip, count int) *RangeSource {
+	return &RangeSource{src: OpenTrees(files, stdin), skip: skip, remain: count}
+}
+
+// Next returns the next tree of the range, io.EOF after its last tree.
+func (r *RangeSource) Next() (*tree.Tree, error) {
+	if !r.skipped {
+		r.skipped = true
+		for i := 0; i < r.skip; i++ {
+			if err := r.src.Skim(); err != nil {
+				if err == io.EOF {
+					r.remain = 0
+					return nil, io.EOF
+				}
+				return nil, fmt.Errorf("seeking to tree %d: %w", r.skip, err)
+			}
+		}
+	}
+	if r.remain <= 0 {
+		return nil, io.EOF
+	}
+	t, err := r.src.Next()
+	if err != nil {
+		return nil, err
+	}
+	r.remain--
+	return t, nil
+}
+
+// Close releases the underlying inputs.
+func (r *RangeSource) Close() error { return r.src.Close() }

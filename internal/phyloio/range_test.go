@@ -1,0 +1,185 @@
+package phyloio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"treemine/internal/tree"
+)
+
+// rangeFixture writes a mixed Newick+NEXUS corpus of 7 trees across
+// two files and returns the file list.
+func rangeFixture(t *testing.T) []string {
+	t.Helper()
+	dir := t.TempDir()
+	nwk := filepath.Join(dir, "a.nwk")
+	nex := filepath.Join(dir, "b.nex")
+	if err := os.WriteFile(nwk, []byte("(a,b);\n((c,d),e);\n(f,(g,h));\n('x;y',q);\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(nex, []byte("#NEXUS\nBEGIN TREES;\nTREE x = (f,g);\nTREE y = ((a,b),c);\nTREE z = (p,(q,r));\nEND;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return []string{nwk, nex}
+}
+
+// TestCountTrees: counting skims the corpus without parsing and agrees
+// with the number of trees Next would yield — including a quoted ';'
+// that a naive split would overcount, and spanning the Newick→NEXUS
+// file boundary.
+func TestCountTrees(t *testing.T) {
+	files := rangeFixture(t)
+	n, err := CountTrees(files, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(drain(t, OpenTrees(files, nil))); n != want {
+		t.Fatalf("CountTrees = %d, drain yields %d", n, want)
+	}
+	if n != 7 {
+		t.Fatalf("CountTrees = %d, want 7", n)
+	}
+}
+
+// TestCountTreesStdin: counting works over stdin too.
+func TestCountTreesStdin(t *testing.T) {
+	n, err := CountTrees(nil, strings.NewReader("(a,b);(c,d);"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("CountTrees = %d, want 2", n)
+	}
+}
+
+// TestOpenTreesRange: every contiguous (skip, count) slice of the
+// corpus yields exactly the trees a full drain yields at those
+// positions — prefix skimming must not desynchronize the stream, even
+// across the file boundary.
+func TestOpenTreesRange(t *testing.T) {
+	files := rangeFixture(t)
+	want := drain(t, OpenTrees(files, nil))
+	total := len(want)
+	for skip := 0; skip <= total; skip++ {
+		for count := 0; count <= total-skip+1; count++ {
+			r := OpenTreesRange(files, nil, skip, count)
+			var got []*tree.Tree
+			for {
+				tr, err := r.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("skip=%d count=%d: %v", skip, count, err)
+				}
+				got = append(got, tr)
+			}
+			r.Close()
+			wantN := count
+			if skip+count > total {
+				wantN = total - skip
+			}
+			if len(got) != wantN {
+				t.Fatalf("skip=%d count=%d: yielded %d trees, want %d", skip, count, len(got), wantN)
+			}
+			for i, tr := range got {
+				if !tree.Isomorphic(tr, want[skip+i]) {
+					t.Fatalf("skip=%d count=%d: tree %d differs from full drain", skip, count, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRangePartitionCoversCorpus: concatenating disjoint ranges
+// re-yields the whole corpus in order — the planner/worker contract.
+func TestRangePartitionCoversCorpus(t *testing.T) {
+	files := rangeFixture(t)
+	want := drain(t, OpenTrees(files, nil))
+	bounds := []int{0, 3, 5, len(want)}
+	var got []*tree.Tree
+	for i := 0; i+1 < len(bounds); i++ {
+		r := OpenTreesRange(files, nil, bounds[i], bounds[i+1]-bounds[i])
+		for {
+			tr, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, tr)
+		}
+		r.Close()
+	}
+	if len(got) != len(want) {
+		t.Fatalf("partitions yield %d trees, corpus has %d", len(got), len(want))
+	}
+	for i := range got {
+		if !tree.Isomorphic(got[i], want[i]) {
+			t.Fatalf("tree %d differs after partition reassembly", i)
+		}
+	}
+}
+
+// TestSkimDefersParseErrors: a malformed tree inside a skipped prefix
+// does not fail the skim — the error belongs to the worker that owns
+// that range (here, surfacing from Next when the range reaches it).
+func TestSkimDefersParseErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.nwk")
+	if err := os.WriteFile(bad, []byte("(a,b);((oops;(c,d);"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Counting sees three chunks, malformed or not.
+	n, err := CountTrees([]string{bad}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("CountTrees = %d, want 3", n)
+	}
+	// A range past the malformed chunk opens fine...
+	r := OpenTreesRange([]string{bad}, nil, 2, 1)
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("range after malformed prefix: %v", err)
+	}
+	r.Close()
+	// ...while the range that owns it surfaces the parse error.
+	r = OpenTreesRange([]string{bad}, nil, 1, 1)
+	if _, err := r.Next(); err == nil {
+		t.Fatal("range owning the malformed tree parsed it")
+	}
+	r.Close()
+}
+
+// TestSkimNextInterleave: Skim and Next consume the same sequence.
+func TestSkimNextInterleave(t *testing.T) {
+	files := rangeFixture(t)
+	want := drain(t, OpenTrees(files, nil))
+	src := OpenTrees(files, nil)
+	defer src.Close()
+	if err := src.Skim(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Isomorphic(tr, want[1]) {
+		t.Fatal("Next after Skim did not yield tree 1")
+	}
+	if err := src.Skim(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err = src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Isomorphic(tr, want[3]) {
+		t.Fatal("interleaved Skim/Next desynchronized the stream")
+	}
+}

@@ -403,6 +403,12 @@ func (b *Backend) TDist(t1, t2 string, v core.Variant) (tdist, sim float64, err 
 
 // Stats describes the loaded data; every field is a pure function of
 // the store file, so stats responses are byte-stable across runs.
+//
+// The supports_* fields advertise which query shapes this backend can
+// answer, so clients discover the mapped/shard limitations (no tree
+// distance without per-tree item sets; one support keying, concrete or
+// wildcard, per shard) from one stats call instead of probing
+// endpoints for 501s.
 type Stats struct {
 	Backend    string    `json:"backend"`
 	Trees      int       `json:"trees"`
@@ -412,6 +418,13 @@ type Stats struct {
 	MaxDist    core.Dist `json:"maxdist"`
 	MinOccur   int       `json:"minoccur"`
 	IgnoreDist bool      `json:"ignoredist"`
+	// SupportsTDist: /v1/tdist works (index backends only — tree
+	// distance needs the per-tree item sets).
+	SupportsTDist bool `json:"supports_tdist"`
+	// SupportsConcreteDist: /v1/support with a concrete dist works.
+	SupportsConcreteDist bool `json:"supports_concrete_dist"`
+	// SupportsWildcard: /v1/support with dist=* (or omitted) works.
+	SupportsWildcard bool `json:"supports_wildcard"`
 }
 
 // Stats returns the backend's description: tree and label counts, the
@@ -422,6 +435,12 @@ func (b *Backend) Stats() Stats {
 		Backend: b.kind,
 		Trees:   b.trees,
 		Items:   b.items,
+		// Mirrors the Support/TDist dispatch exactly: index backends
+		// answer everything; shard and mapped backends answer only the
+		// keying they were mined under, and never tree distance.
+		SupportsTDist:        b.ix != nil,
+		SupportsConcreteDist: b.ix != nil || !b.shOpts.IgnoreDist,
+		SupportsWildcard:     b.ix != nil || b.shOpts.IgnoreDist,
 	}
 	switch {
 	case b.m != nil:

@@ -179,6 +179,8 @@ func TestServerDifferentialIndex(t *testing.T) {
 					Backend: "index", Trees: ix.NumTrees(), Labels: len(distinct),
 					Pairs: len(ix.Frequent(1)), Items: items,
 					MaxDist: opts.MaxDist, MinOccur: opts.MinOccur,
+					// An index backend answers every query shape.
+					SupportsTDist: true, SupportsConcreteDist: true, SupportsWildcard: true,
 				},
 				Cache: s.CacheStats(),
 			})

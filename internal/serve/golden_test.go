@@ -17,6 +17,7 @@ var update = flag.Bool("update", false, "rewrite golden files")
 func TestGoldenResponses(t *testing.T) {
 	_, ixSrv := newTestServer(t, openBackend(t, fixtureIndex(t)), Config{})
 	_, shSrv := newTestServer(t, fixtureShard(t, false), Config{})
+	_, wildSrv := newTestServer(t, fixtureShard(t, true), Config{})
 
 	cases := []struct {
 		name string
@@ -38,14 +39,18 @@ func TestGoldenResponses(t *testing.T) {
 		{"err_unknown_tree", "index", "/v1/tdist?t1=tree_1&t2=tyrannosaur"},
 		{"err_unknown_param", "index", "/v1/frequent?minsup=2&bogus=1"},
 		{"stats_shard", "shard", "/v1/stats"},
+		{"stats_shard_wild", "shard_wild", "/v1/stats"},
 		{"err_shard_tdist", "shard", "/v1/tdist?t1=tree_1&t2=tree_2"},
 		{"err_shard_wild", "shard", "/v1/support?l1=Gnetum&l2=Welwitschia"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			ts := ixSrv
-			if tc.srv == "shard" {
+			switch tc.srv {
+			case "shard":
 				ts = shSrv
+			case "shard_wild":
+				ts = wildSrv
 			}
 			st, body := get(t, ts, tc.path)
 			got := fmt.Sprintf("HTTP %d\n%s", st, body)

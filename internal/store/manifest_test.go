@@ -1,0 +1,161 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"treemine/internal/core"
+)
+
+func absInputs(t *testing.T, names ...string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = filepath.Join(dir, n)
+	}
+	return out
+}
+
+// TestNewManifestEvenSplit: partitions tile the corpus contiguously
+// with sizes differing by at most one tree, and a corpus smaller than
+// the requested partition count clamps to one tree per partition.
+func TestNewManifestEvenSplit(t *testing.T) {
+	opts := core.DefaultForestOptions()
+	inputs := absInputs(t, "a.nwk")
+	cases := []struct {
+		trees, parts int
+		wantSizes    []int
+	}{
+		{10, 3, []int{4, 3, 3}},
+		{9, 3, []int{3, 3, 3}},
+		{5, 1, []int{5}},
+		{2, 8, []int{1, 1}}, // clamped
+	}
+	for _, c := range cases {
+		m, err := NewManifest(inputs, c.trees, c.parts, opts)
+		if err != nil {
+			t.Fatalf("trees=%d parts=%d: %v", c.trees, c.parts, err)
+		}
+		var sizes []int
+		skip := 0
+		for i, p := range m.Partitions {
+			if p.Skip != skip {
+				t.Fatalf("trees=%d parts=%d: partition %d skip %d, want %d", c.trees, c.parts, i, p.Skip, skip)
+			}
+			sizes = append(sizes, p.Trees)
+			skip += p.Trees
+		}
+		if !reflect.DeepEqual(sizes, c.wantSizes) {
+			t.Fatalf("trees=%d parts=%d: sizes %v, want %v", c.trees, c.parts, sizes, c.wantSizes)
+		}
+	}
+}
+
+// TestManifestSaveLoadRoundTrip: a saved manifest reloads equal, with
+// shard paths resolved against the manifest's directory, and the
+// options image converts back to the mining options exactly.
+func TestManifestSaveLoadRoundTrip(t *testing.T) {
+	opts := core.ForestOptions{
+		Options:    core.Options{MaxDist: core.D(5), MinOccur: 2},
+		MinSup:     3,
+		IgnoreDist: true,
+	}
+	m, err := NewManifest(absInputs(t, "a.nwk", "b.nwk"), 100, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Options.ForestOptions() != opts {
+		t.Fatalf("options round-trip %+v, want %+v", back.Options.ForestOptions(), opts)
+	}
+	if !reflect.DeepEqual(back.Inputs, m.Inputs) || back.TotalTrees != m.TotalTrees ||
+		!reflect.DeepEqual(back.Partitions, m.Partitions) {
+		t.Fatal("manifest did not round-trip")
+	}
+	if got, want := back.ShardPath(2), filepath.Join(dir, "worker-002.shard"); got != want {
+		t.Fatalf("ShardPath = %q, want %q", got, want)
+	}
+	if got, want := back.MasterPath(), filepath.Join(dir, "master.shard"); got != want {
+		t.Fatalf("MasterPath = %q, want %q", got, want)
+	}
+}
+
+// TestManifestValidation: structurally broken manifests are refused by
+// Load with errors naming the defect.
+func TestManifestValidation(t *testing.T) {
+	opts := core.DefaultForestOptions()
+	base := func() *Manifest {
+		m, err := NewManifest(absInputs(t, "a.nwk"), 10, 2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	cases := []struct {
+		name  string
+		bend  func(*Manifest)
+		wants string
+	}{
+		{"wrong format", func(m *Manifest) { m.Format = "something-else" }, "format"},
+		{"future version", func(m *Manifest) { m.Version = 99 }, "version"},
+		{"gap in ranges", func(m *Manifest) { m.Partitions[1].Skip++ }, "contiguous"},
+		{"bad index", func(m *Manifest) { m.Partitions[1].Index = 7 }, "index"},
+		{"empty partition", func(m *Manifest) { m.Partitions[1].Trees = 0 }, "empty"},
+		{"total mismatch", func(m *Manifest) { m.TotalTrees = 11 }, "corpus has"},
+		{"no shard name", func(m *Manifest) { m.Partitions[0].Shard = "" }, "shard name"},
+		{"no inputs", func(m *Manifest) { m.Inputs = nil }, "inputs"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := base()
+			c.bend(m)
+			data, err := json.MarshalIndent(m, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), "plan.json")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err = LoadManifest(path)
+			if err == nil {
+				t.Fatal("loaded a broken manifest")
+			}
+			if !strings.Contains(err.Error(), c.wants) {
+				t.Fatalf("error %q does not name the defect (want %q)", err, c.wants)
+			}
+		})
+	}
+}
+
+// TestManifestRejectsRelativeInputs: workers run from arbitrary
+// directories, so the planner must refuse relative corpus paths.
+func TestManifestRejectsRelativeInputs(t *testing.T) {
+	if _, err := NewManifest([]string{"relative.nwk"}, 10, 2, core.DefaultForestOptions()); err == nil {
+		t.Fatal("accepted a relative input path")
+	}
+}
+
+// TestLoadManifestRejectsGarbage: non-JSON input errors cleanly.
+func TestLoadManifestRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); err == nil {
+		t.Fatal("loaded garbage")
+	}
+}

@@ -1,0 +1,144 @@
+package store
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"treemine/internal/core"
+	"treemine/internal/tree"
+	"treemine/internal/treegen"
+)
+
+// pairGen generates a label-rich corpus on demand: enough distinct
+// labels that the pair space dwarfs any small resident budget.
+type pairGen struct {
+	rng    *rand.Rand
+	labels []string
+	n, i   int
+	size   int
+}
+
+func (g *pairGen) Next() (*tree.Tree, error) {
+	if g.i >= g.n {
+		return nil, io.EOF
+	}
+	g.i++
+	return treegen.Uniform(g.rng, g.size, g.labels), nil
+}
+
+func newPairGen(seed int64, n, size, alpha int) *pairGen {
+	return &pairGen{rng: rand.New(rand.NewSource(seed)), labels: treegen.Alphabet(alpha), n: n, size: size}
+}
+
+func liveHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// TestSpillBoundsResidentSet is the out-of-core acceptance gate: on a
+// corpus whose fully-resident accumulator far exceeds the budget, the
+// spilling run's resident entry count never passes the budget after
+// any round, its peak live heap stays well below the resident run's,
+// and the spilled result is still byte-exact.
+func TestSpillBoundsResidentSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heap measurement needs the full corpus")
+	}
+	const seed, n, size, alpha = 7, 1500, 80, 250
+	const maxEntries = 2000
+	opts := core.DefaultForestOptions()
+
+	// Resident reference: how big the accumulator gets unbounded, and
+	// the exact bytes the spilled run must reproduce.
+	base := liveHeap()
+	refShard, err := core.MineForestStreamShard(newPairGen(seed, n, size, alpha), opts, core.StreamConfig{
+		Workers: 1, BatchSize: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	residentEntries := refShard.Len()
+	residentHeap := int64(liveHeap()) - int64(base)
+	if residentEntries < 4*maxEntries {
+		t.Fatalf("corpus yields %d distinct entries; need ≥ %d for the bound to mean anything",
+			residentEntries, 4*maxEntries)
+	}
+	var refBytes bytes.Buffer
+	if err := SaveShard(&refBytes, refShard); err != nil {
+		t.Fatal(err)
+	}
+	refShard = nil
+
+	// Spilling run: watch the resident set and the live heap after
+	// every round.
+	dir := t.TempDir()
+	sh := core.NewSupportShard(opts)
+	acc, err := NewSpillAccumulator(sh, maxEntries, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base = liveHeap()
+	var peak uint64
+	rounds := 0
+	_, err = core.MineForestStreamShard(newPairGen(seed, n, size, alpha), opts, core.StreamConfig{
+		Workers: 1, BatchSize: 32,
+		Resume: sh,
+		AfterRound: func(s *core.SupportShard) error {
+			if err := acc.AfterRound(s); err != nil {
+				return err
+			}
+			rounds++
+			if got := s.Len(); got >= maxEntries {
+				t.Errorf("round %d: %d resident entries, budget %d", rounds, got, maxEntries)
+			}
+			// Sample sparsely: liveHeap forces a GC, which at every round
+			// would dominate the run.
+			if rounds%8 == 0 {
+				if h := liveHeap(); h > peak {
+					peak = h
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := acc.Segments()
+	if segs == 0 {
+		t.Fatal("run never spilled")
+	}
+	spillPeak := int64(peak) - int64(base)
+	if spillPeak < 0 {
+		spillPeak = 0
+	}
+
+	out := filepath.Join(dir, "worker.shard")
+	if err := acc.Finish(out); err != nil {
+		t.Fatal(err)
+	}
+	master := core.NewSupportShard(opts)
+	if _, err := FoldShardFile(master, out); err != nil {
+		t.Fatal(err)
+	}
+	var gotBytes bytes.Buffer
+	if err := SaveShard(&gotBytes, master); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes.Bytes(), refBytes.Bytes()) {
+		t.Error("spilled result is not byte-identical to the resident mine")
+	}
+
+	ratio := float64(spillPeak) / float64(residentHeap)
+	t.Logf("resident: %d entries, %d B live; spill peak: %d B live (ratio %.3f, %d segments)",
+		residentEntries, residentHeap, spillPeak, ratio, segs)
+	if residentHeap > 0 && ratio > 0.5 {
+		t.Errorf("spill peak live heap is %.3f of the resident run's; want ≤ 0.5", ratio)
+	}
+}
