@@ -28,12 +28,16 @@
 # out-of-core leg (see DESIGN.md §51); `make smoke-dist` runs the
 # plan → workers → merge pipeline end to end over the checked-in
 # fixture forest and requires the master to agree with the
-# single-process run.
+# single-process run; `make chaos-dist` runs the coordinator
+# fault-tolerance drills under -race (supervised retries, worker
+# SIGKILLs, stall timeouts, straggler speculation, -allow-partial
+# degradation, coordinator kill-and-resume — every drill must converge
+# byte-identically; see DESIGN.md §52).
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check vet build test race chaos fuzz smoke smoke-dist bench bench-dist bench-parsimony bench-mine bench-serve bench-merge bench-distmine
+.PHONY: check vet build test race chaos chaos-dist fuzz smoke smoke-dist bench bench-dist bench-parsimony bench-mine bench-serve bench-merge bench-distmine
 
 check: vet build test
 
@@ -51,7 +55,8 @@ race:
 	$(GO) test -race ./internal/cluster ./internal/kernel -run 'Differential|Reference|Matches'
 	$(GO) test -race ./internal/parsimony -run 'WorkerCount|TiedSet|Search|Incremental'
 	$(GO) test -race ./internal/serve -run 'Differential|Race|Cache|Drain|Hammer'
-	$(GO) test -race ./internal/store -run 'Spill|Manifest|FoldShardFile'
+	$(GO) test -race ./internal/store -run 'Spill|Manifest|FoldShardFile|FoldManifest|Journal|VerifyShard'
+	$(GO) test -race ./internal/coord
 	$(GO) test -race ./cmd/cousinmine -run 'DistributedDifferential|DistGolden'
 
 chaos:
@@ -62,6 +67,10 @@ chaos:
 	$(GO) test -race ./internal/kernel -run 'FindCtx'
 	$(GO) test -race ./cmd/cousinmine -run 'Checkpoint|FaultInjected|DistWorker'
 	$(GO) test -race ./internal/serve -run 'Chaos|Fault'
+
+chaos-dist:
+	$(GO) test -race ./internal/coord
+	$(GO) test -race ./cmd/cousinmine -run 'CoordChaos|DistCoord|DistResume|MergeAllowPartial|DistSupervisionFlag|ParseBytesOverflow' -v
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) -run '^$$' ./internal/newick

@@ -1,29 +1,42 @@
 package main
 
-// Distributed coordinator/worker mining (DESIGN.md §51). The corpus is
-// split by tree range: -plan counts the corpus (skimming, not parsing)
-// and writes a partition manifest; -worker N mines one manifest range
-// to its own shard file, optionally spilling past a -max-resident
-// budget; -merge folds every worker shard — across disjoint symbol
-// tables — into the master, verifying per-partition provenance so a
-// missing or torn shard names exactly the range to re-mine;
-// -distributed N runs the whole plan→workers→merge pipeline with N
-// local worker processes. Because SupportShard.Snapshot is canonical,
-// the merged master is byte-identical to a single-process mine of the
-// same corpus, whatever the partition count or merge order.
+// Distributed coordinator/worker mining (DESIGN.md §51–52). The corpus
+// is split by tree range: -plan counts the corpus (skimming, not
+// parsing) and writes a partition manifest; -worker N mines one
+// manifest range to its own shard file, optionally spilling past a
+// -max-resident budget; -merge folds every worker shard — across
+// disjoint symbol tables — into the master, verifying per-partition
+// provenance so a missing or torn shard names exactly the range to
+// re-mine; -distributed N runs the whole plan→workers→merge pipeline
+// with supervised local worker processes.
+//
+// Supervision (DESIGN.md §52): the coordinator drives workers through
+// internal/coord — a bounded pool with per-attempt timeouts, retries
+// under exponential backoff, straggler re-execution, and
+// skip-completed resume over an existing work directory. Because
+// SupportShard.Snapshot is canonical and shard writes are atomic,
+// re-executing a partition never changes the merged master: it is
+// byte-identical to a single-process mine of the same corpus, whatever
+// the partition count, retry history, or merge order. -allow-partial
+// degrades instead of failing: the valid shards are merged, the
+// coverage reported exactly, and each gap named with the command that
+// re-mines it.
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strconv"
 	"strings"
-	"sync"
+	"time"
 
 	"treemine"
+	"treemine/internal/coord"
 	"treemine/internal/phyloio"
 	"treemine/internal/store"
 )
@@ -41,6 +54,15 @@ type distFlags struct {
 	shards      int
 	format      string
 	compact     string
+
+	// Supervision knobs (-distributed only).
+	distWorkers     int
+	retries         int
+	backoff         time.Duration
+	attemptTimeout  time.Duration
+	stragglerFactor float64
+	// allowPartial applies to -merge and -distributed.
+	allowPartial bool
 }
 
 // active reports whether any distributed mode was selected.
@@ -68,10 +90,24 @@ func runDist(ctx context.Context, d *distFlags, files []string, fopts treemine.F
 	case d.worker >= 0:
 		return runWorker(ctx, d, stdout)
 	case d.merge:
-		return runMerge(d.manifest, d.format, d.compact, stdout)
+		return runMerge(d.manifest, d.format, d.compact, d.allowPartial, stdout)
 	default:
 		return runDistributed(ctx, d, files, fopts, stdout)
 	}
+}
+
+// absInputs resolves the corpus paths to absolute form — manifests
+// record absolute inputs so workers can run from any directory.
+func absInputs(files []string) ([]string, error) {
+	abs := make([]string, len(files))
+	for i, f := range files {
+		a, err := filepath.Abs(f)
+		if err != nil {
+			return nil, err
+		}
+		abs[i] = a
+	}
+	return abs, nil
 }
 
 // runPlan counts the corpus and writes the partition manifest. Inputs
@@ -81,13 +117,9 @@ func runPlan(planPath string, files []string, parts int, fopts treemine.ForestOp
 	if len(files) == 0 {
 		return fmt.Errorf("-plan requires file inputs (workers re-read the corpus by path; stdin cannot be partitioned)")
 	}
-	abs := make([]string, len(files))
-	for i, f := range files {
-		a, err := filepath.Abs(f)
-		if err != nil {
-			return err
-		}
-		abs[i] = a
+	abs, err := absInputs(files)
+	if err != nil {
+		return err
 	}
 	total, err := phyloio.CountTrees(abs, nil)
 	if err != nil {
@@ -176,7 +208,11 @@ func runWorker(ctx context.Context, d *distFlags, stdout io.Writer) error {
 		if err := acc.Finish(shardPath); err != nil {
 			return err
 		}
-		os.RemoveAll(spillDir)
+		if err := os.RemoveAll(spillDir); err != nil {
+			// The shard is already durable; leftover segments only waste
+			// disk, so report and carry on.
+			fmt.Fprintf(os.Stderr, "cousinmine: warning: cannot remove spill directory %s: %v\n", spillDir, err)
+		}
 		fmt.Fprintf(os.Stderr, "cousinmine: worker %d mined trees %d..%d -> %s (%d spill segments)\n",
 			p.Index, p.Skip, p.Skip+p.Trees-1, shardPath, segs)
 		return nil
@@ -189,13 +225,39 @@ func runWorker(ctx context.Context, d *distFlags, stdout io.Writer) error {
 	return nil
 }
 
+// reMineCmd is the operator command that regenerates one partition's
+// shard — printed by every failure path that names a gap.
+func reMineCmd(manifestPath string, part int) string {
+	return fmt.Sprintf("cousinmine -manifest %s -worker %d", manifestPath, part)
+}
+
+// partitionMergeError renders a merge-blocking partition failure in
+// the CLI's long-standing format, naming the range and its re-mine
+// command.
+func partitionMergeError(m *store.Manifest, manifestPath string, pe *store.PartitionError) error {
+	p := m.Partitions[pe.Index]
+	if pe.Err != nil {
+		return fmt.Errorf("partition %d (trees %d..%d): %w\nre-mine it with: %s",
+			pe.Index, p.Skip, p.Skip+p.Trees-1, pe.Err, reMineCmd(manifestPath, pe.Index))
+	}
+	return fmt.Errorf("partition %d shard covers %d trees, plan assigned %d\nre-mine it with: %s",
+		pe.Index, pe.TreesGot, pe.TreesWant, reMineCmd(manifestPath, pe.Index))
+}
+
 // runMerge folds every partition's shard into the master, checking
 // provenance as it goes: a shard that is missing, torn, mined under
 // different options, or covering the wrong tree count fails the merge
 // with the exact -worker command that re-mines its range. On success
 // the master shard is written beside the manifest and its frequent
 // pairs printed — byte-identical to a single-process run's output.
-func runMerge(manifestPath, format, compact string, stdout io.Writer) error {
+//
+// With allowPartial, invalid shards degrade instead of failing: every
+// valid shard is merged (invalid ones are detected before folding, so
+// they never taint the result), the master is written with a .partial
+// suffix, and the exact coverage plus each gap's re-mine command go to
+// stderr. The exit is success as long as at least one shard merged —
+// the partial result is a real, exact mine of the covered ranges.
+func runMerge(manifestPath, format, compact string, allowPartial bool, stdout io.Writer) error {
 	if manifestPath == "" {
 		return fmt.Errorf("-merge requires -manifest")
 	}
@@ -205,95 +267,205 @@ func runMerge(manifestPath, format, compact string, stdout io.Writer) error {
 	}
 	opts := m.Options.ForestOptions()
 	master := treemine.NewSupportShard(opts)
-	for _, p := range m.Partitions {
-		trees, err := store.FoldShardFile(master, m.ShardPath(p.Index))
-		if err != nil {
-			return fmt.Errorf("partition %d (trees %d..%d): %w\nre-mine it with: cousinmine -manifest %s -worker %d",
-				p.Index, p.Skip, p.Skip+p.Trees-1, err, manifestPath, p.Index)
+	rep, err := store.FoldManifestShards(master, m, allowPartial)
+	if err != nil {
+		var pe *store.PartitionError
+		if errors.As(err, &pe) {
+			return partitionMergeError(m, manifestPath, pe)
 		}
-		if trees != p.Trees {
-			return fmt.Errorf("partition %d shard covers %d trees, plan assigned %d\nre-mine it with: cousinmine -manifest %s -worker %d",
-				p.Index, trees, p.Trees, manifestPath, p.Index)
-		}
-	}
-	if master.Trees() != m.TotalTrees {
-		return fmt.Errorf("merged master covers %d trees, corpus has %d", master.Trees(), m.TotalTrees)
-	}
-	if err := writeShardAtomic(m.MasterPath(), master); err != nil {
 		return err
 	}
-	if compact != "" {
-		if err := store.CompactShardV4(compact, master); err != nil {
-			return fmt.Errorf("compact %s: %w", compact, err)
+	if rep.Complete() {
+		if master.Trees() != m.TotalTrees {
+			return fmt.Errorf("merged master covers %d trees, corpus has %d", master.Trees(), m.TotalTrees)
 		}
-		fmt.Fprintf(os.Stderr, "cousinmine: wrote v4 index %s (%d trees)\n", compact, master.Trees())
+		if err := writeShardAtomic(m.MasterPath(), master); err != nil {
+			return err
+		}
+		if compact != "" {
+			if err := store.CompactShardV4(compact, master); err != nil {
+				return fmt.Errorf("compact %s: %w", compact, err)
+			}
+			fmt.Fprintf(os.Stderr, "cousinmine: wrote v4 index %s (%d trees)\n", compact, master.Trees())
+		}
+		return emitMulti(stdout, format, master.Finalize(opts.MinSup), master.Trees())
+	}
+
+	// Partial degradation: some partitions failed provenance.
+	if len(rep.Merged) == 0 {
+		return fmt.Errorf("-allow-partial: no partition shard is valid, nothing to merge (mine them with: %s ...)",
+			reMineCmd(manifestPath, 0))
+	}
+	partialPath := m.MasterPath() + ".partial"
+	if err := writeShardAtomic(partialPath, master); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cousinmine: PARTIAL merge: %d/%d trees covered (%d of %d partitions)\n",
+		rep.TreesMerged, rep.TreesTotal, len(rep.Merged), len(m.Partitions))
+	for _, pe := range rep.Failed {
+		p := m.Partitions[pe.Index]
+		reason := pe.Err
+		if reason == nil {
+			reason = fmt.Errorf("shard covers %d trees, plan assigned %d", pe.TreesGot, pe.TreesWant)
+		}
+		fmt.Fprintf(os.Stderr, "cousinmine: partition %d (trees %d..%d) excluded: %v\n  re-mine it with: %s\n",
+			pe.Index, p.Skip, p.Skip+p.Trees-1, reason, reMineCmd(manifestPath, pe.Index))
+	}
+	fmt.Fprintf(os.Stderr, "cousinmine: wrote partial master %s; after re-mining the gaps, rerun: cousinmine -merge -manifest %s\n",
+		partialPath, manifestPath)
+	if compact != "" {
+		// A partial v4 index would look complete to cousinserve; refuse to
+		// write one rather than serve silently-wrong supports.
+		fmt.Fprintf(os.Stderr, "cousinmine: skipping -compact %s: the merge is partial\n", compact)
 	}
 	return emitMulti(stdout, format, master.Finalize(opts.MinSup), master.Trees())
 }
 
 // runDistributed is the end-to-end convenience: plan into a work
-// directory, run one OS process per partition (all concurrently — the
-// point is that the processes are independent), then merge. The work
-// directory is temporary unless -workdir names one to keep.
-func runDistributed(ctx context.Context, d *distFlags, files []string, fopts treemine.ForestOptions, stdout io.Writer) error {
+// directory, supervise one OS process per partition attempt through
+// internal/coord, then merge. The work directory is temporary unless
+// -workdir names one to keep; a temporary directory is removed only
+// after full success — on failure (or a partial merge) it is kept and
+// its path printed, because its shards and coordinator journal are
+// exactly what a repair or resume needs. Rerunning with the same
+// -workdir resumes: the existing plan is reused (after checking it
+// describes this corpus and these options) and partitions whose shards
+// already verify are skipped.
+func runDistributed(ctx context.Context, d *distFlags, files []string, fopts treemine.ForestOptions, stdout io.Writer) (retErr error) {
 	workdir := d.workdir
-	cleanup := false
+	temp := false
 	if workdir == "" {
 		var err error
 		workdir, err = os.MkdirTemp("", "cousinmine-dist-*")
 		if err != nil {
 			return err
 		}
-		cleanup = true
+		temp = true
 	} else if err := os.MkdirAll(workdir, 0o777); err != nil {
 		return err
 	}
+	keep := false // set when a partial merge leaves repair state behind
+	defer func() {
+		if !temp {
+			return
+		}
+		if retErr != nil || keep {
+			fmt.Fprintf(os.Stderr, "cousinmine: keeping work directory %s (worker shards and coordinator journal preserved for repair)\n", workdir)
+			return
+		}
+		if err := os.RemoveAll(workdir); err != nil {
+			fmt.Fprintf(os.Stderr, "cousinmine: warning: cannot remove work directory %s: %v\n", workdir, err)
+		}
+	}()
+
+	// Plan — or resume an existing plan, guarded so a stale plan for a
+	// different corpus or different options can never shape this run.
 	planPath := filepath.Join(workdir, "plan.json")
-	if err := runPlan(planPath, files, d.distributed, fopts, io.Discard); err != nil {
-		return err
+	var m *store.Manifest
+	if _, err := os.Stat(planPath); err == nil {
+		m, err = store.LoadManifest(planPath)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		abs, err := absInputs(files)
+		if err != nil {
+			return err
+		}
+		if err := m.Describes(abs, fopts); err != nil {
+			return fmt.Errorf("work directory %s holds a plan for a different job: %w\nuse a fresh -workdir (or delete %s) to replan", workdir, err, planPath)
+		}
+		fmt.Fprintf(os.Stderr, "cousinmine: resuming plan %s (%d partitions)\n", planPath, len(m.Partitions))
+	} else {
+		if err := runPlan(planPath, files, d.distributed, fopts, io.Discard); err != nil {
+			return err
+		}
+		if m, err = store.LoadManifest(planPath); err != nil {
+			return err
+		}
 	}
+	opts := m.Options.ForestOptions()
+
 	exe, err := os.Executable()
 	if err != nil {
 		return err
 	}
-	m, err := store.LoadManifest(planPath)
+	runner := coord.RunnerFunc(func(rctx context.Context, part, attempt int) error {
+		args := []string{"-manifest", planPath, "-worker", strconv.Itoa(part)}
+		if d.maxResident != "" {
+			args = append(args, "-max-resident", d.maxResident)
+		}
+		if d.shards != 0 {
+			args = append(args, "-shards", strconv.Itoa(d.shards))
+		}
+		cmd := exec.CommandContext(rctx, exe, args...)
+		cmd.Stderr = os.Stderr
+		return cmd.Run()
+	})
+	res, err := coord.Supervise(ctx, coord.Config{
+		Partitions:      len(m.Partitions),
+		Workers:         d.distWorkers,
+		Retries:         d.retries,
+		Backoff:         d.backoff,
+		Timeout:         d.attemptTimeout,
+		StragglerFactor: d.stragglerFactor,
+		Completed: func(part int) bool {
+			trees, verr := store.VerifyShardFile(m.ShardPath(part), opts)
+			return verr == nil && trees == m.Partitions[part].Trees
+		},
+		Journal:  filepath.Join(workdir, "coordinator.json"),
+		Manifest: planPath,
+		Log:      os.Stderr,
+	}, runner)
+	if res != nil {
+		printSupervisionSummary(os.Stderr, res)
+	}
 	if err != nil {
 		return err
 	}
 
-	errs := make([]error, len(m.Partitions))
-	var wg sync.WaitGroup
-	for i := range m.Partitions {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			args := []string{"-manifest", planPath, "-worker", strconv.Itoa(i)}
-			if d.maxResident != "" {
-				args = append(args, "-max-resident", d.maxResident)
-			}
-			if d.shards != 0 {
-				args = append(args, "-shards", strconv.Itoa(d.shards))
-			}
-			cmd := exec.CommandContext(ctx, exe, args...)
-			cmd.Stderr = os.Stderr
-			if err := cmd.Run(); err != nil {
-				errs[i] = fmt.Errorf("worker %d: %w", i, err)
-			}
-		}(i)
+	if len(res.Quarantined) > 0 && !d.allowPartial {
+		// Satellite of the supervision contract: every failed partition is
+		// named, with its re-mine command, in one aggregated error.
+		errs := make([]error, 0, len(res.Quarantined))
+		for _, i := range res.Quarantined {
+			p := m.Partitions[i]
+			errs = append(errs, fmt.Errorf("partition %d (trees %d..%d) quarantined after %d attempts: %w\nre-mine it with: %s",
+				i, p.Skip, p.Skip+p.Trees-1, len(res.Partitions[i].Attempts), res.Partitions[i].Err, reMineCmd(planPath, i)))
+		}
+		return errors.Join(errs...)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	if len(res.Quarantined) > 0 {
+		// Partial path: the merge below degrades, and the work directory
+		// survives for repair even when it was auto-created.
+		keep = true
+	}
+	return runMerge(planPath, d.format, d.compact, d.allowPartial, stdout)
+}
+
+// printSupervisionSummary renders the coordinator's per-partition
+// outcome table to the log.
+func printSupervisionSummary(w io.Writer, res *coord.Result) {
+	fmt.Fprintf(w, "cousinmine: supervision summary (%d partitions):\n", len(res.Partitions))
+	for i, p := range res.Partitions {
+		detail := fmt.Sprintf("%d attempt(s)", len(p.Attempts))
+		if p.Skipped {
+			detail = "skipped, valid shard present"
+		}
+		if spec := countSpeculative(p.Attempts); spec > 0 {
+			detail += fmt.Sprintf(", %d speculative", spec)
+		}
+		fmt.Fprintf(w, "cousinmine:   partition %d: %s (%s)\n", i, p.State, detail)
+	}
+}
+
+func countSpeculative(atts []store.Attempt) int {
+	n := 0
+	for _, a := range atts {
+		if a.Speculative {
+			n++
 		}
 	}
-	if err := runMerge(planPath, d.format, d.compact, stdout); err != nil {
-		return err
-	}
-	if cleanup {
-		os.RemoveAll(workdir)
-	}
-	return nil
+	return n
 }
 
 // parseBytes parses a byte size with an optional K/M/G suffix (powers
@@ -312,6 +484,9 @@ func parseBytes(s string) (int64, error) {
 	n, err := strconv.ParseInt(t, 10, 64)
 	if err != nil || n <= 0 {
 		return 0, fmt.Errorf("bad size %q (want a positive integer with optional K/M/G suffix)", s)
+	}
+	if n > math.MaxInt64/mult {
+		return 0, fmt.Errorf("size %q overflows", s)
 	}
 	return n * mult, nil
 }

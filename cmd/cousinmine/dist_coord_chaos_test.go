@@ -1,0 +1,365 @@
+package main
+
+// Coordinator chaos drills (DESIGN.md §52). Every drill runs the real
+// binary with TREEMINE_FAULTS armed on the subprocess only — the
+// references are mined without it — and every drill that converges
+// must converge to a master byte-identical to the uninterrupted
+// single-process run: supervision may add retries, kills, timeouts,
+// and speculative twins, but never a byte of difference.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"treemine/internal/store"
+)
+
+// chaosEnv returns the subprocess environment with the given
+// TREEMINE_FAULTS spec armed.
+func chaosEnv(spec string) []string {
+	return append(os.Environ(), "TREEMINE_FAULTS="+spec)
+}
+
+// singleReference mines the corpus single-process and returns its
+// stdout and final checkpoint bytes.
+func singleReference(t *testing.T, input string) (string, []byte) {
+	t.Helper()
+	out := distRun(t, "-mode", "multi", "-stream", input)
+	ref := filepath.Join(t.TempDir(), "single.shard")
+	distRun(t, "-mode", "multi", "-stream", "-checkpoint", ref, input)
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, want
+}
+
+// checkMasterBytes asserts the work directory's merged master is
+// byte-identical to the single-process checkpoint.
+func checkMasterBytes(t *testing.T, work string, want []byte) {
+	t.Helper()
+	got, err := os.ReadFile(filepath.Join(work, "master.shard"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("merged master is not byte-identical to the single-process checkpoint")
+	}
+}
+
+// TestCoordChaosFailTwiceThenSucceed: a spill-write failpoint with
+// persistent counters kills the first two worker attempts that reach
+// it; supervised retries carry the run to a byte-identical master with
+// exit 0.
+func TestCoordChaosFailTwiceThenSucceed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	input := bigForestFile(t)
+	bin := buildCousinmine(t)
+	singleOut, want := singleReference(t, input)
+
+	work := filepath.Join(t.TempDir(), "work")
+	state := filepath.Join(t.TempDir(), "fp.state")
+	cmd := exec.Command(bin, "-distributed", "2", "-workdir", work, "-dist-workers", "1",
+		"-max-resident", "256", "-retries", "3", "-backoff", "10ms", input)
+	cmd.Env = chaosEnv("store/spill/write=error#2%" + state)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("supervised run did not absorb the injected failures: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "retry 1/3") {
+		t.Errorf("coordinator log shows no retry:\n%s", stderr.String())
+	}
+	if stdout.String() != singleOut {
+		t.Errorf("output differs from single-process run:\n--- dist ---\n%s--- single ---\n%s", stdout.String(), singleOut)
+	}
+	checkMasterBytes(t, work, want)
+	if data, err := os.ReadFile(state); err != nil || !strings.HasSuffix(strings.TrimSpace(string(data)), " 2") {
+		t.Errorf("failpoint state = %q, %v; want exactly 2 fires recorded", data, err)
+	}
+}
+
+// TestCoordChaosWorkerKillMidMine: the mine-worker failpoint SIGKILLs
+// two worker processes mid-range (persistent counters span the
+// restarts); atomic shard writes mean the kills leave nothing behind,
+// and supervision converges byte-identically.
+func TestCoordChaosWorkerKillMidMine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills the real binary")
+	}
+	input := bigForestFile(t)
+	bin := buildCousinmine(t)
+	singleOut, want := singleReference(t, input)
+
+	work := filepath.Join(t.TempDir(), "work")
+	state := filepath.Join(t.TempDir(), "fp.state")
+	cmd := exec.Command(bin, "-distributed", "3", "-workdir", work, "-dist-workers", "1",
+		"-retries", "2", "-backoff", "10ms", input)
+	cmd.Env = chaosEnv("core/mine/worker=kill@50#2%" + state)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("supervised run did not absorb the SIGKILLs: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "signal: killed") {
+		t.Errorf("coordinator log never saw a killed worker:\n%s", stderr.String())
+	}
+	if stdout.String() != singleOut {
+		t.Errorf("output differs from single-process run")
+	}
+	checkMasterBytes(t, work, want)
+}
+
+// TestCoordChaosStallTimeoutRetry: a worker stalls forever on an
+// injected iterator hang; -attempt-timeout reaps it, the journal
+// records the timeout, the retry (counters: the stall fires once)
+// succeeds, and the master is byte-identical.
+func TestCoordChaosStallTimeoutRetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	input := bigForestFile(t)
+	bin := buildCousinmine(t)
+	singleOut, want := singleReference(t, input)
+
+	work := filepath.Join(t.TempDir(), "work")
+	state := filepath.Join(t.TempDir(), "fp.state")
+	// Speculation is off so the stall can only be rescued by the
+	// timeout+retry path under test.
+	cmd := exec.Command(bin, "-distributed", "2", "-workdir", work, "-dist-workers", "2",
+		"-retries", "1", "-backoff", "10ms", "-attempt-timeout", "2s", "-straggler-factor", "0", input)
+	cmd.Env = chaosEnv("core/stream/next=stall#1%" + state)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("supervised run did not absorb the stall: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-attempt-timeout") {
+		t.Errorf("coordinator log does not attribute the failure to the timeout:\n%s", stderr.String())
+	}
+	j, err := store.LoadJournal(filepath.Join(work, "coordinator.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawTimeout := false
+	for _, p := range j.Partitions {
+		for _, a := range p.Attempts {
+			if a.Outcome == store.AttemptTimeout {
+				sawTimeout = true
+			}
+		}
+	}
+	if !sawTimeout {
+		t.Errorf("journal records no timeout attempt: %+v", j.Partitions)
+	}
+	if stdout.String() != singleOut {
+		t.Errorf("output differs from single-process run")
+	}
+	checkMasterBytes(t, work, want)
+}
+
+// TestCoordChaosStragglerSpeculation: one worker stalls forever with
+// no timeout configured; straggler detection launches a speculative
+// twin, the twin wins, the stalled original is reaped as superseded,
+// and the master is byte-identical.
+func TestCoordChaosStragglerSpeculation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	input := bigForestFile(t)
+	bin := buildCousinmine(t)
+	singleOut, want := singleReference(t, input)
+
+	work := filepath.Join(t.TempDir(), "work")
+	state := filepath.Join(t.TempDir(), "fp.state")
+	cmd := exec.Command(bin, "-distributed", "3", "-workdir", work, "-dist-workers", "4",
+		"-retries", "0", "-straggler-factor", "1", input)
+	cmd.Env = chaosEnv("core/stream/next=stall#1%" + state)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("speculation did not rescue the stalled worker: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "launching speculative attempt") {
+		t.Errorf("coordinator log shows no speculation:\n%s", stderr.String())
+	}
+	j, err := store.LoadJournal(filepath.Join(work, "coordinator.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawSpecOK, sawSuperseded bool
+	for _, p := range j.Partitions {
+		for _, a := range p.Attempts {
+			if a.Speculative && a.Outcome == store.AttemptOK {
+				sawSpecOK = true
+			}
+			if a.Outcome == store.AttemptSuperseded {
+				sawSuperseded = true
+			}
+		}
+	}
+	if !sawSpecOK || !sawSuperseded {
+		t.Errorf("journal lacks the speculative win / superseded original: %+v", j.Partitions)
+	}
+	if stdout.String() != singleOut {
+		t.Errorf("output differs from single-process run")
+	}
+	checkMasterBytes(t, work, want)
+}
+
+// TestCoordChaosDeadPartitionAllowPartial: partition 1's launches fail
+// permanently; with -allow-partial the run quarantines it, merges the
+// live partitions, reports the exact coverage and the re-mine command,
+// and exits 0 — then mining the gap by hand and re-merging converges
+// on the byte-identical full master.
+func TestCoordChaosDeadPartitionAllowPartial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	input := bigForestFile(t)
+	bin := buildCousinmine(t)
+	singleOut, want := singleReference(t, input)
+
+	work := filepath.Join(t.TempDir(), "work")
+	cmd := exec.Command(bin, "-distributed", "3", "-workdir", work, "-dist-workers", "2",
+		"-retries", "1", "-backoff", "10ms", "-allow-partial", input)
+	cmd.Env = chaosEnv("coord/worker/launch/1=error")
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("-allow-partial run with a dead partition did not exit 0: %v\nstderr:\n%s", err, stderr.String())
+	}
+	log := stderr.String()
+	if !strings.Contains(log, "partition 1: quarantined") {
+		t.Errorf("log does not quarantine partition 1:\n%s", log)
+	}
+	if !strings.Contains(log, "PARTIAL merge: 400/600 trees covered (2 of 3 partitions)") {
+		t.Errorf("log does not report the exact coverage:\n%s", log)
+	}
+	remine := "cousinmine -manifest " + filepath.Join(work, "plan.json") + " -worker 1"
+	if !strings.Contains(log, remine) {
+		t.Errorf("log does not name the re-mine command %q:\n%s", remine, log)
+	}
+	if !strings.Contains(stdout.String(), "frequent pairs across 400 trees") {
+		t.Errorf("stdout does not reflect the partial coverage:\n%s", stdout.String())
+	}
+	if _, err := os.Stat(filepath.Join(work, "master.shard.partial")); err != nil {
+		t.Fatalf("partial master not written: %v", err)
+	}
+
+	// Repair exactly as the log instructs: mine the gap, re-merge.
+	if outb, err := exec.Command(bin, "-manifest", filepath.Join(work, "plan.json"), "-worker", "1").CombinedOutput(); err != nil {
+		t.Fatalf("re-mine: %v\n%s", err, outb)
+	}
+	mcmd := exec.Command(bin, "-merge", "-manifest", filepath.Join(work, "plan.json"))
+	var mergeOut strings.Builder
+	mcmd.Stdout = &mergeOut
+	mcmd.Stderr = os.Stderr
+	if err := mcmd.Run(); err != nil {
+		t.Fatalf("repair merge: %v", err)
+	}
+	if mergeOut.String() != singleOut {
+		t.Errorf("repaired merge differs from single-process run")
+	}
+	checkMasterBytes(t, work, want)
+}
+
+// TestCoordChaosCoordinatorKillResume: the coordinator itself is
+// SIGKILLed after its first worker lands a shard; rerunning the same
+// command over the same work directory resumes — the existing plan is
+// reused, the landed partition is skipped — and converges
+// byte-identically.
+func TestCoordChaosCoordinatorKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills the real binary")
+	}
+	input := hugeForestFile(t, 6000) // 24k trees: partitions take real time
+	bin := buildCousinmine(t)
+
+	work := filepath.Join(t.TempDir(), "work")
+	args := []string{"-distributed", "3", "-workdir", work, "-dist-workers", "1", input}
+
+	killed := false
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &strings.Builder{}
+	cmd.Stderr = &strings.Builder{}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the coordinator as soon as its first worker shard lands —
+	// mid-plan if the box is slow, mid-worker-1 if it is fast.
+	firstShard := filepath.Join(work, "worker-000.shard")
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := os.Stat(firstShard); err == nil {
+			cmd.Process.Signal(syscall.SIGKILL)
+			killed = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	err := cmd.Wait()
+	if !killed {
+		t.Fatalf("first worker shard never appeared (coordinator exit: %v)", err)
+	}
+	if err == nil {
+		t.Skip("coordinator finished before the kill landed; box too fast to test resume")
+	}
+
+	// Rerun the exact same command: it must resume, not replan.
+	cmd = exec.Command(bin, args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("resumed coordinator failed: %v\nstderr:\n%s", err, stderr.String())
+	}
+	log := stderr.String()
+	if !strings.Contains(log, "resuming plan") {
+		t.Errorf("resumed run did not reuse the plan:\n%s", log)
+	}
+	if !strings.Contains(log, "partition 0: valid shard present, skipping") {
+		t.Errorf("resumed run did not skip the landed partition:\n%s", log)
+	}
+
+	// Byte-identity against the uninterrupted single-process run.
+	singleOut, want := singleReference(t, input)
+	if stdout.String() != singleOut {
+		t.Errorf("resumed output differs from single-process run")
+	}
+	checkMasterBytes(t, work, want)
+	if _, err := os.Stat(filepath.Join(work, "coordinator.json")); err != nil {
+		t.Errorf("coordinator journal not written: %v", err)
+	}
+
+	// A third run over the fully-mined directory is a pure no-op resume:
+	// every partition skips and the merge folds the existing shards.
+	cmd = exec.Command(bin, args...)
+	var rerunOut, rerunErr strings.Builder
+	cmd.Stdout = &rerunOut
+	cmd.Stderr = &rerunErr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("no-op resume failed: %v\nstderr:\n%s", err, rerunErr.String())
+	}
+	for i := 0; i < 3; i++ {
+		if !strings.Contains(rerunErr.String(), "partition "+strconv.Itoa(i)+": valid shard present, skipping") {
+			t.Errorf("no-op resume re-ran partition %d:\n%s", i, rerunErr.String())
+		}
+	}
+	if rerunOut.String() != singleOut {
+		t.Errorf("no-op resume output differs from single-process run")
+	}
+}

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestParseBytesOverflow pins the size parser's bounds: suffixed
+// values that would overflow int64 are rejected, not wrapped into
+// nonsense budgets.
+func TestParseBytesOverflow(t *testing.T) {
+	good := map[string]int64{
+		"1":   1,
+		"64K": 64 << 10,
+		"16G": 16 << 30,
+		// The largest representable G value.
+		"8589934591G": 8589934591 << 30,
+	}
+	for in, want := range good {
+		if got, err := parseBytes(in); err != nil || got != want {
+			t.Fatalf("parseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"8589934592G", "9007199254740992M", "99999999999999999999", "-1", "0", "zap", ""} {
+		if got, err := parseBytes(in); err == nil {
+			t.Fatalf("parseBytes(%q) = %d, want error", in, got)
+		}
+	}
+}
+
+// TestDistSupervisionFlagValidation pins the placement guards on the
+// new supervision flags.
+func TestDistSupervisionFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"retries needs distributed", []string{"-retries", "2", "-merge", "-manifest", "m.json"}, "-retries"},
+		{"backoff needs distributed", []string{"-backoff", "1s", "testdata/forest.nwk"}, "-backoff"},
+		{"dist-workers needs distributed", []string{"-dist-workers", "2", "-worker", "0", "-manifest", "m.json"}, "-dist-workers"},
+		{"attempt-timeout needs distributed", []string{"-attempt-timeout", "5s", "testdata/forest.nwk"}, "-attempt-timeout"},
+		{"straggler-factor needs distributed", []string{"-straggler-factor", "2", "testdata/forest.nwk"}, "-straggler-factor"},
+		{"allow-partial placement", []string{"-allow-partial", "testdata/forest.nwk"}, "-allow-partial"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(context.Background(), tc.args, strings.NewReader(""), &strings.Builder{})
+			if err == nil {
+				t.Fatal("accepted invalid flags")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestMergeAllowPartial covers the degraded merge in-process: with one
+// partition's shard missing, -allow-partial merges the valid ranges,
+// writes master.shard.partial, and succeeds; the same merge without
+// the flag fails naming the gap; and with no valid shard at all even
+// -allow-partial refuses.
+func TestMergeAllowPartial(t *testing.T) {
+	input := bigForestFile(t)
+	work := t.TempDir()
+	plan := filepath.Join(work, "plan.json")
+	distRun(t, "-plan", plan, "-parts", "3", input)
+	distRun(t, "-manifest", plan, "-worker", "0")
+	distRun(t, "-manifest", plan, "-worker", "2", "-max-resident", "256")
+
+	// Strict merge still refuses.
+	err := run(context.Background(), []string{"-merge", "-manifest", plan}, strings.NewReader(""), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "partition 1") || !strings.Contains(err.Error(), "-worker 1") {
+		t.Fatalf("strict merge error %q does not name partition 1's re-mine", err)
+	}
+
+	// Degraded merge succeeds and leaves the partial master.
+	partialOut := distRun(t, "-merge", "-manifest", plan, "-allow-partial")
+	if !strings.Contains(partialOut, "frequent pairs across 400 trees") {
+		t.Fatalf("partial merge output does not report 400 covered trees:\n%s", partialOut)
+	}
+	if _, err := os.Stat(filepath.Join(work, "master.shard.partial")); err != nil {
+		t.Fatalf("partial master not written: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(work, "master.shard")); !os.IsNotExist(err) {
+		t.Fatalf("partial merge wrote the full master name (stat: %v)", err)
+	}
+
+	// The partial master is an exact mine of the covered ranges: mining
+	// partition 1 and re-merging converges on the complete, correct run.
+	distRun(t, "-manifest", plan, "-worker", "1")
+	mergeOut := distRun(t, "-merge", "-manifest", plan, "-allow-partial")
+	single := distRun(t, "-mode", "multi", "-stream", input)
+	if mergeOut != single {
+		t.Errorf("repaired merge differs from single-process run:\n--- merge ---\n%s--- single ---\n%s", mergeOut, single)
+	}
+
+	// With every shard gone, -allow-partial has nothing to degrade to.
+	for i := 0; i < 3; i++ {
+		os.Remove(filepath.Join(work, "worker-00"+strconv.Itoa(i)+".shard"))
+	}
+	err = run(context.Background(), []string{"-merge", "-manifest", plan, "-allow-partial"}, strings.NewReader(""), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "no partition shard is valid") {
+		t.Fatalf("empty partial merge error = %v", err)
+	}
+}
+
+// TestDistCoordResumeSkipsCompleted is the skip-completed resume
+// drill over the real binary: partitions 0 and 2 are mined by hand,
+// then -distributed over the same work directory mines only the
+// missing range — asserted from the coordinator's own stderr — and the
+// merged master is byte-identical to the single-process checkpoint.
+func TestDistCoordResumeSkipsCompleted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	input := bigForestFile(t)
+	bin := buildCousinmine(t)
+
+	// Single-process reference: output and final checkpoint bytes.
+	singleOut := distRun(t, "-mode", "multi", "-stream", input)
+	ref := filepath.Join(t.TempDir(), "single.shard")
+	distRun(t, "-mode", "multi", "-stream", "-checkpoint", ref, input)
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	work := filepath.Join(t.TempDir(), "work")
+	if err := os.MkdirAll(work, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	plan := filepath.Join(work, "plan.json")
+	for _, args := range [][]string{
+		{"-plan", plan, "-parts", "3", input},
+		{"-manifest", plan, "-worker", "0"},
+		{"-manifest", plan, "-worker", "2", "-max-resident", "256"},
+	} {
+		if outb, err := exec.Command(bin, args...).CombinedOutput(); err != nil {
+			t.Fatalf("%v: %v\n%s", args, err, outb)
+		}
+	}
+
+	cmd := exec.Command(bin, "-distributed", "3", "-workdir", work, input)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("-distributed resume: %v\nstderr:\n%s", err, stderr.String())
+	}
+	log := stderr.String()
+	if !strings.Contains(log, "resuming plan") {
+		t.Errorf("coordinator did not report plan reuse:\n%s", log)
+	}
+	for _, part := range []int{0, 2} {
+		if !strings.Contains(log, "partition "+strconv.Itoa(part)+": valid shard present, skipping") {
+			t.Errorf("partition %d not skipped on resume:\n%s", part, log)
+		}
+		if strings.Contains(log, "worker "+strconv.Itoa(part)+" mined") {
+			t.Errorf("completed partition %d was re-mined:\n%s", part, log)
+		}
+	}
+	if !strings.Contains(log, "worker 1 mined") {
+		t.Errorf("missing partition 1 was not mined on resume:\n%s", log)
+	}
+	if stdout.String() != singleOut {
+		t.Errorf("resumed run output differs from single-process run:\n--- dist ---\n%s--- single ---\n%s", stdout.String(), singleOut)
+	}
+	got, err := os.ReadFile(filepath.Join(work, "master.shard"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("resumed master is not byte-identical to the single-process checkpoint")
+	}
+	if _, err := os.Stat(filepath.Join(work, "coordinator.json")); err != nil {
+		t.Errorf("coordinator journal not written: %v", err)
+	}
+}
+
+// TestDistResumeRejectsForeignPlan guards the resume path: a work
+// directory planned for different mining options is refused, never
+// silently reused.
+func TestDistResumeRejectsForeignPlan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	input := bigForestFile(t)
+	bin := buildCousinmine(t)
+	work := filepath.Join(t.TempDir(), "work")
+	if err := os.MkdirAll(work, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	plan := filepath.Join(work, "plan.json")
+	if outb, err := exec.Command(bin, "-plan", plan, "-parts", "2", "-minsup", "3", input).CombinedOutput(); err != nil {
+		t.Fatalf("plan: %v\n%s", err, outb)
+	}
+	cmd := exec.Command(bin, "-distributed", "2", "-workdir", work, input) // default -minsup 2
+	outb, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("resume under different options accepted:\n%s", outb)
+	}
+	if !strings.Contains(string(outb), "different") {
+		t.Fatalf("resume error does not explain the plan mismatch:\n%s", outb)
+	}
+}

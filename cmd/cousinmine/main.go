@@ -29,12 +29,20 @@
 // O(1) startup).
 //
 // Distributed mining splits a corpus by tree range across worker
-// processes (see DESIGN.md §51): -plan FILE -parts N writes a partition
-// manifest; -worker I -manifest FILE mines partition I to its shard,
-// spilling to disk past an optional -max-resident budget; -merge
+// processes (see DESIGN.md §51–52): -plan FILE -parts N writes a
+// partition manifest; -worker I -manifest FILE mines partition I to its
+// shard, spilling to disk past an optional -max-resident budget; -merge
 // -manifest FILE folds the worker shards into the master and prints its
 // frequent pairs — byte-identical to a single-process run; -distributed
-// N runs the whole pipeline with N local workers.
+// N runs the whole pipeline under a supervising coordinator:
+// -dist-workers bounds the process pool, failed workers retry with
+// exponential backoff (-retries, -backoff), -attempt-timeout reaps hung
+// workers, stragglers are speculatively re-executed
+// (-straggler-factor), and rerunning with the same -workdir resumes,
+// re-mining only partitions whose shards don't verify. -allow-partial
+// degrades a merge with invalid shards instead of failing: the valid
+// ranges merge exactly, and every gap is named with its re-mine
+// command.
 package main
 
 import (
@@ -45,6 +53,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"treemine"
 	"treemine/internal/benchutil"
@@ -90,8 +99,24 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 	distributed := fs.Int("distributed", 0, "run plan -> N local worker processes -> merge end to end")
 	workdir := fs.String("workdir", "", "work directory for -distributed (default: a temp dir, removed on success)")
 	maxResident := fs.String("max-resident", "", "worker resident-memory budget (e.g. 64M); past it support counts spill to sorted disk segments")
+	distWorkers := fs.Int("dist-workers", 0, "concurrent worker processes for -distributed; 0 uses all CPUs")
+	retries := fs.Int("retries", 3, "per-partition retry budget for -distributed supervision")
+	backoff := fs.Duration("backoff", 250*time.Millisecond, "initial retry backoff for -distributed; doubles per retry, with deterministic jitter")
+	attemptTimeout := fs.Duration("attempt-timeout", 0, "per-attempt timeout for -distributed workers; 0 disables")
+	stragglerFactor := fs.Float64("straggler-factor", 3, "speculatively re-execute a -distributed worker past this multiple of the median attempt duration; 0 disables")
+	allowPartial := fs.Bool("allow-partial", false, "degrade instead of failing: merge the valid shards, report exact coverage and the re-mine command for each gap")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	for _, name := range []string{"dist-workers", "retries", "backoff", "attempt-timeout", "straggler-factor"} {
+		if set[name] && *distributed == 0 {
+			return fmt.Errorf("-%s supervises -distributed workers; use it with -distributed", name)
+		}
+	}
+	if set["allow-partial"] && !*mergeMode && *distributed == 0 {
+		return fmt.Errorf("-allow-partial degrades a merge; use it with -merge or -distributed")
 	}
 	if *format != "table" && *format != "json" {
 		return fmt.Errorf("unknown format %q (want table or json)", *format)
@@ -110,6 +135,9 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		plan: *plan, parts: *parts, worker: *worker, manifest: *manifest,
 		merge: *mergeMode, distributed: *distributed, workdir: *workdir,
 		maxResident: *maxResident, shards: *shards, format: *format, compact: *compact,
+		distWorkers: *distWorkers, retries: *retries, backoff: *backoff,
+		attemptTimeout: *attemptTimeout, stragglerFactor: *stragglerFactor,
+		allowPartial: *allowPartial,
 	}
 	if df.active() {
 		if *stream || *checkpoint != "" {

@@ -1,0 +1,609 @@
+// Package coord is the supervising coordinator runtime of distributed
+// mining (DESIGN.md §52). It drives a partition manifest's worker
+// attempts through a per-partition state machine
+//
+//	pending → running → done
+//	            ↓  ↑
+//	         retrying → quarantined
+//
+// under a bounded worker pool, with per-attempt timeouts, exponential
+// backoff with deterministic jitter between retries, straggler
+// detection with speculative re-execution, and skip-completed resume.
+//
+// Everything the supervisor does is safe because of two properties the
+// worker protocol already guarantees: shard writes are atomic (a
+// killed attempt leaves nothing), and SupportShard.Snapshot is
+// canonical (two successful attempts over the same range produce
+// byte-identical shards). Re-executing a partition — after a failure,
+// speculatively beside a straggler, or across a coordinator restart —
+// therefore never changes the merged result; the first completed
+// attempt wins and duplicates are harmless rewrites of identical
+// bytes.
+//
+// The coordinator journals its supervision state (attempts, outcomes,
+// durations) to an atomically-written JSON file so an operator can
+// reconstruct what a flaky run did, and so a killed-and-restarted
+// coordinator documents its resume.
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"treemine/internal/faults"
+	"treemine/internal/store"
+)
+
+// State is a partition's position in the supervision state machine.
+type State int
+
+const (
+	// Pending: no attempt has been launched yet.
+	Pending State = iota
+	// Running: at least one attempt is in flight.
+	Running
+	// Retrying: the last attempt failed; the next waits out a backoff.
+	Retrying
+	// Done: an attempt completed (or a valid shard already existed).
+	Done
+	// Quarantined: the retry budget is exhausted; the partition needs
+	// operator attention (or -allow-partial degradation).
+	Quarantined
+	// Aborted: the coordinator itself was cancelled first.
+	Aborted
+)
+
+var stateNames = [...]string{"pending", "running", "retrying", "done", "quarantined", "aborted"}
+
+func (s State) String() string {
+	if int(s) >= 0 && int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "state(" + strconv.Itoa(int(s)) + ")"
+}
+
+// terminal reports whether the state machine is finished with a
+// partition.
+func (s State) terminal() bool { return s == Done || s == Quarantined || s == Aborted }
+
+// Runner executes one worker attempt for a partition and blocks until
+// it finishes. Cancelling ctx must terminate the attempt — the
+// supervisor relies on it for timeouts, for reaping the loser of a
+// speculative race, and for coordinator shutdown.
+type Runner interface {
+	Run(ctx context.Context, part, attempt int) error
+}
+
+// RunnerFunc adapts a function to the Runner interface.
+type RunnerFunc func(ctx context.Context, part, attempt int) error
+
+func (f RunnerFunc) Run(ctx context.Context, part, attempt int) error { return f(ctx, part, attempt) }
+
+// Config parameterizes a supervision run. The zero value of every
+// knob means "use the default" noted on it.
+type Config struct {
+	// Partitions is the manifest's partition count. Required.
+	Partitions int
+	// Workers bounds concurrently running attempts (speculative ones
+	// included). Default: runtime.NumCPU().
+	Workers int
+	// Retries is how many times a partition is retried after its first
+	// failed attempt before quarantine (speculative attempts that were
+	// superseded do not count). Default 3.
+	Retries int
+	// Backoff is the delay before the first retry; each further retry
+	// doubles it, capped at MaxBackoff, plus a deterministic jitter of
+	// up to half the delay. Default 250ms.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth. Default 30s.
+	MaxBackoff time.Duration
+	// Timeout bounds each attempt; past it the attempt's context is
+	// cancelled and the failure counts like any other. 0 disables.
+	Timeout time.Duration
+	// StragglerFactor enables speculative re-execution: when a running
+	// attempt's elapsed time exceeds StragglerFactor × the median
+	// completed-attempt duration (and the pool has an idle slot), a
+	// duplicate attempt is launched beside it and the first to
+	// complete wins. 0 disables speculation.
+	StragglerFactor float64
+	// StragglerMin is the floor below which speculation never
+	// triggers, so short jobs don't speculate on scheduling noise.
+	// Default 1s.
+	StragglerMin time.Duration
+	// Completed, when non-nil, is the skip-completed probe: a
+	// partition for which it reports true is marked Done without
+	// launching anything — the resume path after a coordinator crash.
+	Completed func(part int) bool
+	// Journal, when non-empty, is the path the supervision journal is
+	// atomically rewritten to after every state change.
+	Journal string
+	// Manifest is recorded in the journal for operator orientation.
+	Manifest string
+	// Log, when non-nil, receives human-oriented progress lines.
+	Log io.Writer
+}
+
+// PartitionResult is one partition's final supervision record.
+type PartitionResult struct {
+	// State is the terminal state (Done, Quarantined, or Aborted).
+	State State
+	// Skipped marks a skip-completed resume hit: Done with no attempts.
+	Skipped bool
+	// Attempts are the executions, in launch order.
+	Attempts []store.Attempt
+	// Err is the last real failure; set when State is Quarantined (and
+	// possibly when Aborted mid-attempt).
+	Err error
+}
+
+// Result is the outcome of a supervision run.
+type Result struct {
+	// Partitions holds one result per partition, by index.
+	Partitions []PartitionResult
+	// Quarantined lists the partitions that exhausted their retry
+	// budget, in index order.
+	Quarantined []int
+}
+
+// partSup is the supervisor's per-partition bookkeeping.
+type partSup struct {
+	state    State
+	seq      int // next attempt sequence number
+	failures int // failed attempts (excluding superseded/aborted)
+	readyAt  time.Time
+	inflight int
+	cancels  map[int]context.CancelFunc
+	starts   map[int]time.Time
+	specs    map[int]bool // attempt seq → speculative
+	res      PartitionResult
+}
+
+// attemptEnd is the event an attempt goroutine reports back.
+type attemptEnd struct {
+	part, seq  int
+	spec       bool
+	err        error
+	start      time.Time
+	dur        time.Duration
+	timedOut   bool
+	launchFail bool
+}
+
+// Supervise drives every partition to a terminal state and returns the
+// per-partition record. The returned error is non-nil only when ctx
+// was cancelled (the Result is still returned, with unfinished
+// partitions Aborted); quarantined partitions are reported in the
+// Result, not as an error — degrading or failing on them is the
+// caller's policy.
+func Supervise(ctx context.Context, cfg Config, r Runner) (*Result, error) {
+	if cfg.Partitions < 1 {
+		return nil, fmt.Errorf("coord: partition count must be positive, got %d", cfg.Partitions)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("coord: nil runner")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 250 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 30 * time.Second
+	}
+	if cfg.StragglerMin <= 0 {
+		cfg.StragglerMin = time.Second
+	}
+	log := cfg.Log
+	if log == nil {
+		log = io.Discard
+	}
+
+	s := &supervisor{
+		cfg:    cfg,
+		runner: r,
+		log:    log,
+		parts:  make([]*partSup, cfg.Partitions),
+		events: make(chan attemptEnd, 4*cfg.Partitions),
+	}
+	for i := range s.parts {
+		p := &partSup{
+			cancels: map[int]context.CancelFunc{},
+			starts:  map[int]time.Time{},
+			specs:   map[int]bool{},
+		}
+		if cfg.Completed != nil && cfg.Completed(i) {
+			p.state = Done
+			p.res.Skipped = true
+			fmt.Fprintf(log, "cousinmine: partition %d: valid shard present, skipping (resume)\n", i)
+		}
+		s.parts[i] = p
+	}
+	s.writeJournal()
+	err := s.loop(ctx)
+	s.writeJournal()
+
+	res := &Result{Partitions: make([]PartitionResult, cfg.Partitions)}
+	for i, p := range s.parts {
+		pr := p.res
+		pr.State = p.state
+		res.Partitions[i] = pr
+		if p.state == Quarantined {
+			res.Quarantined = append(res.Quarantined, i)
+		}
+	}
+	return res, err
+}
+
+type supervisor struct {
+	cfg         Config
+	runner      Runner
+	log         io.Writer
+	parts       []*partSup
+	events      chan attemptEnd
+	inflight    int
+	doneDurs    []time.Duration
+	canceled    bool
+	journalWarn bool
+}
+
+// loop is the single-threaded scheduler: all state transitions happen
+// here, attempt goroutines only run workers and report events.
+func (s *supervisor) loop(ctx context.Context) error {
+	for {
+		if !s.canceled && ctx.Err() != nil {
+			s.cancelAll(ctx)
+		}
+		allTerminal := true
+		for _, p := range s.parts {
+			if !p.state.terminal() {
+				allTerminal = false
+				break
+			}
+		}
+		if allTerminal && s.inflight == 0 {
+			if s.canceled {
+				return ctx.Err()
+			}
+			return nil
+		}
+
+		now := time.Now()
+		if !s.canceled {
+			// Primary launches: every launchable partition, oldest first,
+			// until the pool is full.
+			for i, p := range s.parts {
+				if s.inflight >= s.cfg.Workers {
+					break
+				}
+				if (p.state == Pending || p.state == Retrying) && p.inflight == 0 && !now.Before(p.readyAt) {
+					s.launch(ctx, i, false)
+				}
+			}
+			// Speculative launches: only with idle slots (the primary loop
+			// above has already consumed every launchable partition), and
+			// only once at least one attempt has completed to calibrate
+			// the straggler threshold.
+			if thresh, ok := s.stragglerThreshold(); ok {
+				for i, p := range s.parts {
+					if s.inflight >= s.cfg.Workers {
+						break
+					}
+					if p.state == Running && p.inflight == 1 && s.elapsedOldest(p, now) > thresh {
+						fmt.Fprintf(s.log, "cousinmine: partition %d: straggling (%.1fs > %.1fs); launching speculative attempt\n",
+							i, s.elapsedOldest(p, now).Seconds(), thresh.Seconds())
+						s.launch(ctx, i, true)
+					}
+				}
+			}
+		}
+
+		timerC, stop := s.nextWake(now)
+		if s.canceled {
+			select {
+			case ev := <-s.events:
+				s.handle(ctx, ev)
+			case <-timerC:
+			}
+		} else {
+			select {
+			case ev := <-s.events:
+				s.handle(ctx, ev)
+			case <-timerC:
+			case <-ctx.Done():
+				s.cancelAll(ctx)
+			}
+		}
+		stop()
+	}
+}
+
+// cancelAll transitions the run to draining: idle partitions abort
+// immediately, in-flight attempts are cancelled and abort as their
+// events arrive.
+func (s *supervisor) cancelAll(ctx context.Context) {
+	s.canceled = true
+	for _, p := range s.parts {
+		if (p.state == Pending || p.state == Retrying) && p.inflight == 0 {
+			p.state = Aborted
+			if p.res.Err == nil {
+				p.res.Err = ctx.Err()
+			}
+		}
+		for _, cancel := range p.cancels {
+			cancel()
+		}
+	}
+	fmt.Fprintf(s.log, "cousinmine: coordinator cancelled; draining %d in-flight attempt(s)\n", s.inflight)
+}
+
+// stragglerThreshold returns the elapsed time past which a running
+// attempt counts as a straggler, when speculation is enabled and
+// calibrated.
+func (s *supervisor) stragglerThreshold() (time.Duration, bool) {
+	if s.cfg.StragglerFactor <= 0 || len(s.doneDurs) == 0 {
+		return 0, false
+	}
+	durs := append([]time.Duration(nil), s.doneDurs...)
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	med := durs[len(durs)/2]
+	thresh := time.Duration(float64(med) * s.cfg.StragglerFactor)
+	if thresh < s.cfg.StragglerMin {
+		thresh = s.cfg.StragglerMin
+	}
+	return thresh, true
+}
+
+// elapsedOldest is how long the partition's oldest in-flight attempt
+// has been running.
+func (s *supervisor) elapsedOldest(p *partSup, now time.Time) time.Duration {
+	var oldest time.Time
+	for _, t := range p.starts {
+		if oldest.IsZero() || t.Before(oldest) {
+			oldest = t
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return now.Sub(oldest)
+}
+
+// nextWake arms a timer for the earliest future decision point: a
+// retry leaving backoff, or a running attempt crossing the straggler
+// threshold. With neither pending, the loop blocks on events alone.
+func (s *supervisor) nextWake(now time.Time) (<-chan time.Time, func()) {
+	wait := time.Duration(-1)
+	consider := func(d time.Duration) {
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		if wait < 0 || d < wait {
+			wait = d
+		}
+	}
+	if !s.canceled {
+		for _, p := range s.parts {
+			if (p.state == Pending || p.state == Retrying) && p.inflight == 0 {
+				consider(p.readyAt.Sub(now))
+			}
+		}
+		if thresh, ok := s.stragglerThreshold(); ok && s.inflight < s.cfg.Workers {
+			for _, p := range s.parts {
+				if p.state == Running && p.inflight == 1 {
+					consider(thresh - s.elapsedOldest(p, now))
+				}
+			}
+		}
+	}
+	if wait < 0 {
+		return nil, func() {}
+	}
+	t := time.NewTimer(wait)
+	return t.C, func() { t.Stop() }
+}
+
+// launch starts one attempt for partition i. The coordinator-side
+// launch failpoints fire here, modeling spawn failures the retry
+// machinery must absorb.
+func (s *supervisor) launch(ctx context.Context, i int, spec bool) {
+	p := s.parts[i]
+	seq := p.seq
+	p.seq++
+	var actx context.Context
+	var cancel context.CancelFunc
+	if s.cfg.Timeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+	} else {
+		actx, cancel = context.WithCancel(ctx)
+	}
+	p.cancels[seq] = cancel
+	p.starts[seq] = time.Now()
+	p.specs[seq] = spec
+	p.inflight++
+	s.inflight++
+	p.state = Running
+
+	if err := firstErr(
+		faults.Hit(faults.CoordLaunch),
+		faults.Hit(faults.CoordLaunch+"/"+strconv.Itoa(i)),
+	); err != nil {
+		start := p.starts[seq]
+		go func() {
+			s.events <- attemptEnd{part: i, seq: seq, spec: spec, err: err, start: start, launchFail: true}
+		}()
+		return
+	}
+	start := p.starts[seq]
+	run := s.runner
+	go func() {
+		err := run.Run(actx, i, seq)
+		s.events <- attemptEnd{
+			part: i, seq: seq, spec: spec,
+			err:      err,
+			start:    start,
+			dur:      time.Since(start),
+			timedOut: err != nil && errors.Is(actx.Err(), context.DeadlineExceeded),
+		}
+	}()
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handle applies one finished attempt to the state machine.
+func (s *supervisor) handle(ctx context.Context, ev attemptEnd) {
+	p := s.parts[ev.part]
+	p.inflight--
+	s.inflight--
+	if cancel, ok := p.cancels[ev.seq]; ok {
+		cancel()
+		delete(p.cancels, ev.seq)
+	}
+	delete(p.starts, ev.seq)
+	delete(p.specs, ev.seq)
+
+	rec := store.Attempt{
+		Seq:         ev.seq,
+		Speculative: ev.spec,
+		StartUnixMs: ev.start.UnixMilli(),
+		DurationMs:  ev.dur.Milliseconds(),
+	}
+	switch {
+	case ev.err == nil:
+		if p.state == Done {
+			// A duplicate success after another attempt already won: its
+			// shard write rewrote identical bytes, nothing to undo.
+			rec.Outcome = store.AttemptSuperseded
+			break
+		}
+		rec.Outcome = store.AttemptOK
+		p.state = Done
+		p.res.Err = nil
+		s.doneDurs = append(s.doneDurs, ev.dur)
+		// First completed attempt wins: reap the twin, if any.
+		for _, cancel := range p.cancels {
+			cancel()
+		}
+		label := ""
+		if ev.spec {
+			label = " (speculative)"
+		}
+		fmt.Fprintf(s.log, "cousinmine: partition %d: done in %v (attempt %d%s)\n", ev.part, ev.dur.Round(time.Millisecond), ev.seq, label)
+	case p.state == Done:
+		// The loser of a speculative race, cancelled after the win.
+		rec.Outcome = store.AttemptSuperseded
+		rec.Error = ev.err.Error()
+	case s.canceled || ctx.Err() != nil:
+		rec.Outcome = store.AttemptAborted
+		rec.Error = ev.err.Error()
+		p.res.Err = ev.err
+		if p.inflight == 0 {
+			p.state = Aborted
+		}
+	default:
+		p.failures++
+		rec.Outcome = store.AttemptError
+		if ev.timedOut {
+			rec.Outcome = store.AttemptTimeout
+			ev.err = fmt.Errorf("attempt exceeded -attempt-timeout %v: %w", s.cfg.Timeout, ev.err)
+		}
+		rec.Error = ev.err.Error()
+		p.res.Err = ev.err
+		switch {
+		case p.inflight > 0:
+			// A twin is still running; its outcome decides what happens
+			// next.
+			fmt.Fprintf(s.log, "cousinmine: partition %d: attempt %d failed (%v); twin still in flight\n", ev.part, ev.seq, ev.err)
+		case p.failures > s.cfg.Retries:
+			p.state = Quarantined
+			fmt.Fprintf(s.log, "cousinmine: partition %d: quarantined after %d failed attempt(s): %v\n", ev.part, p.failures, ev.err)
+		default:
+			p.state = Retrying
+			delay := backoffDelay(s.cfg.Backoff, s.cfg.MaxBackoff, ev.part, p.failures)
+			p.readyAt = time.Now().Add(delay)
+			fmt.Fprintf(s.log, "cousinmine: partition %d: attempt %d failed (%v); retry %d/%d in %v\n",
+				ev.part, ev.seq, ev.err, p.failures, s.cfg.Retries, delay.Round(time.Millisecond))
+		}
+	}
+	p.res.Attempts = append(p.res.Attempts, rec)
+	s.writeJournal()
+}
+
+// writeJournal atomically rewrites the supervision journal. Journal
+// failures are warnings: supervision metadata must never take the
+// mining run down with it.
+func (s *supervisor) writeJournal() {
+	if s.cfg.Journal == "" {
+		return
+	}
+	err := faults.Hit(faults.CoordJournal)
+	if err == nil {
+		j := &store.Journal{
+			Manifest:      s.cfg.Manifest,
+			UpdatedUnixMs: time.Now().UnixMilli(),
+			Partitions:    make([]store.PartitionStatus, len(s.parts)),
+		}
+		for i, p := range s.parts {
+			j.Partitions[i] = store.PartitionStatus{
+				Index:             i,
+				State:             p.state.String(),
+				SkippedValidShard: p.res.Skipped,
+				Attempts:          p.res.Attempts,
+			}
+		}
+		err = j.Save(s.cfg.Journal)
+	}
+	if err != nil && !s.journalWarn {
+		s.journalWarn = true
+		fmt.Fprintf(s.log, "cousinmine: warning: cannot write coordinator journal %s: %v (mining continues)\n", s.cfg.Journal, err)
+	}
+}
+
+// backoffDelay is the wait before a partition's retry-th retry
+// (1-based): base doubled per retry, capped at max, plus a
+// deterministic jitter of up to half the capped delay derived from
+// (part, retry) — so concurrent retries spread out without the
+// schedule changing between identical runs.
+func backoffDelay(base, max time.Duration, part, retry int) time.Duration {
+	if retry < 1 {
+		retry = 1
+	}
+	d := base
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= max {
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
+	}
+	frac := float64(mix64(uint64(part)<<32|uint64(retry))>>11) / float64(uint64(1)<<53)
+	return d + time.Duration(float64(d)*frac/2)
+}
+
+// mix64 is SplitMix64's finalizer — a cheap, well-distributed hash for
+// deterministic jitter.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,470 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"treemine/internal/faults"
+	"treemine/internal/store"
+)
+
+// countingRunner tracks attempts per partition and concurrency, and
+// fails a partition until its failure budget is spent.
+type countingRunner struct {
+	mu        sync.Mutex
+	attempts  map[int]int
+	failUntil map[int]int // partition → fail this many attempts first
+	inflight  int32
+	peak      int32
+	delay     time.Duration
+}
+
+func newCountingRunner() *countingRunner {
+	return &countingRunner{attempts: map[int]int{}, failUntil: map[int]int{}}
+}
+
+func (r *countingRunner) Run(ctx context.Context, part, attempt int) error {
+	cur := atomic.AddInt32(&r.inflight, 1)
+	defer atomic.AddInt32(&r.inflight, -1)
+	for {
+		old := atomic.LoadInt32(&r.peak)
+		if cur <= old || atomic.CompareAndSwapInt32(&r.peak, old, cur) {
+			break
+		}
+	}
+	r.mu.Lock()
+	r.attempts[part]++
+	n := r.attempts[part]
+	fail := n <= r.failUntil[part]
+	r.mu.Unlock()
+	if r.delay > 0 {
+		select {
+		case <-time.After(r.delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if fail {
+		return fmt.Errorf("injected failure %d for partition %d", n, part)
+	}
+	return nil
+}
+
+func (r *countingRunner) count(part int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.attempts[part]
+}
+
+func allDone(t *testing.T, res *Result) {
+	t.Helper()
+	for i, p := range res.Partitions {
+		if p.State != Done {
+			t.Fatalf("partition %d state = %v, want done (err %v)", i, p.State, p.Err)
+		}
+	}
+	if len(res.Quarantined) != 0 {
+		t.Fatalf("Quarantined = %v, want none", res.Quarantined)
+	}
+}
+
+func TestSuperviseAllSucceedBoundedPool(t *testing.T) {
+	r := newCountingRunner()
+	r.delay = 5 * time.Millisecond
+	res, err := Supervise(context.Background(), Config{Partitions: 9, Workers: 3}, r)
+	if err != nil {
+		t.Fatalf("Supervise: %v", err)
+	}
+	allDone(t, res)
+	for i := 0; i < 9; i++ {
+		if r.count(i) != 1 {
+			t.Fatalf("partition %d ran %d times, want 1", i, r.count(i))
+		}
+	}
+	if peak := atomic.LoadInt32(&r.peak); peak > 3 {
+		t.Fatalf("peak concurrency %d exceeds -dist-workers 3", peak)
+	}
+}
+
+func TestSuperviseRetriesThenSucceeds(t *testing.T) {
+	r := newCountingRunner()
+	r.failUntil[1] = 2
+	var log strings.Builder
+	res, err := Supervise(context.Background(), Config{
+		Partitions: 3, Workers: 2, Retries: 3,
+		Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+		Log: &log,
+	}, r)
+	if err != nil {
+		t.Fatalf("Supervise: %v", err)
+	}
+	allDone(t, res)
+	if r.count(1) != 3 {
+		t.Fatalf("partition 1 ran %d times, want 3 (2 failures + success)", r.count(1))
+	}
+	atts := res.Partitions[1].Attempts
+	if len(atts) != 3 {
+		t.Fatalf("partition 1 recorded %d attempts, want 3", len(atts))
+	}
+	for i, want := range []string{store.AttemptError, store.AttemptError, store.AttemptOK} {
+		if atts[i].Outcome != want {
+			t.Fatalf("attempt %d outcome %q, want %q", i, atts[i].Outcome, want)
+		}
+	}
+	if !strings.Contains(log.String(), "retry 1/3") {
+		t.Fatalf("log missing retry line:\n%s", log.String())
+	}
+}
+
+func TestSuperviseQuarantineAfterBudget(t *testing.T) {
+	r := newCountingRunner()
+	r.failUntil[0] = 1000
+	var log strings.Builder
+	res, err := Supervise(context.Background(), Config{
+		Partitions: 2, Workers: 2, Retries: 2,
+		Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+		Log: &log,
+	}, r)
+	if err != nil {
+		t.Fatalf("Supervise: %v", err)
+	}
+	if got := res.Quarantined; len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Quarantined = %v, want [0]", got)
+	}
+	if res.Partitions[0].State != Quarantined {
+		t.Fatalf("partition 0 state = %v", res.Partitions[0].State)
+	}
+	if r.count(0) != 3 {
+		t.Fatalf("partition 0 ran %d times, want 3 (1 + 2 retries)", r.count(0))
+	}
+	if res.Partitions[0].Err == nil || !strings.Contains(res.Partitions[0].Err.Error(), "injected failure") {
+		t.Fatalf("partition 0 err = %v", res.Partitions[0].Err)
+	}
+	if res.Partitions[1].State != Done {
+		t.Fatalf("partition 1 state = %v, want done", res.Partitions[1].State)
+	}
+	if !strings.Contains(log.String(), "quarantined after 3 failed attempt(s)") {
+		t.Fatalf("log missing quarantine line:\n%s", log.String())
+	}
+}
+
+func TestSuperviseTimeoutCountsAsFailure(t *testing.T) {
+	var first int32
+	r := RunnerFunc(func(ctx context.Context, part, attempt int) error {
+		if part == 0 && atomic.CompareAndSwapInt32(&first, 0, 1) {
+			<-ctx.Done() // stall until the per-attempt timeout reaps us
+			return ctx.Err()
+		}
+		return nil
+	})
+	res, err := Supervise(context.Background(), Config{
+		Partitions: 2, Workers: 2, Retries: 1,
+		Backoff: time.Millisecond, Timeout: 50 * time.Millisecond,
+	}, r)
+	if err != nil {
+		t.Fatalf("Supervise: %v", err)
+	}
+	allDone(t, res)
+	atts := res.Partitions[0].Attempts
+	if len(atts) != 2 {
+		t.Fatalf("partition 0 recorded %d attempts, want 2", len(atts))
+	}
+	if atts[0].Outcome != store.AttemptTimeout {
+		t.Fatalf("attempt 0 outcome %q, want timeout", atts[0].Outcome)
+	}
+	if !strings.Contains(atts[0].Error, "-attempt-timeout") {
+		t.Fatalf("timeout attempt error %q does not name the knob", atts[0].Error)
+	}
+}
+
+func TestSuperviseStragglerSpeculation(t *testing.T) {
+	// Partition 2's first attempt stalls forever; with speculation on,
+	// a duplicate attempt is launched and wins, and the stalled twin is
+	// cancelled and recorded superseded.
+	var stall int32
+	r := RunnerFunc(func(ctx context.Context, part, attempt int) error {
+		if part == 2 && atomic.CompareAndSwapInt32(&stall, 0, 1) {
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		select { // fast enough to calibrate the median, slow enough to overlap
+		case <-time.After(5 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		return nil
+	})
+	var log strings.Builder
+	res, err := Supervise(context.Background(), Config{
+		Partitions: 3, Workers: 4, Retries: 0,
+		StragglerFactor: 1.5, StragglerMin: 30 * time.Millisecond,
+		Log: &log,
+	}, r)
+	if err != nil {
+		t.Fatalf("Supervise: %v", err)
+	}
+	allDone(t, res)
+	atts := res.Partitions[2].Attempts
+	if len(atts) != 2 {
+		t.Fatalf("partition 2 recorded %d attempts, want 2 (straggler + speculative):\n%s", len(atts), log.String())
+	}
+	var sawSpecOK, sawSuperseded bool
+	for _, a := range atts {
+		if a.Speculative && a.Outcome == store.AttemptOK {
+			sawSpecOK = true
+		}
+		if !a.Speculative && a.Outcome == store.AttemptSuperseded {
+			sawSuperseded = true
+		}
+	}
+	if !sawSpecOK || !sawSuperseded {
+		t.Fatalf("attempts = %+v; want speculative ok + original superseded", atts)
+	}
+	if !strings.Contains(log.String(), "launching speculative attempt") {
+		t.Fatalf("log missing speculation line:\n%s", log.String())
+	}
+}
+
+func TestSuperviseOriginalBeatsSpeculative(t *testing.T) {
+	// The straggler is merely slow, not dead: the original completes
+	// first and the speculative twin is reaped as superseded.
+	var slow int32
+	r := RunnerFunc(func(ctx context.Context, part, attempt int) error {
+		d := 5 * time.Millisecond
+		if part == 2 && attempt == 0 && atomic.CompareAndSwapInt32(&slow, 0, 1) {
+			d = 80 * time.Millisecond
+		} else if part == 2 {
+			d = 5 * time.Second // the twin would take far longer
+		}
+		select {
+		case <-time.After(d):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	res, err := Supervise(context.Background(), Config{
+		Partitions: 3, Workers: 4, Retries: 0,
+		StragglerFactor: 1.5, StragglerMin: 20 * time.Millisecond,
+	}, r)
+	if err != nil {
+		t.Fatalf("Supervise: %v", err)
+	}
+	allDone(t, res)
+	atts := res.Partitions[2].Attempts
+	if len(atts) != 2 {
+		t.Fatalf("partition 2 recorded %d attempts, want 2: %+v", len(atts), atts)
+	}
+	var originalWon bool
+	for _, a := range atts {
+		if !a.Speculative && a.Outcome == store.AttemptOK {
+			originalWon = true
+		}
+	}
+	if !originalWon {
+		t.Fatalf("attempts = %+v; want original attempt to win", atts)
+	}
+}
+
+func TestSuperviseSkipCompleted(t *testing.T) {
+	r := newCountingRunner()
+	var log strings.Builder
+	res, err := Supervise(context.Background(), Config{
+		Partitions: 4, Workers: 2,
+		Completed: func(part int) bool { return part == 0 || part == 2 },
+		Log:       &log,
+	}, r)
+	if err != nil {
+		t.Fatalf("Supervise: %v", err)
+	}
+	allDone(t, res)
+	for _, i := range []int{0, 2} {
+		if r.count(i) != 0 {
+			t.Fatalf("completed partition %d was re-run %d times", i, r.count(i))
+		}
+		if !res.Partitions[i].Skipped || len(res.Partitions[i].Attempts) != 0 {
+			t.Fatalf("partition %d result = %+v, want skipped with no attempts", i, res.Partitions[i])
+		}
+	}
+	for _, i := range []int{1, 3} {
+		if r.count(i) != 1 {
+			t.Fatalf("partition %d ran %d times, want 1", i, r.count(i))
+		}
+	}
+	if !strings.Contains(log.String(), "partition 0: valid shard present, skipping") {
+		t.Fatalf("log missing skip line:\n%s", log.String())
+	}
+}
+
+func TestSuperviseContextCancelDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 8)
+	r := RunnerFunc(func(rctx context.Context, part, attempt int) error {
+		started <- struct{}{}
+		<-rctx.Done()
+		return rctx.Err()
+	})
+	done := make(chan struct{})
+	var res *Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = Supervise(ctx, Config{Partitions: 5, Workers: 2, Retries: 3, Backoff: time.Millisecond}, r)
+	}()
+	<-started
+	<-started
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Supervise did not drain after cancel")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Supervise err = %v, want context.Canceled", err)
+	}
+	for i, p := range res.Partitions {
+		if p.State != Aborted {
+			t.Fatalf("partition %d state = %v, want aborted", i, p.State)
+		}
+	}
+}
+
+func TestSuperviseWritesJournal(t *testing.T) {
+	r := newCountingRunner()
+	r.failUntil[1] = 1
+	journal := filepath.Join(t.TempDir(), "coordinator.json")
+	res, err := Supervise(context.Background(), Config{
+		Partitions: 2, Workers: 2, Retries: 2,
+		Backoff: time.Millisecond,
+		Journal: journal, Manifest: "plan.json",
+	}, r)
+	if err != nil {
+		t.Fatalf("Supervise: %v", err)
+	}
+	allDone(t, res)
+	j, err := store.LoadJournal(journal)
+	if err != nil {
+		t.Fatalf("LoadJournal: %v", err)
+	}
+	if j.Manifest != "plan.json" || len(j.Partitions) != 2 {
+		t.Fatalf("journal = %+v", j)
+	}
+	if j.Partitions[0].State != "done" || j.Partitions[1].State != "done" {
+		t.Fatalf("journal states = %q, %q", j.Partitions[0].State, j.Partitions[1].State)
+	}
+	if len(j.Partitions[1].Attempts) != 2 || j.Partitions[1].Attempts[0].Outcome != store.AttemptError {
+		t.Fatalf("journal partition 1 attempts = %+v", j.Partitions[1].Attempts)
+	}
+}
+
+func TestSuperviseJournalFailureIsNonFatal(t *testing.T) {
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	faults.Enable(faults.CoordJournal, faults.Spec{Mode: faults.ModeError})
+	r := newCountingRunner()
+	var log strings.Builder
+	res, err := Supervise(context.Background(), Config{
+		Partitions: 2, Workers: 2,
+		Journal: filepath.Join(t.TempDir(), "coordinator.json"),
+		Log:     &log,
+	}, r)
+	if err != nil {
+		t.Fatalf("Supervise: %v", err)
+	}
+	allDone(t, res)
+	if !strings.Contains(log.String(), "cannot write coordinator journal") {
+		t.Fatalf("log missing journal warning:\n%s", log.String())
+	}
+}
+
+func TestSuperviseLaunchFailpointPerPartition(t *testing.T) {
+	// The coordinator-side launch failpoint for partition 1 fires twice
+	// then stays quiet: supervision retries through it and the worker
+	// itself only ever runs once.
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	faults.Enable(faults.CoordLaunch+"/1", faults.Spec{Mode: faults.ModeError, Count: 2})
+	r := newCountingRunner()
+	res, err := Supervise(context.Background(), Config{
+		Partitions: 3, Workers: 2, Retries: 3,
+		Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+	}, r)
+	if err != nil {
+		t.Fatalf("Supervise: %v", err)
+	}
+	allDone(t, res)
+	if r.count(1) != 1 {
+		t.Fatalf("partition 1 worker ran %d times, want 1 (launch failures precede it)", r.count(1))
+	}
+	atts := res.Partitions[1].Attempts
+	if len(atts) != 3 {
+		t.Fatalf("partition 1 recorded %d attempts, want 3", len(atts))
+	}
+	for i, want := range []string{store.AttemptError, store.AttemptError, store.AttemptOK} {
+		if atts[i].Outcome != want {
+			t.Fatalf("attempt %d outcome %q, want %q", i, atts[i].Outcome, want)
+		}
+	}
+}
+
+func TestSuperviseRejectsBadConfig(t *testing.T) {
+	if _, err := Supervise(context.Background(), Config{Partitions: 0}, newCountingRunner()); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	if _, err := Supervise(context.Background(), Config{Partitions: 1}, nil); err == nil {
+		t.Fatal("nil runner accepted")
+	}
+}
+
+func TestBackoffDelayDeterministicAndBounded(t *testing.T) {
+	base, max := 250*time.Millisecond, 30*time.Second
+	for part := 0; part < 4; part++ {
+		prevBase := time.Duration(0)
+		for retry := 1; retry <= 10; retry++ {
+			d1 := backoffDelay(base, max, part, retry)
+			d2 := backoffDelay(base, max, part, retry)
+			if d1 != d2 {
+				t.Fatalf("backoffDelay(part=%d retry=%d) nondeterministic: %v vs %v", part, retry, d1, d2)
+			}
+			// The un-jittered component doubles until the cap; jitter adds
+			// at most half of it.
+			want := base << (retry - 1)
+			if want > max || want <= 0 {
+				want = max
+			}
+			if d1 < want || d1 > want+want/2 {
+				t.Fatalf("backoffDelay(part=%d retry=%d) = %v, want in [%v, %v]", part, retry, d1, want, want+want/2)
+			}
+			if want == prevBase && retry > 1 {
+				// capped region: fine
+			}
+			prevBase = want
+		}
+	}
+	// Different partitions retry at different moments (jitter spreads).
+	if backoffDelay(base, max, 0, 1) == backoffDelay(base, max, 1, 1) &&
+		backoffDelay(base, max, 0, 2) == backoffDelay(base, max, 1, 2) {
+		t.Fatal("jitter identical across partitions for two consecutive retries")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		Pending: "pending", Running: "running", Retrying: "retrying",
+		Done: "done", Quarantined: "quarantined", Aborted: "aborted",
+	} {
+		if s.String() != want {
+			t.Fatalf("State(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if got := State(99).String(); got != "state(99)" {
+		t.Fatalf("out-of-range State.String() = %q", got)
+	}
+}

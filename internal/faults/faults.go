@@ -14,20 +14,33 @@
 //
 //	TREEMINE_FAULTS='core/stream/next=error@100,core/mine/worker=panic'
 //
-// where each spec is name=mode[@after][#count]: mode is "error" or
-// "panic", after is the number of hits to let pass before firing
-// (default 0), and count is how many hits fire (default: every hit once
-// triggered).
+// where each spec is name=mode[@after][#count][%statefile]: mode is
+// "error", "panic", "kill" (the process SIGKILLs itself — an abrupt
+// worker death, defers skipped), or "stall" (the hit blocks forever —
+// a hung worker an external timeout must reap), after is the number of
+// hits to let pass before firing (default 0), and count is how many
+// hits fire (default: every hit once triggered).
+//
+// A %statefile suffix makes the hit/fire counters persistent in the
+// named file, shared by every process armed with the same spec — the
+// coordinator chaos drills use it to express "this failpoint fires on
+// the first K hits across worker restarts, then passes", which a
+// per-process registry cannot (a re-executed worker starts fresh).
+// Counter updates run under an exclusive file lock (where the platform
+// has one), so concurrent workers sharing a spec observe one counter
+// sequence — "#1" fires once across the fleet, not once per process.
 package faults
 
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Catalogued failpoint names. Each names the boundary it interrupts;
@@ -83,6 +96,17 @@ const (
 	// failure mid-spill that must abort the worker cleanly, leaving the
 	// destination shard absent so the coordinator re-mines the range.
 	SpillWrite = "store/spill/write"
+	// CoordLaunch fires in the supervising coordinator just before a
+	// worker attempt is launched — a spawn failure (fork limit, missing
+	// binary) the retry machinery must absorb. The coordinator also
+	// probes "coord/worker/launch/<partition>", so a drill can target
+	// one partition deterministically (e.g. to leave it permanently
+	// dead for the -allow-partial degradation path).
+	CoordLaunch = "coord/worker/launch"
+	// CoordJournal fires just before the coordinator persists its
+	// attempt journal — a journal-write failure that must never take
+	// the mining run down with it.
+	CoordJournal = "coord/journal/write"
 )
 
 // ErrInjected is the sentinel all injected failures match with
@@ -110,14 +134,27 @@ const (
 	// ModePanic makes Hit panic with an *InjectedError — the injected
 	// analogue of a worker bug, used to prove containment.
 	ModePanic
+	// ModeKill makes Hit SIGKILL the whole process (hard exit on
+	// platforms without signals) — the injected analogue of an abrupt
+	// worker death: no defers, no atomic-write completion, nothing.
+	// Only meaningful in subprocess drills; in-process it kills the
+	// test binary.
+	ModeKill
+	// ModeStall makes Hit block forever — a hung worker that only an
+	// external supervisor (attempt timeout, straggler re-execution,
+	// SIGKILL) can reap. Only meaningful in subprocess drills.
+	ModeStall
 )
 
 // Spec arms a failpoint: skip After hits, then fire on the next Count
-// hits (Count ≤ 0 fires on every hit once triggered).
+// hits (Count ≤ 0 fires on every hit once triggered). A non-empty
+// StateFile keeps the hit/fire counters in that file instead of in
+// process memory, so they survive worker restarts.
 type Spec struct {
-	Mode  Mode
-	After int
-	Count int
+	Mode      Mode
+	After     int
+	Count     int
+	StateFile string
 }
 
 type point struct {
@@ -173,10 +210,19 @@ func Hit(name string) error {
 		mu.Unlock()
 		return nil
 	}
-	p.hits++
-	fire := p.hits > p.spec.After && (p.spec.Count <= 0 || p.fired < p.spec.Count)
-	if fire {
-		p.fired++
+	var fire bool
+	if p.spec.StateFile != "" {
+		// Counters live on disk so a re-executed process continues where
+		// the previous one left off. The read-modify-write runs under an
+		// exclusive file lock: concurrent workers sharing a spec must see
+		// a single counter sequence, or "#1" could fire once per process.
+		p.hits, p.fired, fire = bumpCounters(p.spec.StateFile, p.spec.After, p.spec.Count)
+	} else {
+		p.hits++
+		fire = p.hits > p.spec.After && (p.spec.Count <= 0 || p.fired < p.spec.Count)
+		if fire {
+			p.fired++
+		}
 	}
 	mode := p.spec.Mode
 	mu.Unlock()
@@ -184,10 +230,50 @@ func Hit(name string) error {
 		return nil
 	}
 	err := &InjectedError{Name: name}
-	if mode == ModePanic {
+	switch mode {
+	case ModePanic:
 		panic(err)
+	case ModeKill:
+		selfKill()
+	case ModeStall:
+		// Block this goroutine forever; the process is expected to be
+		// reaped from outside (timeout kill, speculative twin winning,
+		// an operator). Sleeping in a loop avoids tripping the
+		// runtime's all-goroutines-asleep deadlock detector.
+		for {
+			time.Sleep(time.Hour)
+		}
 	}
 	return err
+}
+
+// bumpCounters advances the "hits fired" counters in a spec's state
+// file by one hit, under an exclusive lock so concurrent processes
+// sharing the spec observe one counter sequence, and reports whether
+// this hit fires. A missing file reads as zero (the drill's starting
+// state); an unopenable one disables firing — best-effort either way:
+// a statefile problem degrades the drill, never the mining.
+func bumpCounters(path string, after, count int) (hits, fired int, fire bool) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return 0, 0, false
+	}
+	defer f.Close()
+	lockState(f)
+	defer unlockState(f)
+	data, _ := io.ReadAll(f)
+	fmt.Sscanf(string(data), "%d %d", &hits, &fired)
+	hits++
+	fire = hits > after && (count <= 0 || fired < count)
+	if fire {
+		fired++
+	}
+	if _, err := f.Seek(0, io.SeekStart); err == nil {
+		if err := f.Truncate(0); err == nil {
+			fmt.Fprintf(f, "%d %d\n", hits, fired)
+		}
+	}
+	return hits, fired, fire
 }
 
 // Fired returns how many times the named failpoint has fired since it
@@ -202,8 +288,10 @@ func Fired(name string) int {
 }
 
 // Apply parses and arms a comma-separated failpoint spec list — the
-// TREEMINE_FAULTS grammar: name=mode[@after][#count], e.g.
-// "core/stream/next=error@100" or "core/mine/worker=panic#1".
+// TREEMINE_FAULTS grammar: name=mode[@after][#count][%statefile], e.g.
+// "core/stream/next=error@100", "core/mine/worker=panic#1", or
+// "store/spill/write=error#2%/tmp/fp.state" (fires on the first two
+// hits across process restarts, then passes).
 func Apply(specs string) error {
 	for _, part := range strings.Split(specs, ",") {
 		part = strings.TrimSpace(part)
@@ -225,6 +313,15 @@ func Apply(specs string) error {
 
 func parseSpec(s string) (Spec, error) {
 	var spec Spec
+	// The state-file path comes off first so path bytes can never be
+	// mistaken for the @ and # markers.
+	if i := strings.IndexByte(s, '%'); i >= 0 {
+		spec.StateFile = s[i+1:]
+		if spec.StateFile == "" {
+			return spec, fmt.Errorf("empty state file")
+		}
+		s = s[:i]
+	}
 	if i := strings.IndexByte(s, '#'); i >= 0 {
 		n, err := strconv.Atoi(s[i+1:])
 		if err != nil || n < 1 {
@@ -246,8 +343,12 @@ func parseSpec(s string) (Spec, error) {
 		spec.Mode = ModeError
 	case "panic":
 		spec.Mode = ModePanic
+	case "kill":
+		spec.Mode = ModeKill
+	case "stall":
+		spec.Mode = ModeStall
 	default:
-		return spec, fmt.Errorf("mode %q (want error or panic)", s)
+		return spec, fmt.Errorf("mode %q (want error, panic, kill, or stall)", s)
 	}
 	return spec, nil
 }

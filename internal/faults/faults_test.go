@@ -2,6 +2,8 @@ package faults
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -92,9 +94,58 @@ func TestApplyGrammar(t *testing.T) {
 	if py.spec != (Spec{Mode: ModePanic, Count: 3}) {
 		t.Fatalf("y spec = %+v", py.spec)
 	}
-	for _, bad := range []string{"noeq", "x=", "x=warn", "x=error@-1", "x=error#0"} {
+	for _, bad := range []string{"noeq", "x=", "x=warn", "x=error@-1", "x=error#0", "x=error%"} {
 		if err := Apply(bad); err == nil {
 			t.Fatalf("Apply(%q) accepted", bad)
 		}
+	}
+}
+
+func TestApplyGrammarModesAndStateFile(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Apply("k=kill,s=stall#1,f=error#2%/tmp/with@odd#chars"); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	mu.Lock()
+	pk, ps, pf := *points["k"], *points["s"], *points["f"]
+	mu.Unlock()
+	if pk.spec.Mode != ModeKill {
+		t.Fatalf("k spec = %+v", pk.spec)
+	}
+	if ps.spec != (Spec{Mode: ModeStall, Count: 1}) {
+		t.Fatalf("s spec = %+v", ps.spec)
+	}
+	// Everything after the first % is the path, so @ and # inside it
+	// never parse as markers.
+	if pf.spec != (Spec{Mode: ModeError, Count: 2, StateFile: "/tmp/with@odd#chars"}) {
+		t.Fatalf("f spec = %+v", pf.spec)
+	}
+}
+
+// TestStateFileCountersSurviveRestart simulates the coordinator drill:
+// the same spec re-armed in a fresh registry (a re-executed worker)
+// continues the on-disk counters, so "fail twice then succeed" spans
+// process restarts.
+func TestStateFileCountersSurviveRestart(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	state := filepath.Join(t.TempDir(), "fp.state")
+	spec := Spec{Mode: ModeError, Count: 2, StateFile: state}
+
+	var fires []bool
+	for restart := 0; restart < 4; restart++ {
+		Reset() // a fresh process parses the same TREEMINE_FAULTS spec
+		Enable("p", spec)
+		fires = append(fires, Hit("p") != nil)
+	}
+	want := []bool{true, true, false, false}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("restart %d fired=%v, want %v (all %v)", i, fires[i], want[i], fires)
+		}
+	}
+	if data, err := os.ReadFile(state); err != nil || string(data) != "4 2\n" {
+		t.Fatalf("state file = %q, %v; want \"4 2\\n\"", data, err)
 	}
 }

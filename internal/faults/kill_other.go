@@ -1,0 +1,17 @@
+//go:build !unix
+
+package faults
+
+import "os"
+
+// selfKill hard-exits on platforms without SIGKILL; defers are skipped
+// either way, which is the property the drills rely on.
+func selfKill() {
+	os.Exit(137)
+}
+
+// lockState is a no-op without flock; cross-process statefile counters
+// are best-effort on these platforms.
+func lockState(*os.File) {}
+
+func unlockState(*os.File) {}

@@ -1,0 +1,28 @@
+//go:build unix
+
+package faults
+
+import (
+	"os"
+	"syscall"
+)
+
+// selfKill delivers SIGKILL to this process — the closest injectable
+// analogue of a machine-level worker death: no deferred cleanup, no
+// atomic-write completion, no exit handler runs.
+func selfKill() {
+	syscall.Kill(syscall.Getpid(), syscall.SIGKILL)
+	// SIGKILL cannot be caught, but if delivery itself failed, still go
+	// down hard.
+	os.Exit(137)
+}
+
+// lockState takes an exclusive advisory lock on a statefile, so the
+// counter read-modify-write is atomic across concurrent processes.
+func lockState(f *os.File) {
+	syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
+}
+
+func unlockState(f *os.File) {
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

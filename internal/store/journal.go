@@ -1,0 +1,130 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Coordinator journals (DESIGN.md §52) record what the supervising
+// coordinator did to each partition: every attempt (primary or
+// speculative), its outcome, and the partition's final state. Like the
+// manifest, the journal is JSON — an operator artifact, meant to be
+// read after a flaky run to see which workers died, how often, and how
+// long each range actually took — written atomically so a coordinator
+// killed mid-update never leaves a torn journal behind.
+
+// JournalFormat tags a coordinator-journal file.
+const JournalFormat = "treemine-coordinator-journal"
+
+// JournalVersion is the current journal schema version.
+const JournalVersion = 1
+
+// Attempt outcomes recorded in the journal.
+const (
+	// AttemptOK: the attempt completed and its shard is the partition's.
+	AttemptOK = "ok"
+	// AttemptError: the attempt failed (worker exit, launch failure).
+	AttemptError = "error"
+	// AttemptTimeout: the attempt outlived its per-attempt deadline and
+	// was killed.
+	AttemptTimeout = "timeout"
+	// AttemptSuperseded: another attempt for the same partition
+	// completed first; this one was cancelled (or its late success
+	// discarded — safe either way, shard writes are atomic and
+	// byte-identical).
+	AttemptSuperseded = "superseded"
+	// AttemptAborted: the coordinator itself was cancelled mid-attempt.
+	AttemptAborted = "aborted"
+)
+
+// Attempt is one worker execution for a partition.
+type Attempt struct {
+	// Seq is the attempt's launch sequence within its partition,
+	// 0-based; speculative attempts share the sequence space.
+	Seq int `json:"seq"`
+	// Speculative marks a straggler re-execution racing the primary.
+	Speculative bool `json:"speculative,omitempty"`
+	// StartUnixMs is the attempt's wall-clock launch time.
+	StartUnixMs int64 `json:"start_unix_ms"`
+	// DurationMs is how long the attempt ran.
+	DurationMs int64 `json:"duration_ms"`
+	// Outcome is one of the Attempt* constants.
+	Outcome string `json:"outcome"`
+	// Error is the failure detail for non-ok outcomes.
+	Error string `json:"error,omitempty"`
+}
+
+// PartitionStatus is one partition's supervision record.
+type PartitionStatus struct {
+	// Index matches the manifest's partition index.
+	Index int `json:"index"`
+	// State is the partition's final (or last journaled) state:
+	// pending, running, retrying, done, quarantined, or aborted.
+	State string `json:"state"`
+	// SkippedValidShard marks a resume hit: a provenance-valid shard
+	// already covered the range, so no attempt was launched.
+	SkippedValidShard bool `json:"skipped_valid_shard,omitempty"`
+	// Attempts are the executions, in launch order.
+	Attempts []Attempt `json:"attempts,omitempty"`
+}
+
+// Journal is the coordinator's persistent supervision state.
+type Journal struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// Manifest is the plan this run supervised.
+	Manifest string `json:"manifest"`
+	// UpdatedUnixMs is the journal's last write time.
+	UpdatedUnixMs int64 `json:"updated_unix_ms"`
+	// Partitions holds one status per manifest partition, in order.
+	Partitions []PartitionStatus `json:"partitions"`
+}
+
+// validate checks the invariants journal readers rely on.
+func (j *Journal) validate() error {
+	if j.Format != JournalFormat {
+		return fmt.Errorf("store: journal: format %q, want %q", j.Format, JournalFormat)
+	}
+	if j.Version != JournalVersion {
+		return fmt.Errorf("store: journal: version %d unsupported (have %d)", j.Version, JournalVersion)
+	}
+	for i, p := range j.Partitions {
+		if p.Index != i {
+			return fmt.Errorf("store: journal: partition %d has index %d", i, p.Index)
+		}
+	}
+	return nil
+}
+
+// Save atomically writes the journal. The format tag and version are
+// stamped on the way out, so callers only fill the payload fields.
+func (j *Journal) Save(path string) error {
+	j.Format = JournalFormat
+	j.Version = JournalVersion
+	if err := j.validate(); err != nil {
+		return err
+	}
+	return AtomicWrite(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(j)
+	})
+}
+
+// LoadJournal reads and validates a coordinator journal.
+func LoadJournal(path string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{}
+	if err := json.Unmarshal(data, j); err != nil {
+		return nil, fmt.Errorf("store: journal %s: %w", path, err)
+	}
+	if err := j.validate(); err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return j, nil
+}

@@ -1,0 +1,80 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleJournal() *Journal {
+	return &Journal{
+		Manifest:      "/work/plan.json",
+		UpdatedUnixMs: 1723100000000,
+		Partitions: []PartitionStatus{
+			{Index: 0, State: "done", Attempts: []Attempt{
+				{Seq: 0, StartUnixMs: 1, DurationMs: 40, Outcome: AttemptError, Error: "exit status 1"},
+				{Seq: 1, StartUnixMs: 60, DurationMs: 35, Outcome: AttemptOK},
+			}},
+			{Index: 1, State: "done", SkippedValidShard: true},
+			{Index: 2, State: "quarantined", Attempts: []Attempt{
+				{Seq: 0, StartUnixMs: 2, DurationMs: 10, Outcome: AttemptTimeout, Error: "context deadline exceeded"},
+			}},
+		},
+	}
+}
+
+// TestJournalSaveLoadRoundTrip: a saved journal reloads equal, with the
+// format tag and version stamped by Save.
+func TestJournalSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "coordinator.json")
+	j := sampleJournal()
+	if err := j.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Format != JournalFormat || got.Version != JournalVersion {
+		t.Fatalf("loaded format/version = %q/%d", got.Format, got.Version)
+	}
+	if !reflect.DeepEqual(got, j) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, j)
+	}
+}
+
+// TestJournalLoadRejectsBadFiles: wrong format tag, wrong version, and
+// out-of-order partition indexes all refuse to load.
+func TestJournalLoadRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "coordinator.json")
+	if err := sampleJournal().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ name, old, new string }{
+		{"format", JournalFormat, "not-a-journal"},
+		{"version", `"version": 1`, `"version": 99`},
+		{"index", `"index": 2`, `"index": 7`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			broken := strings.Replace(string(data), c.old, c.new, 1)
+			if broken == string(data) {
+				t.Fatalf("fixture does not contain %q", c.old)
+			}
+			bad := filepath.Join(dir, c.name+".json")
+			if err := os.WriteFile(bad, []byte(broken), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadJournal(bad); err == nil {
+				t.Fatal("corrupt journal loaded")
+			}
+		})
+	}
+}

@@ -199,6 +199,26 @@ func (m *Manifest) validate() error {
 	return nil
 }
 
+// Describes reports whether the manifest plans exactly the job given
+// by inputs (absolute corpus paths, in order) and opts — the check a
+// resuming coordinator makes before reusing a work directory's plan,
+// so a stale plan for a different corpus or different mining options
+// can never silently shape a resumed run.
+func (m *Manifest) Describes(inputs []string, opts core.ForestOptions) error {
+	if len(inputs) != len(m.Inputs) {
+		return fmt.Errorf("store: manifest plans %d input files, job has %d", len(m.Inputs), len(inputs))
+	}
+	for i, in := range inputs {
+		if m.Inputs[i] != in {
+			return fmt.Errorf("store: manifest input %d is %s, job names %s", i, m.Inputs[i], in)
+		}
+	}
+	if m.Options != manifestOptions(opts) {
+		return fmt.Errorf("store: manifest was planned under different mining options")
+	}
+	return nil
+}
+
 // Save atomically writes the manifest to path and remembers path's
 // directory as the base for relative shard names.
 func (m *Manifest) Save(path string) error {

@@ -514,6 +514,78 @@ func validateSpillItem(it core.ShardItem, opts core.ForestOptions, nLabels int) 
 	return nil
 }
 
+// sniffSpillMagic reports whether path starts with the spilled-shard
+// magic (as opposed to a v3 checkpoint's).
+func sniffSpillMagic(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	var head [len(magicSpill)]byte
+	_, err = io.ReadFull(f, head[:])
+	f.Close()
+	if err != nil {
+		return false, fmt.Errorf("%w: %w", ErrBadMagic, err)
+	}
+	return string(head[:]) == magicSpill, nil
+}
+
+// verifySpilledShard opens a spilled shard and streams every record,
+// checking the CRC, the record count, the option provenance, and
+// per-record bounds — without folding anything. Returns the tree tally
+// the file covers.
+func verifySpilledShard(path string, opts core.ForestOptions) (trees int, err error) {
+	r, err := OpenSpilledShard(path)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	if r.Opts != opts {
+		return 0, fmt.Errorf("store: spilled shard mined with options %+v, master wants %+v", r.Opts, opts)
+	}
+	for {
+		it, err := r.Next()
+		if err == io.EOF {
+			return r.Trees, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		if err := validateSpillItem(it, r.Opts, len(r.Labels)); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// VerifyShardFile validates a worker shard file — v3 or spilled,
+// sniffed by magic — without folding it: the file must exist, load
+// cleanly (magic, checksums, structural invariants), and carry exactly
+// the mining options opts. Returns the tree tally it covers. This is
+// the coordinator's skip-completed probe: a shard that verifies counts
+// as done, so a resumed run re-mines only the ranges that don't.
+func VerifyShardFile(path string, opts core.ForestOptions) (trees int, err error) {
+	spilled, err := sniffSpillMagic(path)
+	if err != nil {
+		return 0, err
+	}
+	if spilled {
+		return verifySpilledShard(path, opts)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sh, err := LoadShard(f)
+	if err != nil {
+		return 0, err
+	}
+	if sh.Options() != opts {
+		return 0, fmt.Errorf("store: shard mined with options %+v, master wants %+v", sh.Options(), opts)
+	}
+	return sh.Trees(), nil
+}
+
 // FoldShardFile folds a worker shard file — v3 or spilled, sniffed by
 // magic — into master, translating symbols across tables. Spilled files
 // are fully validated (CRC, count, per-record bounds) in a streaming
@@ -521,17 +593,11 @@ func validateSpillItem(it core.ShardItem, opts core.ForestOptions, nLabels int) 
 // master. The folded file's tree tally is returned for provenance
 // checks.
 func FoldShardFile(master *core.SupportShard, path string) (trees int, err error) {
-	f, err := os.Open(path)
+	spilled, err := sniffSpillMagic(path)
 	if err != nil {
 		return 0, err
 	}
-	var head [len(magicSpill)]byte
-	_, err = io.ReadFull(f, head[:])
-	f.Close()
-	if err != nil {
-		return 0, fmt.Errorf("%w: %w", ErrBadMagic, err)
-	}
-	if string(head[:]) != magicSpill {
+	if !spilled {
 		// v3 checkpoint: load (validated) and merge.
 		f, err := os.Open(path)
 		if err != nil {
@@ -548,35 +614,14 @@ func FoldShardFile(master *core.SupportShard, path string) (trees int, err error
 		return sh.Trees(), nil
 	}
 
-	// Validation pass: stream every record, checking bounds against the
-	// header, without folding anything.
-	r, err := OpenSpilledShard(path)
-	if err != nil {
+	// Validation pass first, so a torn file never taints the master.
+	if _, err := verifySpilledShard(path, master.Options()); err != nil {
 		return 0, err
 	}
-	if r.Opts != master.Options() {
-		r.Close()
-		return 0, fmt.Errorf("store: spilled shard mined with options %+v, master wants %+v", r.Opts, master.Options())
-	}
-	for {
-		it, err := r.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			r.Close()
-			return 0, err
-		}
-		if err := validateSpillItem(it, r.Opts, len(r.Labels)); err != nil {
-			r.Close()
-			return 0, err
-		}
-	}
-	r.Close()
 
 	// Fold pass: stream again, folding in batches so the master's lock
 	// is taken once per batch, not per record.
-	r, err = OpenSpilledShard(path)
+	r, err := OpenSpilledShard(path)
 	if err != nil {
 		return 0, err
 	}
